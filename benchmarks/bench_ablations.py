@@ -1,0 +1,155 @@
+"""ABL-G / ABL-I / ABL-M — ablations of the design choices DESIGN.md lists.
+
+* ABL-G: DP granularity ``G`` vs quality and time (the paper's complexity
+  is linear in the grid size; quality should saturate quickly).
+* ABL-I: number of randomized initial solutions (the paper uses 3).
+* ABL-M: contribution of each local-search move family.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import write_artifact
+
+from repro.analysis.reporting import format_table
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.dispersion import adjust_dispersion_rates
+from repro.core.initial import build_initial_solution
+from repro.core.power import turn_off_servers, turn_on_servers
+from repro.core.shares import adjust_resource_shares
+from repro.core.scoring import score
+from repro.core.state import WorkingState
+from repro.workload.generator import generate_system
+
+INSTANCE_SEEDS = (3, 11)
+NUM_CLIENTS = 20
+
+
+def _mean_profit_and_time(config: SolverConfig):
+    profits, elapsed = [], 0.0
+    for seed in INSTANCE_SEEDS:
+        system = generate_system(num_clients=NUM_CLIENTS, seed=seed)
+        started = time.perf_counter()
+        result = ResourceAllocator(config).solve(system)
+        elapsed += time.perf_counter() - started
+        profits.append(result.profit)
+    return float(np.mean(profits)), elapsed
+
+
+class TestGranularityAblation:
+    @pytest.mark.parametrize("granularity", (4, 10, 20))
+    def test_solve_at_granularity(self, benchmark, granularity):
+        system = generate_system(num_clients=NUM_CLIENTS, seed=3)
+        config = SolverConfig(seed=0, alpha_granularity=granularity)
+        result = benchmark.pedantic(
+            lambda: ResourceAllocator(config).solve(system), rounds=1, iterations=1
+        )
+        assert result.breakdown.feasible
+
+    def test_granularity_summary(self, benchmark):
+        def sweep():
+            rows = []
+            by_g = {}
+            for granularity in (4, 10, 20):
+                profit, elapsed = _mean_profit_and_time(
+                    SolverConfig(seed=0, alpha_granularity=granularity)
+                )
+                by_g[granularity] = (profit, elapsed)
+                rows.append((granularity, profit, elapsed))
+            return rows, by_g
+
+        rows, by_g = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        write_artifact(
+            "ablation_granularity.txt",
+            "ABL-G: DP granularity vs quality and time\n"
+            + format_table(["G", "mean profit", "seconds"], rows),
+        )
+        # Quality saturates: G=20 should not beat G=10 by more than a few %.
+        assert by_g[20][0] <= by_g[10][0] * 1.10 + 1e-9
+        # And G=10 should not lose badly to G=20.
+        assert by_g[10][0] >= by_g[20][0] * 0.90
+
+
+class TestInitialSolutionsAblation:
+    @pytest.mark.parametrize("num_initials", (1, 3, 6))
+    def test_initials(self, benchmark, num_initials):
+        system = generate_system(num_clients=NUM_CLIENTS, seed=3)
+        config = SolverConfig(seed=0, num_initial_solutions=num_initials)
+
+        def construct():
+            rng = np.random.default_rng(0)
+            return build_initial_solution(system, config, rng)
+
+        report = benchmark.pedantic(construct, rounds=1, iterations=1)
+        assert len(report.pass_profits) == num_initials
+
+    def test_initials_summary(self, benchmark):
+        def sweep():
+            rows = []
+            profits = {}
+            for num_initials in (1, 3, 6):
+                profit, elapsed = _mean_profit_and_time(
+                    SolverConfig(seed=0, num_initial_solutions=num_initials)
+                )
+                profits[num_initials] = profit
+                rows.append((num_initials, profit, elapsed))
+            return rows, profits
+
+        rows, profits = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        write_artifact(
+            "ablation_initials.txt",
+            "ABL-I: randomized initial solutions vs final quality\n"
+            + format_table(["passes", "mean final profit", "seconds"], rows),
+        )
+        # More passes never hurt materially (the local search converges).
+        assert profits[3] >= profits[1] * 0.97
+
+
+class TestMoveAblation:
+    def _improve(self, system, moves, rounds=3):
+        config = SolverConfig(seed=0)
+        rng = np.random.default_rng(0)
+        report = build_initial_solution(system, config, rng)
+        state = WorkingState(system, report.best_allocation)
+        blocked = set()
+        for _ in range(rounds):
+            if "shares" in moves:
+                for server in system.servers():
+                    if state.allocation.clients_on_server(server.server_id):
+                        adjust_resource_shares(state, server.server_id, config)
+            if "dispersion" in moves:
+                for cid in system.client_ids():
+                    adjust_dispersion_rates(state, cid, config)
+            if "power" in moves:
+                for cluster_id in system.cluster_ids():
+                    turn_on_servers(state, cluster_id, config)
+                    turn_off_servers(state, cluster_id, config, blocked)
+        return score(system, state.allocation)
+
+    def test_move_contributions(self, benchmark):
+        system = generate_system(num_clients=NUM_CLIENTS, seed=3)
+        variants = {
+            "none": (),
+            "shares": ("shares",),
+            "shares+dispersion": ("shares", "dispersion"),
+            "all moves": ("shares", "dispersion", "power"),
+        }
+
+        def sweep():
+            return [
+                (name, self._improve(system, moves))
+                for name, moves in variants.items()
+            ]
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        write_artifact(
+            "ablation_moves.txt",
+            "ABL-M: contribution of each local-search move family\n"
+            + format_table(["moves enabled", "profit"], rows),
+        )
+        profits = dict(rows)
+        assert profits["shares"] >= profits["none"] - 1e-9
+        assert profits["shares+dispersion"] >= profits["shares"] - 1e-9
+        assert profits["all moves"] >= profits["shares+dispersion"] - 1e-9

@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the heuristic's numerical kernels.
+
+These track the cost of each inner-loop primitive so regressions in the
+hot paths (closed-form shares, dispersion bisection, the alpha DP, the
+profit evaluator) are visible independently of end-to-end runs.
+"""
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.assign import assign_distribute
+from repro.core.initial import build_initial_solution
+from repro.core.state import WorkingState
+from repro.model.profit import evaluate_profit
+from repro.optim.dp import combine_server_curves
+from repro.optim.kkt import (
+    DispersionBranch,
+    ShareProblemItem,
+    optimal_dispersion,
+    waterfill_shares,
+)
+from repro.workload.generator import generate_system
+
+
+def test_bench_waterfill(benchmark):
+    items = [
+        ShareProblemItem(
+            service_per_share=8.0 + i,
+            arrival_rate=0.3 + 0.1 * i,
+            weight=1.0 + 0.3 * i,
+            lower=(0.3 + 0.1 * i) / (8.0 + i) * 1.05 + 1e-6,
+            upper=1.0,
+        )
+        for i in range(8)
+    ]
+    result = benchmark(waterfill_shares, items, 1.0, 0.8)
+    assert result is not None
+
+
+def test_bench_dispersion(benchmark):
+    branches = [DispersionBranch(2.0 + i, 2.5 + 0.5 * i) for i in range(6)]
+    result = benchmark(optimal_dispersion, branches, 1.5)
+    assert result is not None
+
+
+def test_bench_dp(benchmark):
+    rng = np.random.default_rng(0)
+    granularity = 10
+    curves = [
+        [0.0] + list(-rng.uniform(0.1, 5.0, size=granularity).cumsum())
+        for _ in range(20)
+    ]
+    total, units = benchmark(combine_server_curves, curves, granularity)
+    assert sum(units) == granularity
+
+
+def test_bench_assign_distribute(benchmark):
+    system = generate_system(num_clients=40, seed=7)
+    config = SolverConfig(seed=0)
+    state = WorkingState(system)
+    client = system.client(0)
+    placement = benchmark(
+        assign_distribute, state, client, system.cluster_ids()[0], config
+    )
+    assert placement is not None
+
+
+def test_bench_evaluate_profit(benchmark):
+    system = generate_system(num_clients=40, seed=7)
+    config = SolverConfig(seed=0)
+    rng = np.random.default_rng(0)
+    report = build_initial_solution(system, config, rng)
+    breakdown = benchmark(evaluate_profit, system, report.best_allocation)
+    assert breakdown.total_revenue > 0
+
+
+def test_bench_initial_solution(benchmark):
+    system = generate_system(num_clients=20, seed=7)
+    config = SolverConfig(seed=0, num_initial_solutions=1)
+
+    def construct():
+        return build_initial_solution(system, config, np.random.default_rng(0))
+
+    report = benchmark.pedantic(construct, rounds=2, iterations=1)
+    # The raw constructor may leave the odd straggler (the allocator's
+    # force-place step handles those); it must place nearly everyone.
+    assert len(report.unplaced_clients) <= 1

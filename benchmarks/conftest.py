@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (run with ``-s``
+to see them) and also writes it under ``benchmarks/out/`` so the
+artifacts survive a quiet run.  Sizes default to laptop scale; set
+``REPRO_FULL=1`` for paper-sized sweeps (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentConfig
+from repro.config import SolverConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_artifact(name: str, content: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(content + "\n")
+    print(f"\n{content}\n[artifact: benchmarks/out/{name}]")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    if os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
+        return ExperimentConfig.paper_scale()
+    return ExperimentConfig(
+        client_counts=(10, 20, 40),
+        scenarios_per_point=3,
+        scenarios_at_largest=2,
+        mc_trials=15,
+        seed=2011,
+        solver=SolverConfig(seed=0),
+    )
+
+
+@pytest.fixture(scope="session")
+def solver_config() -> SolverConfig:
+    return SolverConfig(seed=0)

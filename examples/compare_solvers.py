@@ -1,0 +1,87 @@
+"""Shoot-out: every solver in the library on one instance.
+
+Runs the proposed heuristic, its distributed variant, the modified and
+original Proportional Share baselines, Monte Carlo search, simulated
+annealing and genetic search on the same section-VI instance and prints a
+normalized league table — a one-command version of the paper's Figure 4
+plus the stochastic-optimizer comparison.
+
+Run with::
+
+    python examples/compare_solvers.py
+"""
+
+import time
+
+from repro import ResourceAllocator, SolverConfig, evaluate_profit, generate_system
+from repro.analysis.reporting import format_table
+from repro.baselines import (
+    MonteCarloSearch,
+    SimulatedAnnealingConfig,
+    GeneticConfig,
+    genetic_search,
+    modified_proportional_share,
+    original_proportional_share,
+    simulated_annealing,
+)
+from repro.core.distributed import DistributedAllocator
+
+
+def main() -> None:
+    system = generate_system(num_clients=25, seed=77)
+    config = SolverConfig(seed=3)
+    print(system.describe())
+    print()
+
+    rows = []
+
+    def record(name, profit, seconds):
+        rows.append([name, profit, seconds])
+
+    started = time.perf_counter()
+    heuristic = ResourceAllocator(config).solve(system)
+    record("proposed heuristic", heuristic.profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    distributed = DistributedAllocator(config).solve(system)
+    record("distributed heuristic", distributed.profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    ps = evaluate_profit(
+        system, modified_proportional_share(system, config), require_all_served=False
+    )
+    record("modified PS", ps.total_profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    ops = evaluate_profit(
+        system, original_proportional_share(system, config), require_all_served=False
+    )
+    record("original PS", ops.total_profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    mc = MonteCarloSearch(num_trials=40, config=config).run(system, seed=4)
+    record("Monte Carlo (40 trials)", mc.best_profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    sa = simulated_annealing(
+        system, SimulatedAnnealingConfig(iterations=150), config, seed=4
+    )
+    record("simulated annealing", sa.best_profit, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    ga = genetic_search(
+        system, GeneticConfig(population_size=14, generations=8), config, seed=4
+    )
+    record("genetic search", ga.best_profit, time.perf_counter() - started)
+
+    best = max(row[1] for row in rows)
+    table = [
+        (name, profit, profit / best, seconds)
+        for name, profit, seconds in rows
+    ]
+    table.sort(key=lambda r: r[1], reverse=True)
+    print(format_table(["method", "profit", "normalized", "seconds"], table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of Goudarzi & Pedram, "Maximizing Profit in Cloud
+Computing System via Resource Allocation" (2011).
+
+Public API quick tour::
+
+    from repro import generate_system, ResourceAllocator, evaluate_profit
+
+    system = generate_system(num_clients=50, seed=7)
+    allocator = ResourceAllocator()
+    result = allocator.solve(system)
+    print(evaluate_profit(system, result.allocation).summary())
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+between paper sections and modules.
+"""
+
+from repro.config import SolverConfig
+from repro.exceptions import (
+    ReproError,
+    ModelError,
+    InfeasibleAllocationError,
+    UnstableQueueError,
+    SolverError,
+    WorkloadError,
+    SimulationError,
+    ConfigurationError,
+)
+from repro.model import (
+    Allocation,
+    Client,
+    ClippedLinearUtility,
+    CloudSystem,
+    Cluster,
+    LinearUtility,
+    PiecewiseLinearUtility,
+    ProfitBreakdown,
+    Server,
+    ServerClass,
+    StepUtility,
+    UtilityClass,
+    client_response_time,
+    evaluate_profit,
+    find_violations,
+    validate_allocation,
+)
+from repro.workload import WorkloadConfig, generate_system
+from repro.core import AllocationResult, ResourceAllocator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SolverConfig",
+    "ReproError",
+    "ModelError",
+    "InfeasibleAllocationError",
+    "UnstableQueueError",
+    "SolverError",
+    "WorkloadError",
+    "SimulationError",
+    "ConfigurationError",
+    "Allocation",
+    "Client",
+    "ClippedLinearUtility",
+    "CloudSystem",
+    "Cluster",
+    "LinearUtility",
+    "PiecewiseLinearUtility",
+    "ProfitBreakdown",
+    "Server",
+    "ServerClass",
+    "StepUtility",
+    "UtilityClass",
+    "client_response_time",
+    "evaluate_profit",
+    "find_violations",
+    "validate_allocation",
+    "WorkloadConfig",
+    "generate_system",
+    "AllocationResult",
+    "ResourceAllocator",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Experiment runners and reporting for the paper's evaluation section.
+
+* :mod:`repro.analysis.experiments` — Figure 4 and Figure 5 runners plus
+  the complexity sweep, all parameterized so tests/benchmarks can run
+  scaled-down versions and ``REPRO_FULL=1`` unlocks paper-sized runs;
+* :mod:`repro.analysis.reporting` — ASCII tables/charts and CSV export.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    Figure4Result,
+    Figure4Row,
+    Figure5Result,
+    Figure5Row,
+    run_figure4,
+    run_figure5,
+    run_scalability,
+    ScalabilityRow,
+)
+from repro.analysis.reporting import format_table, format_series_chart, rows_to_csv
+from repro.analysis.stats import (
+    SampleSummary,
+    bootstrap_mean_ci,
+    geometric_mean,
+    paired_gap_summary,
+)
+from repro.analysis.prediction import PredictionStudy, run_prediction_study
+from repro.analysis.capacity import (
+    CapacityPlan,
+    build_planned_system,
+    client_requirements,
+    plan_capacity,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "build_planned_system",
+    "client_requirements",
+    "plan_capacity",
+    "SampleSummary",
+    "bootstrap_mean_ci",
+    "geometric_mean",
+    "paired_gap_summary",
+    "PredictionStudy",
+    "run_prediction_study",
+    "ExperimentConfig",
+    "Figure4Result",
+    "Figure4Row",
+    "Figure5Result",
+    "Figure5Row",
+    "run_figure4",
+    "run_figure5",
+    "run_scalability",
+    "ScalabilityRow",
+    "format_table",
+    "format_series_chart",
+    "rows_to_csv",
+]

@@ -1,0 +1,231 @@
+"""Capacity planning: size a fleet for a book of SLAs.
+
+The paper optimizes a *given* datacenter; the operator's preceding
+question is how much hardware to buy.  This planner inverts the model:
+
+1. per client, compute the capacity that holds its two-queue response
+   at ``target_response_fraction`` of its utility's zero crossing (the
+   same SLA-aware minimum the modified-PS baseline uses), with the
+   stability floor as a lower bound;
+2. first-fit-decreasing bin packing of those (processing, bandwidth,
+   storage) triples into servers, buying the SKU with the best
+   capacity-per-cost ratio each time a new bin is opened;
+3. report the per-SKU shopping list, its fixed-cost burn, and the
+   implied utilization.
+
+The plan is deliberately conservative (capacity for every client at its
+SLA target simultaneously); :func:`build_planned_system` turns it into a
+:class:`~repro.model.CloudSystem` so the real allocator can confirm the
+fleet actually earns a profit (see ``examples/capacity_planning.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import SolverError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.datacenter import CloudSystem
+from repro.model.server import Server, ServerClass
+
+
+@dataclass(frozen=True)
+class ClientRequirement:
+    """Absolute capacity one client needs to hit its SLA target."""
+
+    client_id: int
+    processing: float
+    bandwidth: float
+    storage: float
+
+
+@dataclass
+class CapacityPlan:
+    """The shopping list and its projected economics."""
+
+    servers_by_class: Dict[int, int] = field(default_factory=dict)
+    requirements: List[ClientRequirement] = field(default_factory=list)
+    fixed_cost: float = 0.0
+    mean_processing_utilization: float = 0.0
+
+    @property
+    def total_servers(self) -> int:
+        return sum(self.servers_by_class.values())
+
+
+def client_requirements(
+    clients: Sequence[Client],
+    target_response_fraction: float = 2.0 / 3.0,
+    stability_margin: float = 1.05,
+) -> List[ClientRequirement]:
+    """SLA-aware capacity needs per client.
+
+    The two tandem queues each get half of the response budget
+    ``target_response_fraction * R_max`` (``R_max`` = the utility's zero
+    crossing from its linear surrogate), which pins the service rate and
+    hence the absolute capacity ``x`` via ``x / t - lambda = 2 / budget``.
+    Clients with flat utilities fall back to the stability floor.
+    """
+    if not 0 < target_response_fraction < 1:
+        raise SolverError("target_response_fraction must lie in (0, 1)")
+    requirements = []
+    for client in clients:
+        linear = client.utility_class.linear_approximation()
+        floor_p = client.rate_predicted * client.t_proc * stability_margin
+        floor_b = client.rate_predicted * client.t_comm * stability_margin
+        need_p, need_b = floor_p, floor_b
+        if linear.slope > 0 and linear.base_value > 0:
+            budget = target_response_fraction * linear.base_value / linear.slope
+            per_queue = budget / 2.0
+            headroom = 1.0 / per_queue  # required (mu - lambda)
+            need_p = max(
+                floor_p, (client.rate_predicted + headroom) * client.t_proc
+            )
+            need_b = max(
+                floor_b, (client.rate_predicted + headroom) * client.t_comm
+            )
+        requirements.append(
+            ClientRequirement(
+                client_id=client.client_id,
+                processing=need_p,
+                bandwidth=need_b,
+                storage=client.storage_req,
+            )
+        )
+    return requirements
+
+
+def _best_sku(server_classes: Sequence[ServerClass]) -> ServerClass:
+    """SKU with the best processing capacity per unit of full-load cost."""
+    return max(
+        server_classes,
+        key=lambda sc: sc.cap_processing
+        / (sc.power_fixed + sc.power_per_util),
+    )
+
+
+def plan_capacity(
+    clients: Sequence[Client],
+    server_classes: Sequence[ServerClass],
+    target_response_fraction: float = 2.0 / 3.0,
+    stability_margin: float = 1.05,
+) -> CapacityPlan:
+    """First-fit-decreasing packing of SLA-aware needs into bought servers.
+
+    A client whose need exceeds every SKU is split across bins (the model
+    allows traffic splitting, so this stays faithful).  Raises when a
+    client's *storage* cannot fit any SKU — storage is unsplittable per
+    server in the model only in the sense that every hosting server pays
+    it, so a footprint larger than every disk is genuinely unservable at
+    target.
+    """
+    if not server_classes:
+        raise SolverError("need at least one server class")
+    max_storage = max(sc.cap_storage for sc in server_classes)
+    requirements = client_requirements(
+        clients, target_response_fraction, stability_margin
+    )
+    for requirement in requirements:
+        if requirement.storage > max_storage:
+            raise SolverError(
+                f"client {requirement.client_id} needs storage "
+                f"{requirement.storage} > largest SKU disk {max_storage}"
+            )
+
+    sku = _best_sku(server_classes)
+    # Open bins: remaining (processing, bandwidth, storage) per server.
+    bins: List[List[float]] = []
+    bins_by_class: Dict[int, int] = {}
+
+    def open_bin() -> List[float]:
+        bins_by_class[sku.index] = bins_by_class.get(sku.index, 0) + 1
+        fresh = [sku.cap_processing, sku.cap_bandwidth, sku.cap_storage]
+        bins.append(fresh)
+        return fresh
+
+    for requirement in sorted(
+        requirements, key=lambda r: r.processing, reverse=True
+    ):
+        need_p, need_b = requirement.processing, requirement.bandwidth
+        ratio = need_b / need_p if need_p > 0 else 0.0
+        touched: set = set()  # bins already charged this client's storage
+        guard = 0
+        while need_p > 1e-9 and guard < 1000:
+            guard += 1
+            placed = False
+            for bin_id, bin_state in enumerate(bins):
+                first_touch = bin_id not in touched
+                if first_touch and bin_state[2] < requirement.storage:
+                    continue
+                take_p = min(bin_state[0], need_p)
+                if ratio > 0:
+                    take_p = min(take_p, bin_state[1] / ratio)
+                if take_p <= 1e-9:
+                    continue
+                take_b = take_p * ratio
+                bin_state[0] -= take_p
+                bin_state[1] -= take_b
+                if first_touch:
+                    bin_state[2] -= requirement.storage
+                    touched.add(bin_id)
+                need_p -= take_p
+                need_b -= take_b
+                placed = True
+                break
+            if not placed:
+                open_bin()
+        if need_p > 1e-9:
+            raise SolverError(
+                f"could not pack client {requirement.client_id} "
+                "(pathological requirement)"
+            )
+
+    fixed_cost = sum(
+        count
+        * next(sc for sc in server_classes if sc.index == index).power_fixed
+        for index, count in bins_by_class.items()
+    )
+    used_fractions = [
+        1.0 - bin_state[0] / sku.cap_processing for bin_state in bins
+    ]
+    mean_util = (
+        float(sum(used_fractions) / len(used_fractions)) if used_fractions else 0.0
+    )
+    return CapacityPlan(
+        servers_by_class=bins_by_class,
+        requirements=requirements,
+        fixed_cost=fixed_cost,
+        mean_processing_utilization=mean_util,
+    )
+
+
+def build_planned_system(
+    clients: Sequence[Client],
+    server_classes: Sequence[ServerClass],
+    plan: CapacityPlan,
+    num_clusters: int = 1,
+    name: str = "planned",
+) -> CloudSystem:
+    """Materialize the plan as a CloudSystem (round-robin over clusters)."""
+    if num_clusters < 1:
+        raise SolverError("num_clusters must be >= 1")
+    by_index = {sc.index: sc for sc in server_classes}
+    servers_flat: List[Tuple[int, ServerClass]] = []
+    server_id = 0
+    for index, count in sorted(plan.servers_by_class.items()):
+        for _ in range(count):
+            servers_flat.append((server_id, by_index[index]))
+            server_id += 1
+    clusters: List[Cluster] = []
+    for cluster_id in range(num_clusters):
+        members = [
+            Server(server_id=sid, cluster_id=cluster_id, server_class=sc)
+            for idx, (sid, sc) in enumerate(servers_flat)
+            if idx % num_clusters == cluster_id
+        ]
+        clusters.append(Cluster(cluster_id=cluster_id, servers=members))
+    # Drop clusters that received no servers (tiny plans, many clusters).
+    clusters = [c for c in clusters if len(c)] or [Cluster(cluster_id=0)]
+    return CloudSystem(clusters=clusters, clients=list(clients), name=name)

@@ -1,0 +1,321 @@
+"""Runners for the paper's experiments (Figures 4, 5, complexity).
+
+All sizes are parameterized via :class:`ExperimentConfig`.  The defaults
+are scaled down so the full suite runs on a laptop in minutes; setting
+the environment variable ``REPRO_FULL=1`` (or building the config by
+hand) restores the paper-sized runs: client counts up to 200, at least
+20 scenarios per point (5 at 200) and 10,000 Monte Carlo trials.
+EXPERIMENTS.md records which settings produced the committed numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import bootstrap_mean_ci
+
+from repro.config import SolverConfig
+from repro.baselines.monte_carlo import MonteCarloSearch
+from repro.baselines.proportional_share import modified_proportional_share
+from repro.core.allocator import ResourceAllocator
+from repro.model.profit import evaluate_profit
+from repro.workload.generator import generate_system
+from repro.analysis.reporting import format_series_chart, format_table
+
+
+def full_scale_requested() -> bool:
+    """True when the environment asks for paper-sized experiment runs."""
+    return os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizes and seeds for the figure runners.
+
+    Paper-scale values (used when ``full_scale()``):
+    ``client_counts=(20, 50, 80, 110, 140, 170, 200)``, 20 scenarios per
+    point (5 at 200), 10,000 Monte Carlo trials.
+    """
+
+    client_counts: Sequence[int] = (10, 20, 40)
+    scenarios_per_point: int = 3
+    scenarios_at_largest: int = 2
+    mc_trials: int = 25
+    seed: int = 2011
+    solver: SolverConfig = field(default_factory=lambda: SolverConfig(seed=0))
+
+    @staticmethod
+    def scaled_down() -> "ExperimentConfig":
+        return ExperimentConfig()
+
+    @staticmethod
+    def paper_scale() -> "ExperimentConfig":
+        return ExperimentConfig(
+            client_counts=(20, 50, 80, 110, 140, 170, 200),
+            scenarios_per_point=20,
+            scenarios_at_largest=5,
+            mc_trials=10_000,
+        )
+
+    @staticmethod
+    def from_environment() -> "ExperimentConfig":
+        return (
+            ExperimentConfig.paper_scale()
+            if full_scale_requested()
+            else ExperimentConfig.scaled_down()
+        )
+
+    def scenarios_for(self, num_clients: int) -> int:
+        if num_clients >= max(self.client_counts):
+            return min(self.scenarios_per_point, self.scenarios_at_largest)
+        return self.scenarios_per_point
+
+
+@dataclass
+class Figure4Row:
+    """One x-axis point of Figure 4 (all profits normalized by best found).
+
+    ``proposed_ci`` / ``ps_ci`` are 95% bootstrap confidence intervals of
+    the normalized means over the point's scenarios.
+    """
+
+    num_clients: int
+    proposed: float
+    modified_ps: float
+    best_found: float
+    scenarios: int
+    proposed_ci: Tuple[float, float] = (math.nan, math.nan)
+    ps_ci: Tuple[float, float] = (math.nan, math.nan)
+
+
+@dataclass
+class Figure4Result:
+    rows: List[Figure4Row] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    def to_table(self) -> str:
+        return format_table(
+            [
+                "clients",
+                "proposed",
+                "95% CI",
+                "modified PS",
+                "95% CI",
+                "best found",
+                "scenarios",
+            ],
+            [
+                (
+                    r.num_clients,
+                    r.proposed,
+                    f"[{r.proposed_ci[0]:.3f}, {r.proposed_ci[1]:.3f}]",
+                    r.modified_ps,
+                    f"[{r.ps_ci[0]:.3f}, {r.ps_ci[1]:.3f}]",
+                    r.best_found,
+                    r.scenarios,
+                )
+                for r in self.rows
+            ],
+        )
+
+    def to_chart(self) -> str:
+        xs = [r.num_clients for r in self.rows]
+        return format_series_chart(
+            xs,
+            {
+                "proposed": [r.proposed for r in self.rows],
+                "best found": [r.best_found for r in self.rows],
+                "modified PS": [r.modified_ps for r in self.rows],
+            },
+            y_label="normalized total profit",
+        )
+
+
+def run_figure4(config: Optional[ExperimentConfig] = None) -> Figure4Result:
+    """Reproduce Figure 4: proposed vs modified PS vs Monte Carlo best.
+
+    Per scenario, every method sees the identical instance; profits are
+    normalized by the best profit any method found for that scenario
+    (matching "all the profit is normalized by the best found profit").
+    """
+    config = config or ExperimentConfig.from_environment()
+    started = time.perf_counter()
+    seed_source = np.random.default_rng(config.seed)
+    result = Figure4Result()
+    for num_clients in config.client_counts:
+        scenarios = config.scenarios_for(num_clients)
+        norm_proposed: List[float] = []
+        norm_ps: List[float] = []
+        for _ in range(scenarios):
+            scenario_seed = int(seed_source.integers(0, 2**31 - 1))
+            system = generate_system(num_clients=num_clients, seed=scenario_seed)
+            proposed = ResourceAllocator(config.solver).solve(system).profit
+            ps_profit = evaluate_profit(
+                system,
+                modified_proportional_share(system, config.solver),
+                require_all_served=False,
+            ).total_profit
+            mc = MonteCarloSearch(
+                num_trials=config.mc_trials, config=config.solver
+            ).run(system, seed=scenario_seed + 1)
+            best = max(proposed, mc.best_profit)
+            if best <= 0:
+                continue  # degenerate unprofitable draw; not normalizable
+            norm_proposed.append(proposed / best)
+            norm_ps.append(ps_profit / best)
+        if norm_proposed:
+            proposed_summary = bootstrap_mean_ci(norm_proposed)
+            ps_summary = bootstrap_mean_ci(norm_ps)
+            result.rows.append(
+                Figure4Row(
+                    num_clients=num_clients,
+                    proposed=proposed_summary.mean,
+                    modified_ps=ps_summary.mean,
+                    best_found=1.0,
+                    scenarios=len(norm_proposed),
+                    proposed_ci=(proposed_summary.ci_low, proposed_summary.ci_high),
+                    ps_ci=(ps_summary.ci_low, ps_summary.ci_high),
+                )
+            )
+    result.runtime_seconds = time.perf_counter() - started
+    return result
+
+
+@dataclass
+class Figure5Row:
+    """One x-axis point of Figure 5 (normalized by best found)."""
+
+    num_clients: int
+    worst_initial_before: float
+    worst_initial_after: float
+    worst_proposed: float
+    best_found: float
+    scenarios: int
+
+
+@dataclass
+class Figure5Result:
+    rows: List[Figure5Row] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    def to_table(self) -> str:
+        return format_table(
+            [
+                "clients",
+                "worst init (before)",
+                "worst init (after)",
+                "worst proposed",
+                "best found",
+                "scenarios",
+            ],
+            [
+                (
+                    r.num_clients,
+                    r.worst_initial_before,
+                    r.worst_initial_after,
+                    r.worst_proposed,
+                    r.best_found,
+                    r.scenarios,
+                )
+                for r in self.rows
+            ],
+        )
+
+    def to_chart(self) -> str:
+        xs = [r.num_clients for r in self.rows]
+        return format_series_chart(
+            xs,
+            {
+                "worst init before": [r.worst_initial_before for r in self.rows],
+                "worst init after": [r.worst_initial_after for r in self.rows],
+                "worst proposed": [r.worst_proposed for r in self.rows],
+                "best found": [r.best_found for r in self.rows],
+            },
+            y_label="normalized total profit",
+        )
+
+
+def run_figure5(config: Optional[ExperimentConfig] = None) -> Figure5Result:
+    """Reproduce Figure 5: robustness of the local search to bad starts.
+
+    Per scenario the Monte Carlo machinery records each random trial's
+    profit before and after local search; across scenarios we keep the
+    worst random start (before), that same trial after optimization, the
+    worst of the proposed heuristic's runs, and normalize by best found.
+    """
+    config = config or ExperimentConfig.from_environment()
+    started = time.perf_counter()
+    seed_source = np.random.default_rng(config.seed + 1)
+    result = Figure5Result()
+    for num_clients in config.client_counts:
+        scenarios = config.scenarios_for(num_clients)
+        worst_before: List[float] = []
+        worst_after: List[float] = []
+        worst_proposed: List[float] = []
+        for _ in range(scenarios):
+            scenario_seed = int(seed_source.integers(0, 2**31 - 1))
+            system = generate_system(num_clients=num_clients, seed=scenario_seed)
+            proposed = ResourceAllocator(config.solver).solve(system).profit
+            mc = MonteCarloSearch(
+                num_trials=config.mc_trials, config=config.solver
+            ).run(system, seed=scenario_seed + 1)
+            best = max(proposed, mc.best_profit)
+            if best <= 0:
+                continue
+            worst_before.append(mc.worst_initial_profit / best)
+            worst_after.append(mc.worst_initial_after_search / best)
+            worst_proposed.append(proposed / best)
+        if worst_before:
+            result.rows.append(
+                Figure5Row(
+                    num_clients=num_clients,
+                    worst_initial_before=float(np.min(worst_before)),
+                    worst_initial_after=float(np.min(worst_after)),
+                    worst_proposed=float(np.min(worst_proposed)),
+                    best_found=1.0,
+                    scenarios=len(worst_before),
+                )
+            )
+    result.runtime_seconds = time.perf_counter() - started
+    return result
+
+
+@dataclass
+class ScalabilityRow:
+    num_clients: int
+    num_servers: int
+    solve_seconds: float
+    profit: float
+
+
+def run_scalability(
+    client_counts: Sequence[int] = (10, 20, 40, 80),
+    solver: Optional[SolverConfig] = None,
+    seed: int = 7,
+) -> List[ScalabilityRow]:
+    """Runtime scaling of the full heuristic with instance size.
+
+    Backs the paper's complexity paragraph: the initial-solution cost is
+    linear in the total number of servers and in the DP granularity.
+    """
+    solver = solver or SolverConfig(seed=0)
+    rows: List[ScalabilityRow] = []
+    for num_clients in client_counts:
+        system = generate_system(num_clients=num_clients, seed=seed)
+        started = time.perf_counter()
+        result = ResourceAllocator(solver).solve(system)
+        rows.append(
+            ScalabilityRow(
+                num_clients=num_clients,
+                num_servers=system.num_servers,
+                solve_seconds=time.perf_counter() - started,
+                profit=result.profit,
+            )
+        )
+    return rows

@@ -1,0 +1,123 @@
+"""Prediction-error study: provisioning on predicted vs agreed rates.
+
+Section III of the paper: "Although the agreed request arrival rates are
+used to determine the profit, predicted average request arrival rates
+are used to allocate resources to clients.  This can help us to use
+resources more efficiently in cases that we know that the actual request
+arrival rates are smaller than agreed."
+
+This runner quantifies both sides of that bet:
+
+* **efficiency** — when actual traffic really is ``factor x agreed``,
+  how much profit does provisioning on the prediction unlock vs
+  provisioning conservatively on the agreed rate?
+* **risk** — if the prediction was wrong and actual traffic comes in at
+  the agreed rate anyway, what does the under-provisioned allocation
+  earn?  (Queues sized for less traffic saturate; the evaluator prices
+  unstable queues as zero revenue.)
+
+The paper motivates the mechanism without plotting it; this is the
+EXPERIMENTS.md ``PRED`` extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.model.client import Client
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+from repro.workload.generator import WorkloadConfig, generate_system
+from repro.analysis.reporting import format_table
+
+
+def _with_predicted_factor(system: CloudSystem, factor: float) -> CloudSystem:
+    clients: List[Client] = [
+        replace(client, rate_predicted=client.rate_agreed * factor)
+        for client in system.clients
+    ]
+    return CloudSystem(clusters=system.clusters, clients=clients, name=system.name)
+
+
+@dataclass
+class PredictionRow:
+    factor: float
+    profit_trusting_prediction: float  # actual == predicted
+    profit_conservative: float         # provision on agreed, actual == predicted
+    profit_if_prediction_wrong: float  # provision on predicted, actual == agreed
+
+
+@dataclass
+class PredictionStudy:
+    rows: List[PredictionRow] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        return format_table(
+            [
+                "factor",
+                "trust prediction",
+                "conservative",
+                "prediction wrong",
+            ],
+            [
+                (
+                    r.factor,
+                    r.profit_trusting_prediction,
+                    r.profit_conservative,
+                    r.profit_if_prediction_wrong,
+                )
+                for r in self.rows
+            ],
+        )
+
+
+def run_prediction_study(
+    factors: Sequence[float] = (0.5, 0.7, 0.9, 1.0),
+    num_clients: int = 20,
+    seed: int = 17,
+    solver: Optional[SolverConfig] = None,
+) -> PredictionStudy:
+    """Sweep the predicted/agreed ratio and score both provisioning policies.
+
+    All three profits per row are evaluated by re-pricing the allocation
+    under the stated *actual* rates (the evaluator recomputes response
+    times from whatever traffic really arrives).
+    """
+    solver = solver or SolverConfig(seed=0)
+    base = generate_system(
+        num_clients=num_clients,
+        seed=seed,
+        config=WorkloadConfig(predicted_rate_factor=1.0),
+    )
+    allocator = ResourceAllocator(solver)
+
+    study = PredictionStudy()
+    conservative_result = allocator.solve(base)  # provisioned at agreed rates
+    for factor in factors:
+        predicted_system = _with_predicted_factor(base, factor)
+        trusting_result = allocator.solve(predicted_system)
+
+        # Actual traffic equals the prediction.
+        trusting_profit = evaluate_profit(
+            predicted_system, trusting_result.allocation, require_all_served=False
+        ).total_profit
+        conservative_profit = evaluate_profit(
+            predicted_system, conservative_result.allocation, require_all_served=False
+        ).total_profit
+        # Actual traffic reverts to the agreed rate (prediction was wrong).
+        wrong_profit = evaluate_profit(
+            base, trusting_result.allocation, require_all_served=False
+        ).total_profit
+
+        study.rows.append(
+            PredictionRow(
+                factor=factor,
+                profit_trusting_prediction=trusting_profit,
+                profit_conservative=conservative_profit,
+                profit_if_prediction_wrong=wrong_profit,
+            )
+        )
+    return study

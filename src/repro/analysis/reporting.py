@@ -1,0 +1,142 @@
+"""Plain-text reporting: aligned tables, ASCII line charts, CSV export.
+
+The paper's two figures are line charts of normalized profit vs client
+count; :func:`format_series_chart` renders the same series in a terminal
+so the benchmarks can print a directly comparable artifact.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append("nan" if math.isnan(value) else float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(headers))
+    ]
+    out = io.StringIO()
+    for idx, line in enumerate(rendered):
+        out.write(
+            "  ".join(cell.rjust(widths[col]) for col, cell in enumerate(line))
+        )
+        out.write("\n")
+        if idx == 0:
+            out.write("  ".join("-" * w for w in widths))
+            out.write("\n")
+    return out.getvalue().rstrip("\n")
+
+
+def format_series_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    y_label: str = "",
+) -> str:
+    """Render line series as an ASCII chart (one marker char per series)."""
+    markers = "*o+x#@%&"
+    points: List[float] = [
+        v for values in series.values() for v in values if not math.isnan(v)
+    ]
+    if not points:
+        return "(no data)"
+    y_min = min(points + [0.0])
+    y_max = max(points)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = min(x_values), max(x_values)
+    span_x = (x_max - x_min) or 1.0
+
+    def col_of(x: float) -> int:
+        return min(int((x - x_min) / span_x * (width - 1)), width - 1)
+
+    def row_of(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return min(int((1.0 - frac) * (height - 1)), height - 1)
+
+    for series_idx, (_, values) in enumerate(series.items()):
+        marker = markers[series_idx % len(markers)]
+        for x, y in zip(x_values, values):
+            if math.isnan(y):
+                continue
+            grid[row_of(y)][col_of(x)] = marker
+
+    out = io.StringIO()
+    out.write(f"{y_max:8.2f} |" + "".join(grid[0]) + "\n")
+    for line in grid[1:-1]:
+        out.write(" " * 8 + " |" + "".join(line) + "\n")
+    out.write(f"{y_min:8.2f} |" + "".join(grid[-1]) + "\n")
+    out.write(" " * 10 + "-" * width + "\n")
+    out.write(f"{' ' * 10}{x_min:<10.0f}{y_label:^{max(width - 20, 0)}}{x_max:>10.0f}\n")
+    legend = "   ".join(
+        f"{markers[idx % len(markers)]} {name}"
+        for idx, name in enumerate(series)
+    )
+    out.write("legend: " + legend)
+    return out.getvalue()
+
+
+def format_fleet(breakdown, system) -> str:
+    """Per-cluster fleet view: one bar per server, built from a breakdown.
+
+    Renders processing utilization as a 10-cell bar (``#`` used, ``.``
+    free, blank when OFF), plus the exact utilization numbers — the
+    operator's one-glance consolidation check.
+    """
+    lines: List[str] = []
+    for cluster in system.clusters:
+        on = sum(
+            1
+            for server in cluster
+            if breakdown.servers[server.server_id].is_on
+        )
+        lines.append(f"cluster {cluster.cluster_id}  ({on}/{len(cluster)} ON)")
+        for server in cluster:
+            outcome = breakdown.servers[server.server_id]
+            if outcome.is_on:
+                cells = int(round(min(outcome.utilization_processing, 1.0) * 10))
+                bar = "#" * cells + "." * (10 - cells)
+                detail = (
+                    f"p={outcome.utilization_processing:4.0%} "
+                    f"b={outcome.utilization_bandwidth:4.0%} "
+                    f"cost={outcome.cost:.2f}"
+                )
+            else:
+                bar = " " * 10
+                detail = "OFF"
+            lines.append(
+                f"  server {server.server_id:>3} "
+                f"[{bar}] {detail}"
+            )
+    return "\n".join(lines)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal CSV export (values are numeric or simple strings)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                f"{value:.6f}" if isinstance(value, float) else str(value)
+                for value in row
+            )
+        )
+    return "\n".join(lines)

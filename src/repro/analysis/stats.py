@@ -1,0 +1,88 @@
+"""Statistics helpers for experiment reporting.
+
+Figure points in the paper average a handful of scenarios; this module
+adds bootstrap confidence intervals so EXPERIMENTS.md can state how firm
+each reproduced number is, plus a compact summary container the runners
+and benches share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean with a bootstrap confidence interval."""
+
+    mean: float
+    ci_low: float
+    ci_high: float
+    count: int
+    level: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} "
+            f"[{self.ci_low:.3f}, {self.ci_high:.3f}] "
+            f"(n={self.count}, {self.level:.0%})"
+        )
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    level: float = 0.95,
+    num_resamples: int = 2000,
+    seed: Optional[int] = 0,
+) -> SampleSummary:
+    """Percentile-bootstrap CI for the mean of a small sample.
+
+    With a single sample the interval degenerates to the point (there is
+    nothing to resample); an empty sample is a caller error.
+    """
+    if not 0 < level < 1:
+        raise ValueError(f"level must lie in (0, 1), got {level}")
+    if num_resamples < 1:
+        raise ValueError(f"num_resamples must be >= 1, got {num_resamples}")
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    mean = float(values.mean())
+    if values.size == 1:
+        return SampleSummary(mean, mean, mean, 1, level)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, values.size, size=(num_resamples, values.size))
+    resample_means = values[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return SampleSummary(mean, float(low), float(high), int(values.size), level)
+
+
+def paired_gap_summary(
+    better: Sequence[float],
+    worse: Sequence[float],
+    level: float = 0.95,
+) -> SampleSummary:
+    """Bootstrap summary of the per-scenario gap ``better - worse``."""
+    a = np.asarray(list(better), dtype=float)
+    b = np.asarray(list(worse), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have the same length")
+    return bootstrap_mean_ci(a - b, level=level)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples (ratios, speedups)."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires strictly positive samples")
+    return float(np.exp(np.log(values).mean()))

@@ -1,0 +1,45 @@
+"""Baselines and reference solvers the paper evaluates against.
+
+* :mod:`repro.baselines.assignment` — shared machinery: build a full
+  resource allocation from a fixed client -> cluster map;
+* :mod:`repro.baselines.monte_carlo` — random assignments + local search;
+  its best-of-N result is the paper's "best solution found" reference and
+  its worst cases feed Figure 5;
+* :mod:`repro.baselines.proportional_share` — the modified Proportional
+  Share scheduler of section VI (and the original flavor it improves on);
+* :mod:`repro.baselines.exhaustive` — enumeration over cluster
+  assignments for instances small enough to afford it;
+* :mod:`repro.baselines.annealing` / :mod:`repro.baselines.genetic` —
+  the stochastic optimizers the paper names as the generic alternative
+  ("Simulated Annealing or Genetic Search").
+"""
+
+from repro.baselines.assignment import (
+    build_allocation_for_assignment,
+    random_assignment,
+)
+from repro.baselines.monte_carlo import MonteCarloResult, MonteCarloSearch
+from repro.baselines.proportional_share import (
+    modified_proportional_share,
+    original_proportional_share,
+)
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.bounds import UpperBound, profit_upper_bound
+from repro.baselines.annealing import SimulatedAnnealingConfig, simulated_annealing
+from repro.baselines.genetic import GeneticConfig, genetic_search
+
+__all__ = [
+    "build_allocation_for_assignment",
+    "random_assignment",
+    "MonteCarloResult",
+    "MonteCarloSearch",
+    "modified_proportional_share",
+    "original_proportional_share",
+    "exhaustive_search",
+    "UpperBound",
+    "profit_upper_bound",
+    "SimulatedAnnealingConfig",
+    "simulated_annealing",
+    "GeneticConfig",
+    "genetic_search",
+]

@@ -1,0 +1,84 @@
+"""Build full allocations from fixed client -> cluster assignments.
+
+Several baselines (Monte Carlo, exhaustive, SA, GA) explore the space of
+*assignments* and rely on a common sub-solver to turn an assignment into
+actual traffic splits and GPS shares.  Following the paper ("allocate the
+resources in the clusters based on the proposed solution"), that
+sub-solver is the heuristic's own cluster-level machinery:
+``Assign_Distribute`` per client, followed by optional share/dispersion
+polish.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.assign import apply_placement, assign_distribute
+from repro.core.dispersion import adjust_dispersion_rates
+from repro.core.power import force_client_into_cluster
+from repro.core.shares import adjust_resource_shares
+from repro.core.state import WorkingState
+from repro.exceptions import SolverError
+from repro.model.datacenter import CloudSystem
+
+
+def build_allocation_for_assignment(
+    system: CloudSystem,
+    assignment: Dict[int, int],
+    config: Optional[SolverConfig] = None,
+    order: Optional[Sequence[int]] = None,
+    polish: bool = True,
+) -> WorkingState:
+    """Turn a client -> cluster map into a concrete allocation.
+
+    Clients are processed in ``order`` (default: ascending id); each gets
+    its in-cluster ``Assign_Distribute`` placement.  Clients whose cluster
+    cannot host them remain unserved (the evaluator prices that at zero
+    revenue and, under the strict regime, as infeasible).  ``polish`` runs
+    one round of share + dispersion adjustment afterwards.
+    """
+    config = config or SolverConfig()
+    unknown = set(assignment) - set(system.client_ids())
+    if unknown:
+        raise SolverError(f"assignment references unknown clients {sorted(unknown)}")
+    state = WorkingState(system)
+    for client_id in order if order is not None else sorted(assignment):
+        cluster_id = assignment[client_id]
+        client = system.client(client_id)
+        state.assign_client(client_id, cluster_id)
+        placement = assign_distribute(state, client, cluster_id, config)
+        if placement is not None:
+            apply_placement(state, placement)
+    # Serving every client is a hard constraint (6): clients whose cluster
+    # had no *free* room get the same squeeze-and-resplit fallback the
+    # main heuristic uses (restricted to their assigned cluster, since the
+    # assignment is the caller's decision variable).
+    for client_id in sorted(assignment):
+        if state.allocation.entries_of_client(client_id):
+            continue
+        snapshot = state.snapshot()
+        if not force_client_into_cluster(
+            state, client_id, assignment[client_id], config
+        ):
+            state.restore(snapshot)
+    if polish:
+        for server in system.servers():
+            if state.allocation.clients_on_server(server.server_id):
+                adjust_resource_shares(state, server.server_id, config)
+        for client_id in sorted(assignment):
+            adjust_dispersion_rates(state, client_id, config)
+    return state
+
+
+def random_assignment(
+    system: CloudSystem, rng: np.random.Generator
+) -> Dict[int, int]:
+    """Uniformly random client -> cluster map (the Monte Carlo move)."""
+    cluster_ids = system.cluster_ids()
+    return {
+        client_id: cluster_ids[int(rng.integers(0, len(cluster_ids)))]
+        for client_id in system.client_ids()
+    }

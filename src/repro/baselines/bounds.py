@@ -1,0 +1,80 @@
+"""Rigorous analytical upper bound on achievable profit.
+
+The Monte Carlo "best found" is only an empirical yardstick; this module
+provides a *certificate*: no feasible allocation of the instance can earn
+more than :func:`profit_upper_bound`.  Two relaxations, both sound:
+
+* **Revenue bound** — a client's mean response time can never fall below
+  its zero-queueing service time on the best hardware in the datacenter:
+  splitting traffic over ``k`` fully-dedicated servers drives the
+  queueing delay toward zero but each branch still needs its service
+  time, so ``R_i >= t^p_i / C^p_best + t^b_i / C^b_best``.  Utilities are
+  non-increasing, hence
+  ``revenue_i <= lambda^a_i * U_i(R_min_i)``.
+* **Cost bound** — stability forces every feasible allocation to commit
+  processing capacity of at least ``lambda_i * t^p_i`` per client.  For
+  any server, ``P0 + P1 * u >= (P0 + P1) * u`` for ``u in [0, 1]``, so the
+  total cost is at least the committed capacity times the cheapest
+  per-capacity coefficient ``(P0_j + P1_j) / C^p_j`` over the fleet.
+
+When the problem requires serving everyone (the paper's constraint (6)),
+``profit <= sum_i revenue_bound_i - cost_bound``.  Without that
+constraint, clients whose revenue bound cannot cover their own cost
+floor are excluded from both sums (they would simply not be served),
+which keeps the bound valid for the admission-controlled variant too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.model.datacenter import CloudSystem
+
+
+@dataclass(frozen=True)
+class UpperBound:
+    """The certificate and its ingredients."""
+
+    profit_bound: float
+    revenue_bound: float
+    cost_bound: float
+    per_client_revenue: Dict[int, float]
+    min_response_times: Dict[int, float]
+
+
+def profit_upper_bound(
+    system: CloudSystem, require_all_served: bool = True
+) -> UpperBound:
+    """Sound upper bound on the profit of any feasible allocation."""
+    best_cap_p = max(s.cap_processing for s in system.servers())
+    best_cap_b = max(s.cap_bandwidth for s in system.servers())
+    cheapest_capacity_cost = min(
+        (s.server_class.power_fixed + s.server_class.power_per_util)
+        / s.cap_processing
+        for s in system.servers()
+    )
+
+    per_client_revenue: Dict[int, float] = {}
+    min_response: Dict[int, float] = {}
+    revenue_total = 0.0
+    cost_total = 0.0
+    for client in system.clients:
+        r_min = client.t_proc / best_cap_p + client.t_comm / best_cap_b
+        revenue_cap = client.rate_agreed * client.utility_class.function.value(r_min)
+        cost_floor = (
+            client.rate_predicted * client.t_proc * cheapest_capacity_cost
+        )
+        min_response[client.client_id] = r_min
+        per_client_revenue[client.client_id] = revenue_cap
+        if require_all_served or revenue_cap - cost_floor > 0:
+            revenue_total += revenue_cap
+            cost_total += cost_floor
+
+    return UpperBound(
+        profit_bound=revenue_total - cost_total,
+        revenue_bound=revenue_total,
+        cost_bound=cost_total,
+        per_client_revenue=per_client_revenue,
+        min_response_times=min_response,
+    )

@@ -1,0 +1,77 @@
+"""Exhaustive enumeration over client -> cluster assignments.
+
+For tiny instances (``K ** N`` assignments) this enumerates every
+assignment, builds each one with the shared cluster-level sub-solver and
+returns the best.  It is the closest thing to ground truth available for
+testing the heuristic's solution quality; the continuous inner problem is
+still solved by the (convex, hence exact-per-subproblem) KKT machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SolverConfig
+from repro.baselines.assignment import build_allocation_for_assignment
+from repro.exceptions import SolverError
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+
+#: Refuse to enumerate more than this many assignments.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+@dataclass
+class ExhaustiveResult:
+    best_profit: float
+    best_allocation: Optional[Allocation]
+    best_assignment: Optional[Dict[int, int]]
+    assignments_tried: int
+
+
+def exhaustive_search(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+    polish: bool = True,
+) -> ExhaustiveResult:
+    """Try every client -> cluster assignment; keep the most profitable.
+
+    Raises :class:`SolverError` when the search space exceeds
+    ``MAX_ASSIGNMENTS`` — this reference is for tests and tiny demos only.
+    """
+    config = config or SolverConfig()
+    client_ids = system.client_ids()
+    cluster_ids = system.cluster_ids()
+    total = len(cluster_ids) ** len(client_ids)
+    if total > MAX_ASSIGNMENTS:
+        raise SolverError(
+            f"{total} assignments exceed the exhaustive-search cap "
+            f"({MAX_ASSIGNMENTS}); use MonteCarloSearch instead"
+        )
+    best_profit = -math.inf
+    best_allocation: Optional[Allocation] = None
+    best_assignment: Optional[Dict[int, int]] = None
+    tried = 0
+    for combo in itertools.product(cluster_ids, repeat=len(client_ids)):
+        assignment = dict(zip(client_ids, combo))
+        state = build_allocation_for_assignment(
+            system, assignment, config, polish=polish
+        )
+        profit = evaluate_profit(
+            system, state.allocation, require_all_served=False
+        ).total_profit
+        tried += 1
+        if profit > best_profit:
+            best_profit = profit
+            best_allocation = state.allocation
+            best_assignment = assignment
+    return ExhaustiveResult(
+        best_profit=best_profit,
+        best_allocation=best_allocation,
+        best_assignment=best_assignment,
+        assignments_tried=tried,
+    )

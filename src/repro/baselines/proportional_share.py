@@ -1,0 +1,398 @@
+"""Proportional Share (PS) scheduling baselines (section VI).
+
+The paper compares against a *modified* PS because the original (Liu,
+Squillante & Wolf [8]) spreads every client across all active servers and
+ignores utility classes.  The modification, as described in the paper:
+
+* pool the active servers' processing capacities into one virtual server;
+* weight each client's share by its average service rate on the active
+  servers times the *slope of its utility function* (SLA awareness);
+* serve clients in descending slope order and place the computed capacity
+  on physical servers with a First-Fit-inspired rule, splitting a client
+  onto the next server only when the best one runs out of room;
+* iterate over the number of active servers and keep the best set;
+* repeat the same procedure for the communication resource.
+
+Because the paper's clients must live inside a single cluster, the
+baseline first spreads clients over clusters by descending slope onto the
+cluster with the most remaining pooled capacity (a detail the paper does
+not specify; documented in DESIGN.md).
+
+Both entry points return plain :class:`~repro.model.Allocation` objects
+scored by the standard evaluator — no self-grading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SolverConfig
+from repro.model.allocation import Allocation
+from repro.model.client import Client
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+from repro.model.server import Server
+
+
+@dataclass
+class _Chunk:
+    """Capacity amounts one client obtained on one server."""
+
+    server_id: int
+    processing: float  # absolute processing capacity units
+    bandwidth: float  # absolute bandwidth capacity units
+
+
+def _assign_clients_to_clusters(
+    system: CloudSystem, clients: Sequence[Client]
+) -> Dict[int, List[Client]]:
+    """Slope-ordered balancing over pooled free capacity (both resources)."""
+    remaining_p: Dict[int, float] = {}
+    remaining_b: Dict[int, float] = {}
+    for cluster in system.clusters:
+        free_p, free_b, _ = cluster.free_capacity()
+        remaining_p[cluster.cluster_id] = free_p
+        remaining_b[cluster.cluster_id] = free_b
+    members: Dict[int, List[Client]] = {k: [] for k in remaining_p}
+    for client in sorted(
+        clients, key=lambda c: c.utility_slope * c.rate_predicted, reverse=True
+    ):
+        target = max(
+            remaining_p, key=lambda k: min(remaining_p[k], remaining_b[k])
+        )
+        members[target].append(client)
+        remaining_p[target] -= client.rate_predicted * client.t_proc
+        remaining_b[target] -= client.rate_predicted * client.t_comm
+    return members
+
+
+def _minimum_required(
+    clients: Sequence[Client], resource: str, margin: float, sla_aware: bool
+) -> Dict[int, float]:
+    """The "minimum required capacity" of each client (paper, section VI).
+
+    ``sla_aware=True`` sizes the minimum so the two-queue response time
+    lands at 2/3 of the utility's zero crossing (positive revenue at the
+    floor); ``False`` falls back to the bare stability bound with margin.
+    """
+    minima: Dict[int, float] = {}
+    for c in clients:
+        exec_time = c.t_proc if resource == "processing" else c.t_comm
+        floor = c.rate_predicted * exec_time * margin
+        if sla_aware:
+            linear = c.utility_class.linear_approximation()
+            if linear.slope > 0 and linear.base_value > 0:
+                max_response = linear.base_value / linear.slope
+                # Each of the two tandem queues gets W = R_max / 3.
+                floor = max(
+                    floor,
+                    c.rate_predicted * exec_time + 3.0 * exec_time / max_response,
+                )
+        minima[c.client_id] = floor
+    return minima
+
+
+def _aggregate_demands(
+    clients: Sequence[Client],
+    mean_cap_processing: float,
+    pooled: float,
+    resource: str,
+    minima: Dict[int, float],
+) -> Optional[Dict[int, float]]:
+    """Split pooled capacity among clients with SLA-weighted PS.
+
+    Returns absolute capacity amounts per client, or ``None`` when even
+    the required minima exceed the pool.
+    """
+    exec_time = {
+        c.client_id: (c.t_proc if resource == "processing" else c.t_comm)
+        for c in clients
+    }
+    total_min = sum(minima.values())
+    if total_min > pooled:
+        return None
+    weights = {
+        c.client_id: (mean_cap_processing / exec_time[c.client_id])
+        * c.utility_class.function.slope_magnitude()
+        for c in clients
+    }
+    total_weight = sum(weights.values())
+    # Hold back a sliver of the pool: distributing 100% makes the later
+    # First-Fit an exact-fill bin packing that almost always strands the
+    # last client below its stability minimum.
+    spare = (pooled - total_min) * 0.9
+    shares = {}
+    for c in clients:
+        bonus = (
+            spare * weights[c.client_id] / total_weight if total_weight > 0 else 0.0
+        )
+        shares[c.client_id] = minima[c.client_id] + bonus
+    return shares
+
+
+def _first_fit_placement(
+    clients: Sequence[Client],
+    servers: Sequence[Server],
+    demand_p: Dict[int, float],
+    demand_b: Dict[int, float],
+    min_p: Dict[int, float],
+    min_b: Dict[int, float],
+) -> Optional[Dict[int, List[_Chunk]]]:
+    """Place per-client capacity demands on physical servers, First-Fit style.
+
+    Servers are visited in descending processing capacity ("the best
+    server"), clients in descending utility slope; a client spills onto
+    the next server only when the current one is exhausted.  Processing
+    and bandwidth are carved *jointly* at the client's demand ratio so
+    every branch stays stable regardless of how the split lands.  Because
+    the pooled demand fills the pool exactly while per-server p:b mixes
+    differ, a client may come up short; that is accepted as long as the
+    placed amounts still clear the stability minima (the client just runs
+    slower, which the evaluator prices).  Returns ``None`` when some
+    client cannot reach its minima — the active set is then infeasible.
+    """
+    ordered_servers = sorted(
+        servers, key=lambda s: s.cap_processing, reverse=True
+    )
+    free_p = {s.server_id: s.free_processing_share * s.cap_processing for s in servers}
+    free_b = {s.server_id: s.free_bandwidth_share * s.cap_bandwidth for s in servers}
+    free_m = {s.server_id: s.free_storage for s in servers}
+    # chunks[cid][sid] -> _Chunk; storage is charged once per touched server.
+    chunks: Dict[int, Dict[int, _Chunk]] = {c.client_id: {} for c in clients}
+
+    def carve(client: Client, want_p: float, want_b: float) -> float:
+        """Carve (p, b) jointly at the requested ratio; returns placed p."""
+        cid = client.client_id
+        ratio = want_b / want_p if want_p > 0 else 0.0
+        need_p = want_p
+        for server in ordered_servers:
+            if need_p <= 1e-12:
+                break
+            sid = server.server_id
+            if sid not in chunks[cid] and free_m[sid] < client.storage_req:
+                continue
+            take_p = min(free_p[sid], need_p)
+            if ratio > 0:
+                take_p = min(take_p, free_b[sid] / ratio)
+            if take_p <= 1e-9:
+                continue
+            take_b = take_p * ratio
+            if sid in chunks[cid]:
+                chunks[cid][sid].processing += take_p
+                chunks[cid][sid].bandwidth += take_b
+            else:
+                chunks[cid][sid] = _Chunk(
+                    server_id=sid, processing=take_p, bandwidth=take_b
+                )
+                free_m[sid] -= client.storage_req
+            free_p[sid] -= take_p
+            free_b[sid] -= take_b
+            need_p -= take_p
+        return want_p - need_p
+
+    by_slope = sorted(clients, key=lambda c: c.utility_slope, reverse=True)
+
+    # Phase 1: everyone's required minimum.  A shortfall is tolerated as
+    # long as the placed amount still clears the bare stability floor
+    # (the client is just slower than its SLA target); below the floor
+    # the active set genuinely cannot serve the population.
+    for client in by_slope:
+        cid = client.client_id
+        placed = carve(client, min_p[cid], min_b[cid])
+        stability_floor = client.rate_predicted * client.t_proc * 1.01
+        if placed < min(min_p[cid] * (1.0 - 1e-9), stability_floor):
+            return None
+
+    # Phase 2: the PS bonus above the minimum; shortfalls just mean the
+    # client runs slower, which the evaluator prices.  Bonus chunks keep
+    # the minima's p:b ratio so that every branch's bandwidth scales with
+    # its traffic share and stays stable.
+    for client in by_slope:
+        cid = client.client_id
+        safe_ratio = min_b[cid] / min_p[cid]
+        bonus_p = max(demand_p[cid] - min_p[cid], 0.0)
+        bonus_b = max(demand_b[cid] - min_b[cid], 0.0)
+        want_p = min(bonus_p, bonus_b / safe_ratio if safe_ratio > 0 else bonus_p)
+        if want_p > 1e-12:
+            carve(client, want_p, want_p * safe_ratio)
+
+    return {cid: list(per_server.values()) for cid, per_server in chunks.items()}
+
+
+def _placement_to_entries(
+    system: CloudSystem,
+    cluster_id: int,
+    placements: Dict[int, List[_Chunk]],
+    allocation: Allocation,
+) -> None:
+    """Convert capacity chunks into (alpha, phi) allocation entries."""
+    for client_id, chunks in placements.items():
+        total_p = sum(chunk.processing for chunk in chunks)
+        if total_p <= 0:
+            continue
+        allocation.assign_client(client_id, cluster_id)
+        for chunk in chunks:
+            server = system.server(chunk.server_id)
+            alpha = chunk.processing / total_p
+            phi_p = chunk.processing / server.cap_processing
+            phi_b = chunk.bandwidth / server.cap_bandwidth
+            if alpha <= 0:
+                continue
+            allocation.set_entry(client_id, chunk.server_id, alpha, phi_p, phi_b)
+
+
+def _cluster_score(
+    system: CloudSystem, allocation: Allocation
+) -> Tuple[int, float]:
+    """(clients served, profit): serving everyone dominates (constraint (5))."""
+    breakdown = evaluate_profit(system, allocation, require_all_served=False)
+    served = sum(1 for outcome in breakdown.clients.values() if outcome.served)
+    return served, breakdown.total_profit
+
+
+def modified_proportional_share(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+) -> Allocation:
+    """The paper's modified PS baseline; returns a full allocation.
+
+    Per cluster, the number of active servers is swept from 1 to the
+    cluster size and the most profitable active set is kept ("to find the
+    best possible set of active servers, an iterative approach is used").
+    """
+    config = config or SolverConfig()
+    members = _assign_clients_to_clusters(system, system.clients)
+    final = Allocation()
+    for cluster in system.clusters:
+        clients = members.get(cluster.cluster_id, [])
+        if not clients:
+            continue
+        by_capacity = sorted(
+            cluster.servers, key=lambda s: s.cap_processing, reverse=True
+        )
+        best_score: Tuple[int, float] = (-1, -math.inf)
+        best_placements: Optional[Dict[int, List[_Chunk]]] = None
+        for active_count in range(1, len(by_capacity) + 1):
+            active = by_capacity[:active_count]
+            pooled_p = sum(s.free_processing_share * s.cap_processing for s in active)
+            pooled_b = sum(s.free_bandwidth_share * s.cap_bandwidth for s in active)
+            mean_cap = pooled_p / active_count
+            # Prefer SLA-aware minimum required capacities; fall back to
+            # bare stability minima when the active set is too small.
+            placements = None
+            for sla_aware in (True, False):
+                min_p = _minimum_required(
+                    clients, "processing", config.stability_margin, sla_aware
+                )
+                min_b = _minimum_required(
+                    clients, "bandwidth", config.stability_margin, sla_aware
+                )
+                demand_p = _aggregate_demands(
+                    clients, mean_cap, pooled_p, "processing", min_p
+                )
+                demand_b = _aggregate_demands(
+                    clients, mean_cap, pooled_b, "bandwidth", min_b
+                )
+                if demand_p is None or demand_b is None:
+                    continue
+                placements = _first_fit_placement(
+                    clients, active, demand_p, demand_b, min_p, min_b
+                )
+                if placements is not None:
+                    break
+            if placements is None:
+                continue
+            trial = Allocation()
+            _placement_to_entries(system, cluster.cluster_id, placements, trial)
+            trial_score = _cluster_score(system, trial)
+            if trial_score > best_score:
+                best_score = trial_score
+                best_placements = placements
+        if best_placements is not None:
+            _placement_to_entries(
+                system, cluster.cluster_id, best_placements, final
+            )
+        else:
+            # No feasible PS configuration: bind the clients anyway so the
+            # evaluator reports them as unserved rather than unknown.
+            for client in clients:
+                final.assign_client(client.client_id, cluster.cluster_id)
+    return final
+
+
+def original_proportional_share(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+) -> Allocation:
+    """The unmodified PS of reference [8]: all servers on, no SLA weighting.
+
+    Every client is spread over *all* storage-feasible servers of its
+    cluster in proportion to raw processing capacity, with total capacity
+    shares proportional to demand (``lambda * t``) only — no utility
+    slopes, no active-set search.  Per-server budgets are tracked so the
+    result is feasible (just poor); a client whose carved total cannot
+    clear its stability minimum is left unserved, one of the failure
+    modes that motivated the paper's modification.
+    """
+    config = config or SolverConfig()
+    members = _assign_clients_to_clusters(system, system.clients)
+    final = Allocation()
+    for cluster in system.clusters:
+        clients = members.get(cluster.cluster_id, [])
+        if not clients:
+            continue
+        pooled_p = sum(s.free_processing_share * s.cap_processing for s in cluster)
+        pooled_b = sum(s.free_bandwidth_share * s.cap_bandwidth for s in cluster)
+        demand_weight = {c.client_id: c.rate_predicted * c.t_proc for c in clients}
+        total_weight = sum(demand_weight.values())
+        if total_weight <= 0 or pooled_p <= 0:
+            continue
+        rem_p = {s.server_id: s.free_processing_share * s.cap_processing for s in cluster}
+        rem_b = {s.server_id: s.free_bandwidth_share * s.cap_bandwidth for s in cluster}
+        rem_m = {s.server_id: s.free_storage for s in cluster}
+        for client in sorted(clients, key=lambda c: c.client_id):
+            cid = client.client_id
+            final.assign_client(cid, cluster.cluster_id)
+            share_p = pooled_p * demand_weight[cid] / total_weight
+            share_b = pooled_b * demand_weight[cid] / total_weight
+            min_p = client.rate_predicted * client.t_proc * config.stability_margin
+            min_b = client.rate_predicted * client.t_comm * config.stability_margin
+            if share_p < min_p or share_b < min_b:
+                continue  # unserved under original PS
+            ratio = share_b / share_p
+            hosts = [
+                s
+                for s in cluster
+                if rem_m[s.server_id] >= client.storage_req
+                and rem_p[s.server_id] > 0
+                and rem_b[s.server_id] > 0
+            ]
+            weight_sum = sum(s.cap_processing for s in hosts)
+            if weight_sum <= 0:
+                continue
+            takes = []
+            for server in hosts:
+                sid = server.server_id
+                want_p = share_p * server.cap_processing / weight_sum
+                take_p = min(want_p, rem_p[sid], rem_b[sid] / ratio)
+                if take_p <= 1e-12:
+                    continue
+                takes.append((server, take_p, take_p * ratio))
+            placed_p = sum(t[1] for t in takes)
+            if placed_p < min_p or placed_p * ratio < min_b:
+                continue  # budgets too fragmented: unserved
+            for server, take_p, take_b in takes:
+                sid = server.server_id
+                rem_p[sid] -= take_p
+                rem_b[sid] -= take_b
+                rem_m[sid] -= client.storage_req
+                final.set_entry(
+                    cid,
+                    sid,
+                    take_p / placed_p,
+                    take_p / server.cap_processing,
+                    take_b / server.cap_bandwidth,
+                )
+    return final

@@ -1,0 +1,327 @@
+"""``repro-cloud`` — command-line interface.
+
+Subcommands::
+
+    describe    generate an instance and print its topology
+    solve       run the profit-maximizing heuristic on one instance
+    compare     heuristic vs modified PS vs Monte Carlo on one instance
+    experiment  regenerate a paper artifact: fig4 | fig5 | scalability
+    simulate    validate the analytical response times with the DES
+    epochs      epoch-driven re-allocation vs a static allocation
+
+Every subcommand accepts ``--clients`` and ``--seed``; ``experiment``
+honours ``--full`` (equivalent to ``REPRO_FULL=1``) for paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_scalability,
+)
+from repro.analysis.reporting import format_fleet, format_table
+from repro.baselines.bounds import profit_upper_bound
+from repro.baselines.monte_carlo import MonteCarloSearch
+from repro.baselines.proportional_share import modified_proportional_share
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.model.profit import evaluate_profit
+from repro.sim.epoch import EpochConfig, run_epoch_simulation
+from repro.sim.gps import SharingMode
+from repro.sim.simulator import DatacenterSimulator
+from repro.workload.generator import generate_system
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", type=int, default=20, help="number of clients")
+    parser.add_argument("--seed", type=int, default=0, help="instance seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cloud",
+        description=(
+            "Reproduction of 'Maximizing Profit in Cloud Computing System "
+            "via Resource Allocation' (Goudarzi & Pedram, 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print the generated topology")
+    _add_instance_args(p)
+
+    p = sub.add_parser("solve", help="run the heuristic on one instance")
+    _add_instance_args(p)
+    p.add_argument("--rounds", type=int, default=25, help="max improvement rounds")
+    p.add_argument(
+        "--fleet", action="store_true", help="print per-server utilization bars"
+    )
+
+    p = sub.add_parser("compare", help="heuristic vs baselines on one instance")
+    _add_instance_args(p)
+    p.add_argument("--mc-trials", type=int, default=50)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", choices=["fig4", "fig5", "scalability"])
+    p.add_argument("--full", action="store_true", help="paper-sized run")
+
+    p = sub.add_parser("simulate", help="DES validation of the queueing model")
+    _add_instance_args(p)
+    p.add_argument("--duration", type=float, default=2000.0)
+    p.add_argument(
+        "--mode",
+        choices=[m.value for m in SharingMode],
+        default=SharingMode.PARTITIONED.value,
+    )
+
+    p = sub.add_parser("epochs", help="dynamic re-allocation across epochs")
+    _add_instance_args(p)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument("--drift", type=float, default=0.25)
+    p.add_argument(
+        "--pattern",
+        choices=["random_walk", "diurnal", "bursty"],
+        default="random_walk",
+    )
+
+    p = sub.add_parser("multitier", help="solve a multi-tier application instance")
+    p.add_argument("--apps", type=int, default=8, help="number of applications")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "admission", help="admission-controlled solve (may reject clients)"
+    )
+    _add_instance_args(p)
+
+    p = sub.add_parser(
+        "predict", help="prediction-error study (predicted vs agreed rates)"
+    )
+    _add_instance_args(p)
+    p.add_argument(
+        "--factors",
+        type=float,
+        nargs="+",
+        default=[0.5, 0.7, 0.9, 1.0],
+        help="predicted/agreed rate ratios to sweep",
+    )
+    return parser
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    print(system.describe())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    config = SolverConfig(seed=args.seed, max_improvement_rounds=args.rounds)
+    result = ResourceAllocator(config).solve(system)
+    print(result.breakdown.summary())
+    print(
+        f"initial profit {result.initial_profit:.4f} -> final "
+        f"{result.profit:.4f} in {result.rounds} rounds "
+        f"({result.runtime_seconds:.2f}s)"
+    )
+    if args.fleet:
+        print()
+        print(format_fleet(result.breakdown, system))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    config = SolverConfig(seed=args.seed)
+    proposed = ResourceAllocator(config).solve(system)
+    ps = evaluate_profit(
+        system,
+        modified_proportional_share(system, config),
+        require_all_served=False,
+    )
+    mc = MonteCarloSearch(num_trials=args.mc_trials, config=config).run(
+        system, seed=args.seed + 1
+    )
+    bound = profit_upper_bound(system)
+    best = max(proposed.profit, mc.best_profit)
+    rows = [
+        ("analytical upper bound", bound.profit_bound, bound.profit_bound / best),
+        ("proposed heuristic", proposed.profit, proposed.profit / best),
+        (f"Monte Carlo best ({args.mc_trials} trials)", mc.best_profit, mc.best_profit / best),
+        ("modified PS", ps.total_profit, ps.total_profit / best),
+    ]
+    print(format_table(["method", "profit", "normalized"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = (
+        ExperimentConfig.paper_scale()
+        if args.full
+        else ExperimentConfig.from_environment()
+    )
+    if args.name == "fig4":
+        result = run_figure4(config)
+        print("Figure 4 — normalized total profit vs number of clients")
+        print(result.to_table())
+        print()
+        print(result.to_chart())
+        print(f"\n({result.runtime_seconds:.1f}s)")
+    elif args.name == "fig5":
+        result = run_figure5(config)
+        print("Figure 5 — random initial solutions vs final results")
+        print(result.to_table())
+        print()
+        print(result.to_chart())
+        print(f"\n({result.runtime_seconds:.1f}s)")
+    else:
+        rows = run_scalability()
+        print("Runtime scaling of the full heuristic")
+        print(
+            format_table(
+                ["clients", "servers", "solve seconds", "profit"],
+                [(r.num_clients, r.num_servers, r.solve_seconds, r.profit) for r in rows],
+            )
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    config = SolverConfig(seed=args.seed)
+    result = ResourceAllocator(config).solve(system)
+    simulator = DatacenterSimulator(
+        system,
+        result.allocation,
+        mode=SharingMode(args.mode),
+        seed=args.seed + 1,
+    )
+    report = simulator.run(duration=args.duration)
+    rows = [
+        (
+            stats.client_id,
+            stats.completed,
+            stats.measured_mean,
+            stats.analytical_mean,
+            (stats.relative_error() * 100 if stats.completed else float("nan")),
+        )
+        for stats in sorted(report.clients.values(), key=lambda s: s.client_id)
+    ]
+    print(
+        format_table(
+            ["client", "completed", "measured mean", "analytical mean", "error %"],
+            rows,
+        )
+    )
+    print(
+        f"\nmode={args.mode}, duration={report.duration}, "
+        f"arrivals={report.total_arrivals}, "
+        f"worst |error| {report.worst_relative_error() * 100:.1f}%"
+    )
+    return 0
+
+
+def _cmd_epochs(args: argparse.Namespace) -> int:
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    report = run_epoch_simulation(
+        system,
+        EpochConfig(
+            num_epochs=args.epochs,
+            drift=args.drift,
+            seed=args.seed + 1,
+            pattern=args.pattern,
+        ),
+        SolverConfig(seed=args.seed),
+    )
+    rows = [
+        (idx, realloc, static)
+        for idx, (realloc, static) in enumerate(
+            zip(report.reallocate_profits, report.static_profits)
+        )
+    ]
+    print(format_table(["epoch", "re-allocate", "static"], rows))
+    print(f"\ntotal gain from per-epoch decisions: {report.reallocation_gain:.3f}")
+    return 0
+
+
+def _cmd_multitier(args: argparse.Namespace) -> int:
+    from repro.multitier import MultiTierAllocator, generate_multitier_system
+
+    system = generate_multitier_system(num_applications=args.apps, seed=args.seed)
+    result = MultiTierAllocator(SolverConfig(seed=args.seed)).solve(system)
+    print(result.breakdown.summary())
+    rows = [
+        (
+            outcome.app_id,
+            len(outcome.tier_response_times),
+            outcome.cluster_id,
+            outcome.response_time,
+            outcome.revenue,
+        )
+        for outcome in result.breakdown.applications.values()
+    ]
+    print(
+        format_table(["app", "tiers", "cluster", "end-to-end R", "revenue"], rows)
+    )
+    return 0
+
+
+def _cmd_admission(args: argparse.Namespace) -> int:
+    from repro.core.admission import admission_controlled_solve
+
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    result = admission_controlled_solve(system, SolverConfig(seed=args.seed))
+    print(
+        format_table(
+            ["policy", "profit", "served"],
+            [
+                ("serve everyone", result.baseline_profit, system.num_clients),
+                ("admission control", result.profit, len(result.accepted)),
+            ],
+        )
+    )
+    if result.rejected:
+        print(f"\nrejected clients: {result.rejected}")
+    else:
+        print("\nno client was worth rejecting")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.analysis.prediction import run_prediction_study
+
+    study = run_prediction_study(
+        factors=tuple(args.factors),
+        num_clients=args.clients,
+        seed=args.seed,
+        solver=SolverConfig(seed=args.seed),
+    )
+    print(study.to_table())
+    return 0
+
+
+_COMMANDS = {
+    "describe": _cmd_describe,
+    "solve": _cmd_solve,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "simulate": _cmd_simulate,
+    "epochs": _cmd_epochs,
+    "multitier": _cmd_multitier,
+    "admission": _cmd_admission,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Configuration dataclasses shared across the library.
+
+:class:`SolverConfig` collects every tunable of the paper's heuristic in
+one validated place.  Paper defaults are used wherever the paper states a
+value (e.g. 3 randomized initial solutions, section VI); the rest are
+engineering knobs documented field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Tunables of the ``Resource_Alloc`` heuristic (section V).
+
+    Attributes:
+        num_initial_solutions: randomized greedy passes; the best one seeds
+            the local search.  The paper uses 3.
+        alpha_granularity: grid size ``G`` for the traffic-portion DP in
+            ``Assign_Distribute``; alpha takes values ``g / G``.  The
+            paper's complexity analysis is linear in this granularity.
+        max_improvement_rounds: upper bound on the while-not-steady local
+            search loop (a safety net; the loop normally exits on a
+            sub-``improvement_tolerance`` round).
+        improvement_tolerance: minimum absolute profit gain for a round of
+            local search to count as progress.
+        bandwidth_shadow_price: marginal cost assigned to one unit of a
+            server's *communication* share inside the greedy constructor.
+            Bandwidth has no energy cost in the paper's model, so without
+            a shadow price the constructor would greedily exhaust it.
+        capacity_price_factor: fraction of a server's fixed cost ``P0``
+            folded into the constructor's per-share capacity price (for
+            both resources, on top of ``P1`` / the bandwidth shadow
+            price).  This is the "approximated profit ... captur[ing]
+            incompleteness of information" of section V.A: a client that
+            monopolizes a server's share at its myopically optimal level
+            forces the next client onto a fresh server at cost ``P0``, so
+            capacity must be priced at its system-wide opportunity cost
+            for consolidation to emerge.  0 disables the amortization.
+        min_share: numerical floor for any positive GPS share (the paper's
+            constraint (7) epsilon).
+        stability_margin: multiplicative headroom over the M/M/1 stability
+            bound when computing the smallest admissible share, keeping
+            response times finite under later perturbations.
+        include_cluster_reassignment: run a cluster-level client
+            reassignment pass inside each improvement round (section V:
+            the local search "changes client assignment to decrease the
+            resource saturation in some of clusters").  Disable to
+            measure the contribution of the per-cluster moves alone.
+        seed: seed for the randomized client orderings; ``None`` draws one
+            from the OS.
+        parallel_clusters: evaluate candidate clusters with a process pool
+            (the paper's "distributed decision making").  Pure speed knob;
+            results are identical.
+        num_workers: pool size when ``parallel_clusters`` is set; ``None``
+            means one worker per cluster.
+    """
+
+    num_initial_solutions: int = 3
+    alpha_granularity: int = 10
+    max_improvement_rounds: int = 25
+    improvement_tolerance: float = 1e-6
+    bandwidth_shadow_price: float = 0.25
+    capacity_price_factor: float = 1.0
+    min_share: float = 1e-6
+    stability_margin: float = 1.05
+    include_cluster_reassignment: bool = True
+    seed: Optional[int] = None
+    parallel_clusters: bool = False
+    num_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_initial_solutions < 1:
+            raise ConfigurationError("num_initial_solutions must be >= 1")
+        if self.alpha_granularity < 1:
+            raise ConfigurationError("alpha_granularity must be >= 1")
+        if self.max_improvement_rounds < 0:
+            raise ConfigurationError("max_improvement_rounds must be >= 0")
+        if self.improvement_tolerance < 0:
+            raise ConfigurationError("improvement_tolerance must be >= 0")
+        if self.bandwidth_shadow_price < 0:
+            raise ConfigurationError("bandwidth_shadow_price must be >= 0")
+        if self.capacity_price_factor < 0:
+            raise ConfigurationError("capacity_price_factor must be >= 0")
+        if not 0 < self.min_share < 1:
+            raise ConfigurationError("min_share must lie in (0, 1)")
+        if self.stability_margin < 1.0:
+            raise ConfigurationError("stability_margin must be >= 1")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1 when given")

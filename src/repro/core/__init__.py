@@ -1,0 +1,40 @@
+"""The paper's contribution: the multi-stage ``Resource_Alloc`` heuristic.
+
+Module map (section V of the paper):
+
+* :mod:`repro.core.state` — mutable working view of capacities while solving;
+* :mod:`repro.core.assign` — ``Assign_Distribute``: closed-form shares on an
+  alpha grid combined by dynamic programming;
+* :mod:`repro.core.initial` — randomized greedy initial solutions;
+* :mod:`repro.core.shares` — ``Adjust_ResourceShares`` (per-server convex
+  reallocation);
+* :mod:`repro.core.dispersion` — ``Adjust_DispersionRates`` (per-client
+  traffic resplit);
+* :mod:`repro.core.power` — ``TurnON_servers`` / ``TurnOFF_servers``;
+* :mod:`repro.core.local_search` — cluster-level client reassignment;
+* :mod:`repro.core.allocator` — the top-level driver tying it together;
+* :mod:`repro.core.distributed` — per-cluster parallel execution.
+"""
+
+from repro.core.allocator import AllocationResult, ResourceAllocator
+from repro.core.state import WorkingState
+from repro.core.assign import CandidatePlacement, assign_distribute
+from repro.core.initial import build_initial_solution
+from repro.core.local_search import cluster_reassignment_search
+from repro.core.admission import AdmissionResult, admission_controlled_solve
+from repro.core.distributed import DistributedAllocator
+from repro.core.scoring import score
+
+__all__ = [
+    "AllocationResult",
+    "ResourceAllocator",
+    "WorkingState",
+    "CandidatePlacement",
+    "assign_distribute",
+    "build_initial_solution",
+    "cluster_reassignment_search",
+    "AdmissionResult",
+    "admission_controlled_solve",
+    "DistributedAllocator",
+    "score",
+]

@@ -1,0 +1,106 @@
+"""Admission control: when the provider may decline clients.
+
+The paper's formulation makes serving every client a hard constraint
+(constraint (6)) — appropriate when contracts are already signed.  At
+contract-negotiation time the dual question matters: *which* client set
+maximizes profit?  This extension relaxes constraint (6) and lets the
+provider reject clients whose marginal profit is negative (their SLA
+price cannot cover the capacity and energy they consume).
+
+Method: solve the constrained problem first (so the result is always at
+least as good as the paper's solution), then alternate accept-if-better
+*drop* passes with reassignment passes until stable.  A dropped client
+can win its way back in a later pass if capacity freed elsewhere makes
+it profitable again — both directions are gated by the exact evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.local_search import reassignment_pass
+from repro.core.scoring import score
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import ProfitBreakdown, evaluate_profit
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of an admission-controlled solve."""
+
+    allocation: Allocation
+    breakdown: ProfitBreakdown
+    accepted: List[int] = field(default_factory=list)
+    rejected: List[int] = field(default_factory=list)
+    baseline_profit: float = 0.0  # best profit while serving everyone
+
+    @property
+    def profit(self) -> float:
+        return self.breakdown.total_profit
+
+    @property
+    def admission_gain(self) -> float:
+        """Profit unlocked by the right to say no."""
+        return self.profit - self.baseline_profit
+
+
+def _drop_pass(state: WorkingState, config: SolverConfig) -> float:
+    """Try dropping each served client; keep drops that raise profit."""
+    total_delta = 0.0
+    for client_id in sorted(state.system.client_ids()):
+        if not state.allocation.entries_of_client(client_id):
+            continue
+        before = score(state.system, state.allocation)
+        snapshot = state.snapshot()
+        state.unassign_client(client_id)
+        after = score(state.system, state.allocation)
+        if after > before + 1e-12:
+            total_delta += after - before
+        else:
+            state.restore(snapshot)
+    return total_delta
+
+
+def admission_controlled_solve(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+    max_rounds: int = 5,
+) -> AdmissionResult:
+    """Solve with the right to reject unprofitable clients.
+
+    The returned profit is >= the constrained (everyone-served) profit:
+    round 0 *is* the constrained solution, and every later change is
+    accept-if-better.
+    """
+    config = config or SolverConfig()
+    baseline = ResourceAllocator(config).solve(system)
+    state = WorkingState(system, baseline.allocation.copy())
+    rng = np.random.default_rng(config.seed)
+    for _ in range(max_rounds):
+        delta = _drop_pass(state, config)
+        delta += reassignment_pass(state, config, rng)
+        if delta <= config.improvement_tolerance:
+            break
+    breakdown = evaluate_profit(
+        system, state.allocation, require_all_served=False
+    )
+    accepted = sorted(
+        cid
+        for cid in system.client_ids()
+        if state.allocation.entries_of_client(cid)
+    )
+    rejected = sorted(set(system.client_ids()) - set(accepted))
+    return AdmissionResult(
+        allocation=state.allocation,
+        breakdown=breakdown,
+        accepted=accepted,
+        rejected=rejected,
+        baseline_profit=baseline.profit,
+    )

@@ -1,0 +1,222 @@
+"""``Assign_Distribute`` — place one client inside one cluster (section V.A).
+
+For a candidate cluster the constructor answers: *if this client joined
+this cluster right now, how would its traffic best split across servers,
+what shares would it get, and what profit would that earn?*
+
+Following the paper:
+
+* the utility is replaced by its linear surrogate ``v - beta * R``;
+* ``alpha`` is discretized on a grid of ``G = config.alpha_granularity``
+  steps; for each server and each grid point the optimal shares come from
+  the closed form of eq. (16) (processing priced at the server's real
+  ``P1``, bandwidth at the configured shadow price);
+* servers without enough free disk for the client are excluded up front
+  (constraint (8));
+* a dynamic program combines the per-server curves into traffic portions
+  summing to exactly one;
+* inactive servers carry their activation cost ``P0`` on any positive
+  traffic, so the constructor weighs consolidation against queueing delay;
+* per-server-class memoization: servers of the same class with identical
+  free capacity and activity (e.g. all still-empty servers of one SKU)
+  share one curve evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, List, Optional, Tuple
+
+from repro.config import SolverConfig
+from repro.core.state import WorkingState
+from repro.model.client import Client
+from repro.optim.dp import NEG_INF, combine_server_curves
+
+#: (alpha, phi_p, phi_b) chosen for one server.
+EntryTriple = Tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class CandidatePlacement:
+    """Outcome of ``Assign_Distribute`` for one (client, cluster) pair."""
+
+    client_id: int
+    cluster_id: int
+    estimated_profit: float
+    entries: Dict[int, EntryTriple]
+
+
+def _closed_form_share(
+    service_per_share: float,
+    arrival: float,
+    weight: float,
+    price: float,
+    lower: float,
+    upper: float,
+) -> float:
+    """Eq. (16): the bounded optimal share for one queue."""
+    if weight <= 0.0:
+        return lower
+    if price <= 0.0:
+        return upper
+    unclipped = (
+        arrival + math.sqrt(weight * service_per_share / price)
+    ) / service_per_share
+    return min(max(unclipped, lower), upper)
+
+
+def _server_curves(
+    state: WorkingState,
+    client: Client,
+    server_id: int,
+    config: SolverConfig,
+) -> Tuple[List[float], List[Tuple[float, float]]]:
+    """Profit curve and matching share choices for one server.
+
+    Returns ``(values, shares)`` where ``values[g]`` is the estimated
+    profit contribution of sending ``g / G`` of the client's traffic here
+    and ``shares[g]`` the (phi_p, phi_b) that achieves it.  Infeasible
+    grid points are ``-inf``.
+    """
+    granularity = config.alpha_granularity
+    values = [NEG_INF] * (granularity + 1)
+    shares: List[Tuple[float, float]] = [(0.0, 0.0)] * (granularity + 1)
+    values[0] = 0.0
+
+    server = state.system.server(server_id)
+    if state.free_storage(server_id) < client.storage_req:
+        return values, shares
+
+    free_p = state.free_processing(server_id)
+    free_b = state.free_bandwidth(server_id)
+    was_active = state.server_is_active(server_id)
+    linear = client.utility_class.linear_approximation()
+    weight_base = client.rate_agreed * linear.slope
+    s_p = server.cap_processing / client.t_proc
+    s_b = server.cap_bandwidth / client.t_comm
+    # Capacity is priced at its opportunity cost, not just the marginal
+    # energy cost: a hogged share forces the next client onto a fresh
+    # server at P0 (see SolverConfig.capacity_price_factor).
+    amortized = config.capacity_price_factor * server.server_class.power_fixed
+    price_p = server.server_class.power_per_util + amortized
+    price_b = config.bandwidth_shadow_price + amortized
+
+    for g in range(1, granularity + 1):
+        alpha = g / granularity
+        arrival = alpha * client.rate_predicted
+        weight = weight_base * alpha
+        lower_p = arrival / s_p * config.stability_margin + config.min_share
+        lower_b = arrival / s_b * config.stability_margin + config.min_share
+        if lower_p > free_p or lower_b > free_b:
+            continue
+        phi_p = _closed_form_share(s_p, arrival, weight, price_p, lower_p, free_p)
+        phi_b = _closed_form_share(s_b, arrival, weight, price_b, lower_b, free_b)
+        head_p = s_p * phi_p - arrival
+        head_b = s_b * phi_b - arrival
+        if head_p <= 0.0 or head_b <= 0.0:
+            continue
+        response_cost = alpha * (1.0 / head_p + 1.0 / head_b)
+        # The shadow prices above only size the shares; the DP ranks grid
+        # points by the *real* incremental cost (energy + activation).
+        value = (
+            -weight_base * response_cost
+            - server.server_class.power_per_util * phi_p
+        )
+        if not was_active:
+            value -= server.server_class.power_fixed
+        values[g] = value
+        shares[g] = (phi_p, phi_b)
+    return values, shares
+
+
+def assign_distribute(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> Optional[CandidatePlacement]:
+    """Best placement of ``client`` inside ``cluster_id`` given free capacity.
+
+    Returns ``None`` when the cluster cannot stably host the client's full
+    traffic under current free capacities.  The placement is *not* applied;
+    use :func:`apply_placement`.  ``excluded_server_ids`` removes servers
+    from consideration (used when evacuating a server to turn it off).
+    """
+    cluster = state.system.cluster(cluster_id)
+    if not cluster.servers:
+        return None
+    excluded = excluded_server_ids or frozenset()
+
+    # Memoize curves per (class, capacity signature): interchangeable
+    # servers — typically the still-empty ones of a SKU — share one solve.
+    cache: Dict[Tuple, Tuple[List[float], List[Tuple[float, float]]]] = {}
+    curves: List[List[float]] = []
+    share_tables: List[List[Tuple[float, float]]] = []
+    server_ids: List[int] = []
+    for server in cluster:
+        sid = server.server_id
+        if sid in excluded:
+            continue
+        key = (
+            server.server_class.index,
+            state.free_processing(sid),
+            state.free_bandwidth(sid),
+            state.free_storage(sid) >= client.storage_req,
+            state.server_is_active(sid),
+        )
+        if key not in cache:
+            cache[key] = _server_curves(state, client, sid, config)
+        values, shares = cache[key]
+        curves.append(values)
+        share_tables.append(shares)
+        server_ids.append(sid)
+
+    total, units = combine_server_curves(curves, config.alpha_granularity)
+    if total == NEG_INF:
+        return None
+
+    linear = client.utility_class.linear_approximation()
+    estimated = client.rate_agreed * linear.base_value + total
+
+    entries: Dict[int, EntryTriple] = {}
+    for idx, g in enumerate(units):
+        if g == 0:
+            continue
+        alpha = g / config.alpha_granularity
+        phi_p, phi_b = share_tables[idx][g]
+        entries[server_ids[idx]] = (alpha, phi_p, phi_b)
+    if not entries:
+        return None
+    return CandidatePlacement(
+        client_id=client.client_id,
+        cluster_id=cluster_id,
+        estimated_profit=estimated,
+        entries=entries,
+    )
+
+
+def apply_placement(state: WorkingState, placement: CandidatePlacement) -> None:
+    """Write a placement into the working state (clearing prior entries)."""
+    state.assign_client(placement.client_id, placement.cluster_id)
+    state.clear_client(placement.client_id)
+    for server_id, (alpha, phi_p, phi_b) in placement.entries.items():
+        state.set_entry(placement.client_id, server_id, alpha, phi_p, phi_b)
+
+
+def best_placement(
+    state: WorkingState,
+    client: Client,
+    config: SolverConfig,
+    cluster_ids: Optional[List[int]] = None,
+) -> Optional[CandidatePlacement]:
+    """``Assign_Distribute`` across clusters: pick the most profitable one."""
+    candidates: List[CandidatePlacement] = []
+    for cluster_id in cluster_ids or state.system.cluster_ids():
+        placement = assign_distribute(state, client, cluster_id, config)
+        if placement is not None:
+            candidates.append(placement)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda p: p.estimated_profit)

@@ -1,0 +1,155 @@
+"""Distributed decision making (section V: "local agents ... parallelize
+the solution and decrease the decision time").
+
+Two layers of parallelism, both semantically transparent:
+
+* the randomized greedy *initial solutions* are independent, so the
+  ``num_initial_solutions`` passes run as separate worker processes;
+* after assignment, every improvement move except cross-cluster
+  reassignment (share adjustment, dispersion, power on/off) touches a
+  single cluster, so each cluster's subproblem — the cluster plus the
+  clients bound to it — is improved in its own worker process and the
+  disjoint results are merged.  A final sequential reassignment pass
+  restores the cross-cluster move.
+
+The output is the same *kind* of solution as the sequential
+:class:`~repro.core.allocator.ResourceAllocator`; the speedup factor on
+``K`` clusters is what the paper's complexity paragraph claims.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.allocator import AllocationResult, ResourceAllocator
+from repro.core.initial import greedy_pass
+from repro.core.local_search import reassignment_pass
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+
+
+def _initial_pass_worker(
+    args: Tuple[CloudSystem, SolverConfig, int]
+) -> Tuple[float, Allocation]:
+    """One greedy construction pass in a worker process."""
+    system, config, seed = args
+    rng = np.random.default_rng(seed)
+    state = greedy_pass(system, config, rng)
+    profit = evaluate_profit(
+        system, state.allocation, require_all_served=False
+    ).total_profit
+    return profit, state.allocation
+
+
+def _cluster_subproblem(
+    system: CloudSystem, allocation: Allocation, cluster_id: int
+) -> Tuple[CloudSystem, Allocation]:
+    """Extract one cluster and its bound clients as a standalone instance."""
+    cluster = system.cluster(cluster_id)
+    client_ids = allocation.clients_in_cluster(cluster_id)
+    clients = [system.client(cid) for cid in client_ids]
+    sub_system = CloudSystem(
+        clusters=[cluster],
+        clients=clients,
+        name=f"{system.name}/cluster-{cluster_id}",
+    )
+    sub_allocation = Allocation()
+    for cid in client_ids:
+        sub_allocation.assign_client(cid, cluster_id)
+        for sid, entry in allocation.entries_of_client(cid).items():
+            sub_allocation.set_entry(cid, sid, entry.alpha, entry.phi_p, entry.phi_b)
+    return sub_system, sub_allocation
+
+
+def _improve_cluster_worker(
+    args: Tuple[CloudSystem, Allocation, SolverConfig]
+) -> Allocation:
+    """Run the improvement loop on one cluster subproblem."""
+    sub_system, sub_allocation, config = args
+    allocator = ResourceAllocator(config)
+    return allocator.improve(sub_system, sub_allocation).allocation
+
+
+class DistributedAllocator:
+    """Per-cluster parallel variant of :class:`ResourceAllocator`."""
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        base = config or SolverConfig()
+        # Workers improve a single cluster; the cross-cluster move runs in
+        # the final sequential pass instead.
+        self.config = base
+        self._worker_config = replace(
+            base, include_cluster_reassignment=False, parallel_clusters=False
+        )
+
+    def solve(self, system: CloudSystem) -> AllocationResult:
+        started = time.perf_counter()
+        config = self.config
+        seed_source = np.random.default_rng(config.seed)
+        seeds = [int(seed_source.integers(0, 2**31 - 1)) for _ in range(
+            config.num_initial_solutions
+        )]
+        max_workers = config.num_workers or max(system.num_clusters, 1)
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            passes = list(
+                pool.map(
+                    _initial_pass_worker,
+                    [(system, self._worker_config, seed) for seed in seeds],
+                )
+            )
+            initial_profit, allocation = max(passes, key=lambda item: item[0])
+
+            tasks = []
+            for cluster_id in system.cluster_ids():
+                sub_system, sub_allocation = _cluster_subproblem(
+                    system, allocation, cluster_id
+                )
+                tasks.append((sub_system, sub_allocation, self._worker_config))
+            improved = list(pool.map(_improve_cluster_worker, tasks))
+
+        merged = Allocation()
+        for sub_allocation in improved:
+            for cid, kid in sub_allocation.cluster_of.items():
+                merged.assign_client(cid, kid)
+                for sid, entry in sub_allocation.entries_of_client(cid).items():
+                    merged.set_entry(cid, sid, entry.alpha, entry.phi_p, entry.phi_b)
+        # Clients the greedy pass could not place carry no entries; keep
+        # them visible to the final sequential pass.
+        for cid in system.client_ids():
+            if not merged.is_assigned(cid) and allocation.is_assigned(cid):
+                merged.assign_client(cid, allocation.cluster_of[cid])
+
+        state = WorkingState(system, merged)
+        rng = np.random.default_rng(config.seed)
+        history: List[float] = [
+            evaluate_profit(system, merged, require_all_served=False).total_profit
+        ]
+        if config.include_cluster_reassignment:
+            for _ in range(2):
+                delta = reassignment_pass(state, config, rng)
+                history.append(
+                    evaluate_profit(
+                        system, state.allocation, require_all_served=False
+                    ).total_profit
+                )
+                if delta <= config.improvement_tolerance:
+                    break
+
+        breakdown = evaluate_profit(system, state.allocation)
+        return AllocationResult(
+            allocation=state.allocation,
+            breakdown=breakdown,
+            initial_profit=initial_profit,
+            profit_history=history,
+            rounds=len(history) - 1,
+            runtime_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,89 @@
+"""Cluster-level client reassignment local search.
+
+Section VI describes the move precisely: "the clients are picked one at a
+time and [each] is removed from the assigned cluster and then the best
+cluster to serve the client is found based on the available condition of
+the clusters.  This repeats until no further reassignment is possible."
+
+The same routine serves two masters:
+
+* inside :class:`~repro.core.allocator.ResourceAllocator` it is the
+  "change client assignment" part of the paper's local search;
+* standing alone it upgrades the random assignments of the Monte Carlo
+  reference (:mod:`repro.baselines.monte_carlo`) and of Figure 5's
+  worst-initial-solution study.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.assign import apply_placement, best_placement
+from repro.core.power import force_client_into_cluster
+from repro.core.scoring import score
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+
+
+def reassignment_pass(
+    state: WorkingState,
+    config: SolverConfig,
+    rng: np.random.Generator,
+) -> float:
+    """One pass: each client gets one chance to move; returns profit delta."""
+    order = list(state.system.client_ids())
+    rng.shuffle(order)
+    total_delta = 0.0
+    for client_id in order:
+        client = state.system.client(client_id)
+        before = score(state.system, state.allocation)
+        snapshot = state.snapshot()
+        state.unassign_client(client_id)
+        placement = best_placement(state, client, config)
+        if placement is not None:
+            apply_placement(state, placement)
+        else:
+            # No cluster has *free* room: try the squeeze-and-resplit
+            # force move so clients locked into a bad forced spot can
+            # still relocate.
+            placed = False
+            for cluster_id in state.system.cluster_ids():
+                checkpoint = state.snapshot()
+                if (
+                    force_client_into_cluster(state, client_id, cluster_id, config)
+                    and score(state.system, state.allocation) > before + 1e-12
+                ):
+                    placed = True
+                    break
+                state.restore(checkpoint)
+            if not placed:
+                state.restore(snapshot)
+                continue
+        after = score(state.system, state.allocation)
+        if after > before + 1e-12:
+            total_delta += after - before
+        else:
+            state.restore(snapshot)
+    return total_delta
+
+
+def cluster_reassignment_search(
+    system: CloudSystem,
+    allocation: Allocation,
+    config: Optional[SolverConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    max_passes: int = 10,
+) -> Allocation:
+    """Repeat reassignment passes until none improves; returns a new allocation."""
+    config = config or SolverConfig()
+    rng = rng if rng is not None else np.random.default_rng(config.seed)
+    state = WorkingState(system, allocation.copy())
+    for _ in range(max_passes):
+        delta = reassignment_pass(state, config, rng)
+        if delta <= config.improvement_tolerance:
+            break
+    return state.allocation

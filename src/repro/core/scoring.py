@@ -1,0 +1,25 @@
+"""Move-acceptance scoring for the heuristic's local search.
+
+Every accept-if-better gate in the improvement loop compares allocations
+by :func:`score`: the evaluated total profit, except that any *hard*
+violation (share budgets, storage, stability, traffic sums) scores
+``-inf``.  Unserved clients are allowed — they simply earn nothing — so
+the search can pass through partially-assigned states, but it can never
+"improve" into a state that cheats a capacity constraint.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+
+
+def score(system: CloudSystem, allocation: Allocation) -> float:
+    """Profit of the allocation, or ``-inf`` on any hard violation."""
+    breakdown = evaluate_profit(system, allocation, require_all_served=False)
+    if breakdown.violations:
+        return -math.inf
+    return breakdown.total_profit

@@ -1,0 +1,121 @@
+"""``Adjust_ResourceShares`` — per-server convex share reallocation (V.B.1).
+
+With the client set and traffic portions of a server frozen, redistributing
+its GPS shares is a convex problem; the paper's eq. (18) gives the KKT
+closed form and a bisection on the capacity multiplier finishes the job.
+Processing shares are priced at the server's real marginal energy cost
+``P1`` (so the optimizer will deliberately leave capacity idle when the
+marginal revenue no longer pays for the energy); bandwidth has no energy
+cost and is limited only by the capacity multiplier.
+
+The move is applied only if the *exact* evaluated profit does not drop —
+the closed form optimizes the linear utility surrogate, and a clipped
+utility can disagree near its zero crossing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SolverConfig
+from repro.core.scoring import score
+from repro.core.state import WorkingState
+from repro.optim.kkt import ShareProblemItem, waterfill_shares
+
+
+def _share_items(
+    state: WorkingState,
+    server_id: int,
+    client_ids: List[int],
+    resource: str,
+    budget: float,
+    config: SolverConfig,
+) -> Optional[List[ShareProblemItem]]:
+    """Build the eq.-(18) problem for one resource of one server."""
+    server = state.system.server(server_id)
+    items: List[ShareProblemItem] = []
+    for client_id in client_ids:
+        client = state.system.client(client_id)
+        entry = state.allocation.entry(client_id, server_id)
+        assert entry is not None
+        if resource == "processing":
+            service_per_share = server.cap_processing / client.t_proc
+        else:
+            service_per_share = server.cap_bandwidth / client.t_comm
+        arrival = entry.alpha * client.rate_predicted
+        weight = (
+            client.rate_agreed
+            * client.utility_class.linear_approximation().slope
+            * entry.alpha
+        )
+        lower = arrival / service_per_share * config.stability_margin + config.min_share
+        if lower > budget:
+            return None
+        items.append(
+            ShareProblemItem(
+                service_per_share=service_per_share,
+                arrival_rate=arrival,
+                weight=weight,
+                lower=lower,
+                upper=budget,
+            )
+        )
+    return items
+
+
+def adjust_resource_shares(
+    state: WorkingState,
+    server_id: int,
+    config: SolverConfig,
+) -> float:
+    """Re-optimize one server's shares; returns the realized profit delta.
+
+    No-op (returns 0.0) when the server hosts no traffic, when the KKT
+    system is infeasible under the configured stability margin, or when
+    the exact evaluation rejects the surrogate's proposal.
+    """
+    client_ids = sorted(
+        cid
+        for cid in state.allocation.clients_on_server(server_id)
+        if (entry := state.allocation.entry(cid, server_id)) is not None
+        and entry.alpha > 0.0
+    )
+    if not client_ids:
+        return 0.0
+    server = state.system.server(server_id)
+    budget_p = 1.0 - server.background_processing
+    budget_b = 1.0 - server.background_bandwidth
+
+    items_p = _share_items(state, server_id, client_ids, "processing", budget_p, config)
+    items_b = _share_items(state, server_id, client_ids, "bandwidth", budget_b, config)
+    if items_p is None or items_b is None:
+        return 0.0
+
+    solved_p = waterfill_shares(
+        items_p, budget_p, price_floor=server.server_class.power_per_util
+    )
+    solved_b = waterfill_shares(
+        items_b, budget_b, price_floor=config.bandwidth_shadow_price
+    )
+    if solved_p is None or solved_b is None:
+        return 0.0
+    shares_p, _ = solved_p
+    shares_b, _ = solved_b
+
+    before = score(state.system, state.allocation)
+    previous: Dict[int, Tuple[float, float]] = {}
+    for idx, client_id in enumerate(client_ids):
+        entry = state.allocation.entry(client_id, server_id)
+        assert entry is not None
+        previous[client_id] = (entry.phi_p, entry.phi_b)
+        state.set_entry(
+            client_id, server_id, entry.alpha, shares_p[idx], shares_b[idx]
+        )
+    after = score(state.system, state.allocation)
+    if after < before - 1e-12:
+        for client_id, (phi_p, phi_b) in previous.items():
+            entry = state.allocation.entry(client_id, server_id)
+            assert entry is not None
+            state.set_entry(client_id, server_id, entry.alpha, phi_p, phi_b)
+        return 0.0
+    return after - before

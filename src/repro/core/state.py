@@ -1,0 +1,171 @@
+"""Mutable working state shared by the heuristic's moves.
+
+:class:`WorkingState` wraps a :class:`~repro.model.CloudSystem` and an
+:class:`~repro.model.Allocation` and keeps per-server usage aggregates
+(processing share, bandwidth share, storage) incrementally up to date, so
+the inner loops query free capacity in O(1) instead of rescanning entries.
+
+Conventions enforced here:
+
+* an entry with ``alpha <= 0`` is never stored (setting one removes the
+  entry), so "has an entry" always means "serves traffic and reserves
+  storage";
+* storage is reserved once per (client, server) pair regardless of alpha,
+  per the paper's constraint (8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.exceptions import ModelError
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+
+
+class WorkingState:
+    """System + allocation + O(1) capacity aggregates."""
+
+    def __init__(
+        self, system: CloudSystem, allocation: Optional[Allocation] = None
+    ) -> None:
+        self.system = system
+        self.allocation = allocation if allocation is not None else Allocation()
+        self._used_p: Dict[int, float] = {}
+        self._used_b: Dict[int, float] = {}
+        self._used_storage: Dict[int, float] = {}
+        self._recompute_aggregates()
+
+    def _recompute_aggregates(self) -> None:
+        self._used_p = {s.server_id: 0.0 for s in self.system.servers()}
+        self._used_b = dict(self._used_p)
+        self._used_storage = dict(self._used_p)
+        for client_id, server_id, entry in self.allocation.iter_entries():
+            self._used_p[server_id] += entry.phi_p
+            self._used_b[server_id] += entry.phi_b
+            self._used_storage[server_id] += self.system.client(client_id).storage_req
+
+    # -- capacity queries ---------------------------------------------------
+
+    def free_processing(self, server_id: int) -> float:
+        server = self.system.server(server_id)
+        return max(
+            1.0 - server.background_processing - self._used_p[server_id], 0.0
+        )
+
+    def free_bandwidth(self, server_id: int) -> float:
+        server = self.system.server(server_id)
+        return max(
+            1.0 - server.background_bandwidth - self._used_b[server_id], 0.0
+        )
+
+    def free_storage(self, server_id: int) -> float:
+        server = self.system.server(server_id)
+        return max(server.free_storage - self._used_storage[server_id], 0.0)
+
+    def used_processing(self, server_id: int) -> float:
+        return self._used_p[server_id]
+
+    def used_bandwidth(self, server_id: int) -> float:
+        return self._used_b[server_id]
+
+    def server_is_active(self, server_id: int) -> bool:
+        """ON per constraint (3): carries cloud traffic or background load."""
+        if self.system.server(server_id).has_background_load:
+            return True
+        return self.allocation.server_is_used(server_id)
+
+    def active_server_ids(self, cluster_id: Optional[int] = None) -> Set[int]:
+        servers: Iterable = (
+            self.system.cluster(cluster_id).servers
+            if cluster_id is not None
+            else self.system.servers()
+        )
+        return {s.server_id for s in servers if self.server_is_active(s.server_id)}
+
+    def inactive_server_ids(self, cluster_id: int) -> Set[int]:
+        cluster = self.system.cluster(cluster_id)
+        return {
+            s.server_id
+            for s in cluster
+            if not self.server_is_active(s.server_id)
+        }
+
+    # -- mutations ------------------------------------------------------------
+
+    def assign_client(self, client_id: int, cluster_id: int) -> None:
+        previous = self.allocation.cluster_of.get(client_id)
+        if previous is not None and previous != cluster_id:
+            self.clear_client(client_id)
+        self.allocation.assign_client(client_id, cluster_id)
+
+    def set_entry(
+        self,
+        client_id: int,
+        server_id: int,
+        alpha: float,
+        phi_p: float,
+        phi_b: float,
+    ) -> None:
+        """Create/overwrite an entry, keeping aggregates in sync.
+
+        ``alpha <= 0`` removes the entry instead (zero-traffic entries are
+        never stored).
+        """
+        if alpha <= 0.0:
+            self.remove_entry(client_id, server_id)
+            return
+        old = self.allocation.entry(client_id, server_id)
+        storage = self.system.client(client_id).storage_req
+        if old is not None:
+            self._used_p[server_id] -= old.phi_p
+            self._used_b[server_id] -= old.phi_b
+            self._used_storage[server_id] -= storage
+        self.allocation.set_entry(client_id, server_id, alpha, phi_p, phi_b)
+        self._used_p[server_id] += phi_p
+        self._used_b[server_id] += phi_b
+        self._used_storage[server_id] += storage
+
+    def remove_entry(self, client_id: int, server_id: int) -> None:
+        old = self.allocation.entry(client_id, server_id)
+        if old is None:
+            return
+        self._used_p[server_id] -= old.phi_p
+        self._used_b[server_id] -= old.phi_b
+        self._used_storage[server_id] -= self.system.client(client_id).storage_req
+        self.allocation.remove_entry(client_id, server_id)
+
+    def clear_client(self, client_id: int) -> None:
+        for server_id in list(self.allocation.entries_of_client(client_id)):
+            self.remove_entry(client_id, server_id)
+
+    def unassign_client(self, client_id: int) -> None:
+        self.clear_client(client_id)
+        self.allocation.unassign_client(client_id)
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot(self) -> Allocation:
+        """Deep copy of the allocation, for rollback."""
+        return self.allocation.copy()
+
+    def restore(self, snapshot: Allocation) -> None:
+        """Replace the allocation with a snapshot and rebuild aggregates."""
+        self.allocation = snapshot.copy()
+        self._recompute_aggregates()
+
+    def check_consistency(self) -> None:
+        """Assert the cached aggregates match a full recount (tests only)."""
+        used_p, used_b, used_m = (
+            dict(self._used_p),
+            dict(self._used_b),
+            dict(self._used_storage),
+        )
+        self._recompute_aggregates()
+        for sid in used_p:
+            if (
+                abs(used_p[sid] - self._used_p[sid]) > 1e-9
+                or abs(used_b[sid] - self._used_b[sid]) > 1e-9
+                or abs(used_m[sid] - self._used_storage[sid]) > 1e-9
+            ):
+                raise ModelError(f"aggregate drift detected on server {sid}")

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so that callers can catch library failures without also swallowing genuine
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A system-model object was constructed with inconsistent parameters."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """An allocation violates a hard constraint of the optimization problem.
+
+    Raised by the strict validators in :mod:`repro.model.validation`.  The
+    profit evaluator never raises this; it instead reports the violation in
+    the returned :class:`~repro.model.profit.ProfitBreakdown` so that search
+    algorithms can treat infeasibility as ``-inf`` profit.
+    """
+
+
+class UnstableQueueError(ReproError):
+    """A queue was configured with arrival rate >= service rate.
+
+    The M/M/1 mean response time is unbounded in that regime, so analytical
+    evaluation is meaningless and the caller made an error upstream.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical routine failed to converge or was given bad bracketing."""
+
+
+class WorkloadError(ReproError):
+    """A workload/scenario specification is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration dataclass carries out-of-range values."""

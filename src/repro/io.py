@@ -1,0 +1,307 @@
+"""JSON serialization for problem instances and allocations.
+
+A reproduction library lives or dies by shareable artifacts: this module
+round-trips :class:`~repro.model.CloudSystem` and
+:class:`~repro.model.Allocation` through plain JSON-compatible dicts so
+instances and solutions can be archived, diffed, and re-scored later
+(``repro-cloud`` experiments write them next to their reports).
+
+Utility functions are tagged by type; adding a new
+:class:`~repro.model.utility.UtilityFunction` subclass requires
+registering a codec pair in ``_UTILITY_CODECS``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple
+
+from repro.exceptions import ReproError
+from repro.model.allocation import Allocation
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.datacenter import CloudSystem
+from repro.model.server import Server, ServerClass
+from repro.model.utility import (
+    ClippedLinearUtility,
+    LinearUtility,
+    PiecewiseLinearUtility,
+    StepUtility,
+    UtilityClass,
+    UtilityFunction,
+)
+
+
+class SerializationError(ReproError):
+    """A document does not describe a valid system/allocation."""
+
+
+# -- utility functions ---------------------------------------------------
+
+def _encode_linear(fn: LinearUtility) -> Dict[str, Any]:
+    return {"base_value": fn.base_value, "slope": fn.slope}
+
+
+def _decode_linear(doc: Dict[str, Any]) -> LinearUtility:
+    return LinearUtility(base_value=doc["base_value"], slope=doc["slope"])
+
+
+def _encode_clipped(fn: ClippedLinearUtility) -> Dict[str, Any]:
+    return {"base_value": fn.base_value, "slope": fn.slope}
+
+
+def _decode_clipped(doc: Dict[str, Any]) -> ClippedLinearUtility:
+    return ClippedLinearUtility(base_value=doc["base_value"], slope=doc["slope"])
+
+
+def _encode_piecewise(fn: PiecewiseLinearUtility) -> Dict[str, Any]:
+    return {"points": [list(p) for p in fn.points]}
+
+
+def _decode_piecewise(doc: Dict[str, Any]) -> PiecewiseLinearUtility:
+    return PiecewiseLinearUtility(
+        points=tuple((float(t), float(v)) for t, v in doc["points"])
+    )
+
+
+def _encode_step(fn: StepUtility) -> Dict[str, Any]:
+    return {"levels": [list(l) for l in fn.levels], "fallback": fn.fallback}
+
+
+def _decode_step(doc: Dict[str, Any]) -> StepUtility:
+    return StepUtility(
+        levels=tuple((float(d), float(v)) for d, v in doc["levels"]),
+        fallback=float(doc.get("fallback", 0.0)),
+    )
+
+
+_UTILITY_CODECS: Dict[str, Tuple[type, Callable, Callable]] = {
+    "linear": (LinearUtility, _encode_linear, _decode_linear),
+    "clipped_linear": (ClippedLinearUtility, _encode_clipped, _decode_clipped),
+    "piecewise_linear": (PiecewiseLinearUtility, _encode_piecewise, _decode_piecewise),
+    "step": (StepUtility, _encode_step, _decode_step),
+}
+
+
+def utility_to_dict(fn: UtilityFunction) -> Dict[str, Any]:
+    for tag, (cls, encode, _) in _UTILITY_CODECS.items():
+        if type(fn) is cls:
+            return {"type": tag, **encode(fn)}
+    raise SerializationError(f"no codec for utility type {type(fn).__name__}")
+
+
+def utility_from_dict(doc: Dict[str, Any]) -> UtilityFunction:
+    try:
+        tag = doc["type"]
+    except (KeyError, TypeError):
+        raise SerializationError("utility document lacks a 'type' tag") from None
+    try:
+        _, _, decode = _UTILITY_CODECS[tag]
+    except KeyError:
+        raise SerializationError(f"unknown utility type {tag!r}") from None
+    return decode(doc)
+
+
+# -- system ---------------------------------------------------------------
+
+def system_to_dict(system: CloudSystem) -> Dict[str, Any]:
+    """Encode a full problem instance as a JSON-compatible dict."""
+    server_classes: Dict[int, ServerClass] = {}
+    utility_classes: Dict[int, UtilityClass] = {}
+    for server in system.servers():
+        server_classes.setdefault(server.server_class.index, server.server_class)
+    for client in system.clients:
+        utility_classes.setdefault(client.utility_class.index, client.utility_class)
+
+    return {
+        "format": "repro.cloud-system",
+        "version": 1,
+        "name": system.name,
+        "server_classes": [
+            {
+                "index": sc.index,
+                "name": sc.name,
+                "cap_processing": sc.cap_processing,
+                "cap_bandwidth": sc.cap_bandwidth,
+                "cap_storage": sc.cap_storage,
+                "power_fixed": sc.power_fixed,
+                "power_per_util": sc.power_per_util,
+            }
+            for sc in sorted(server_classes.values(), key=lambda s: s.index)
+        ],
+        "utility_classes": [
+            {
+                "index": uc.index,
+                "name": uc.name,
+                "function": utility_to_dict(uc.function),
+            }
+            for uc in sorted(utility_classes.values(), key=lambda u: u.index)
+        ],
+        "clusters": [
+            {
+                "cluster_id": cluster.cluster_id,
+                "name": cluster.name,
+                "servers": [
+                    {
+                        "server_id": s.server_id,
+                        "server_class": s.server_class.index,
+                        "background_processing": s.background_processing,
+                        "background_bandwidth": s.background_bandwidth,
+                        "background_storage": s.background_storage,
+                    }
+                    for s in cluster
+                ],
+            }
+            for cluster in system.clusters
+        ],
+        "clients": [
+            {
+                "client_id": c.client_id,
+                "utility_class": c.utility_class.index,
+                "rate_agreed": c.rate_agreed,
+                "rate_predicted": c.rate_predicted,
+                "t_proc": c.t_proc,
+                "t_comm": c.t_comm,
+                "storage_req": c.storage_req,
+            }
+            for c in system.clients
+        ],
+    }
+
+
+def system_from_dict(doc: Dict[str, Any]) -> CloudSystem:
+    """Decode a problem instance; raises :class:`SerializationError`."""
+    try:
+        if doc.get("format") != "repro.cloud-system":
+            raise SerializationError(
+                f"not a cloud-system document (format={doc.get('format')!r})"
+            )
+        server_classes = {
+            sc["index"]: ServerClass(
+                index=sc["index"],
+                name=sc.get("name", ""),
+                cap_processing=sc["cap_processing"],
+                cap_bandwidth=sc["cap_bandwidth"],
+                cap_storage=sc["cap_storage"],
+                power_fixed=sc["power_fixed"],
+                power_per_util=sc["power_per_util"],
+            )
+            for sc in doc["server_classes"]
+        }
+        utility_classes = {
+            uc["index"]: UtilityClass(
+                index=uc["index"],
+                name=uc.get("name", ""),
+                function=utility_from_dict(uc["function"]),
+            )
+            for uc in doc["utility_classes"]
+        }
+        clusters = [
+            Cluster(
+                cluster_id=cl["cluster_id"],
+                name=cl.get("name", ""),
+                servers=[
+                    Server(
+                        server_id=s["server_id"],
+                        cluster_id=cl["cluster_id"],
+                        server_class=server_classes[s["server_class"]],
+                        background_processing=s.get("background_processing", 0.0),
+                        background_bandwidth=s.get("background_bandwidth", 0.0),
+                        background_storage=s.get("background_storage", 0.0),
+                    )
+                    for s in cl["servers"]
+                ],
+            )
+            for cl in doc["clusters"]
+        ]
+        clients = [
+            Client(
+                client_id=c["client_id"],
+                utility_class=utility_classes[c["utility_class"]],
+                rate_agreed=c["rate_agreed"],
+                rate_predicted=c.get("rate_predicted", -1.0),
+                t_proc=c["t_proc"],
+                t_comm=c["t_comm"],
+                storage_req=c["storage_req"],
+            )
+            for c in doc["clients"]
+        ]
+        return CloudSystem(
+            clusters=clusters, clients=clients, name=doc.get("name", "")
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed cloud-system document: {exc}") from exc
+
+
+# -- allocation ---------------------------------------------------------------
+
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    """Encode an allocation (decision variables only)."""
+    return {
+        "format": "repro.allocation",
+        "version": 1,
+        "assignments": [
+            {"client_id": cid, "cluster_id": kid}
+            for cid, kid in sorted(allocation.cluster_of.items())
+        ],
+        "entries": [
+            {
+                "client_id": cid,
+                "server_id": sid,
+                "alpha": entry.alpha,
+                "phi_p": entry.phi_p,
+                "phi_b": entry.phi_b,
+            }
+            for cid, sid, entry in sorted(
+                allocation.iter_entries(), key=lambda t: (t[0], t[1])
+            )
+        ],
+    }
+
+
+def allocation_from_dict(doc: Dict[str, Any]) -> Allocation:
+    try:
+        if doc.get("format") != "repro.allocation":
+            raise SerializationError(
+                f"not an allocation document (format={doc.get('format')!r})"
+            )
+        allocation = Allocation()
+        for item in doc["assignments"]:
+            allocation.assign_client(item["client_id"], item["cluster_id"])
+        for entry in doc["entries"]:
+            allocation.set_entry(
+                entry["client_id"],
+                entry["server_id"],
+                entry["alpha"],
+                entry["phi_p"],
+                entry["phi_b"],
+            )
+        return allocation
+    except SerializationError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed allocation document: {exc}") from exc
+
+
+# -- file helpers ---------------------------------------------------------------
+
+def save_system(system: CloudSystem, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(system_to_dict(system), handle, indent=2)
+
+
+def load_system(path: str) -> CloudSystem:
+    with open(path) as handle:
+        return system_from_dict(json.load(handle))
+
+
+def save_allocation(allocation: Allocation, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(allocation_to_dict(allocation), handle, indent=2)
+
+
+def load_allocation(path: str) -> Allocation:
+    with open(path) as handle:
+        return allocation_from_dict(json.load(handle))

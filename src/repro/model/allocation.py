@@ -1,0 +1,212 @@
+"""Allocation state: the optimization problem's decision variables.
+
+An :class:`Allocation` holds, for one decision epoch:
+
+* ``x_ik`` — which cluster each client is assigned to (``cluster_of``);
+* ``alpha_ij`` — the portion of each client's requests sent to each server;
+* ``phi^p_ij / phi^b_ij`` — the GPS shares of processing / bandwidth each
+  server grants each client.
+
+The disk share ``phi^m_ij`` is not stored: per constraint (8) it is fully
+determined as ``m_i / C^m_j`` on every server with ``alpha_ij > 0``.
+
+Server on/off state (``y_j``) is derived: a server is ON iff it carries any
+positive share (constraint (3) with an infinitesimal epsilon) or any
+background load.
+
+The container keeps a reverse index (server -> clients) so the heuristic's
+per-server moves are O(clients on that server), not O(all clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import ModelError
+
+
+@dataclass
+class ServerAllocation:
+    """The (alpha, phi^p, phi^b) triple for one client on one server."""
+
+    alpha: float
+    phi_p: float
+    phi_b: float
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0 + 1e-12:
+            raise ModelError(f"alpha must lie in [0, 1], got {self.alpha}")
+        if self.phi_p < 0.0 or self.phi_b < 0.0:
+            raise ModelError(
+                f"shares must be >= 0, got phi_p={self.phi_p}, phi_b={self.phi_b}"
+            )
+
+    def copy(self) -> "ServerAllocation":
+        return ServerAllocation(self.alpha, self.phi_p, self.phi_b)
+
+
+class Allocation:
+    """Mutable allocation state for one decision epoch.
+
+    The class enforces *structural* consistency (a client has entries only
+    on servers, never dangling reverse-index rows); *numerical* feasibility
+    (share sums, stability, alpha summing to 1) is checked separately by
+    :mod:`repro.model.validation` so that solvers may pass through
+    transient infeasible states while rearranging.
+    """
+
+    def __init__(self) -> None:
+        self.cluster_of: Dict[int, int] = {}
+        self._entries: Dict[int, Dict[int, ServerAllocation]] = {}
+        self._clients_on_server: Dict[int, Set[int]] = {}
+
+    # -- client/cluster assignment ---------------------------------------
+
+    def assign_client(self, client_id: int, cluster_id: int) -> None:
+        """Bind a client to a cluster (its per-server entries start empty).
+
+        Re-assigning to a different cluster drops all existing entries,
+        because constraint (6) forbids serving from two clusters at once.
+        """
+        previous = self.cluster_of.get(client_id)
+        if previous is not None and previous != cluster_id:
+            self.clear_client(client_id)
+        self.cluster_of[client_id] = cluster_id
+
+    def unassign_client(self, client_id: int) -> None:
+        """Remove a client from the allocation entirely."""
+        self.clear_client(client_id)
+        self.cluster_of.pop(client_id, None)
+
+    def clear_client(self, client_id: int) -> None:
+        """Drop all per-server entries of a client, keeping its cluster binding."""
+        for server_id in list(self._entries.get(client_id, ())):
+            self.remove_entry(client_id, server_id)
+
+    def is_assigned(self, client_id: int) -> bool:
+        return client_id in self.cluster_of
+
+    # -- per-server entries ------------------------------------------------
+
+    def set_entry(
+        self,
+        client_id: int,
+        server_id: int,
+        alpha: float,
+        phi_p: float,
+        phi_b: float,
+    ) -> None:
+        """Create or overwrite the (alpha, phi) entry of a client on a server."""
+        if client_id not in self.cluster_of:
+            raise ModelError(
+                f"client {client_id} must be assigned to a cluster before "
+                "receiving server entries"
+            )
+        entry = ServerAllocation(alpha=alpha, phi_p=phi_p, phi_b=phi_b)
+        self._entries.setdefault(client_id, {})[server_id] = entry
+        self._clients_on_server.setdefault(server_id, set()).add(client_id)
+
+    def remove_entry(self, client_id: int, server_id: int) -> None:
+        per_client = self._entries.get(client_id)
+        if per_client is None or server_id not in per_client:
+            return
+        del per_client[server_id]
+        if not per_client:
+            del self._entries[client_id]
+        clients = self._clients_on_server.get(server_id)
+        if clients is not None:
+            clients.discard(client_id)
+            if not clients:
+                del self._clients_on_server[server_id]
+
+    def entry(self, client_id: int, server_id: int) -> Optional[ServerAllocation]:
+        return self._entries.get(client_id, {}).get(server_id)
+
+    def entries_of_client(self, client_id: int) -> Dict[int, ServerAllocation]:
+        """server_id -> entry for one client (read-only view by convention)."""
+        return self._entries.get(client_id, {})
+
+    def clients_on_server(self, server_id: int) -> Set[int]:
+        return self._clients_on_server.get(server_id, set())
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, ServerAllocation]]:
+        """Yield (client_id, server_id, entry) across the whole allocation."""
+        for client_id, per_client in self._entries.items():
+            for server_id, entry in per_client.items():
+                yield client_id, server_id, entry
+
+    # -- aggregates ---------------------------------------------------------
+
+    def server_share_totals(self, server_id: int) -> Tuple[float, float]:
+        """(sum phi^p, sum phi^b) granted by a server to cloud clients."""
+        total_p = 0.0
+        total_b = 0.0
+        for client_id in self._clients_on_server.get(server_id, ()):
+            entry = self._entries[client_id][server_id]
+            total_p += entry.phi_p
+            total_b += entry.phi_b
+        return total_p, total_b
+
+    def total_alpha(self, client_id: int) -> float:
+        """Sum of the client's traffic portions (1.0 when fully served)."""
+        return sum(e.alpha for e in self._entries.get(client_id, {}).values())
+
+    def server_is_used(self, server_id: int) -> bool:
+        """True when any client entry with positive share/traffic sits here."""
+        for client_id in self._clients_on_server.get(server_id, ()):
+            entry = self._entries[client_id][server_id]
+            if entry.alpha > 0.0 or entry.phi_p > 0.0 or entry.phi_b > 0.0:
+                return True
+        return False
+
+    def used_server_ids(self) -> Set[int]:
+        return {sid for sid in self._clients_on_server if self.server_is_used(sid)}
+
+    def assigned_client_ids(self) -> List[int]:
+        return list(self.cluster_of)
+
+    def clients_in_cluster(self, cluster_id: int) -> List[int]:
+        return [cid for cid, kid in self.cluster_of.items() if kid == cluster_id]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def copy(self) -> "Allocation":
+        """Deep copy; used by search algorithms to snapshot / roll back."""
+        clone = Allocation()
+        clone.cluster_of = dict(self.cluster_of)
+        clone._entries = {
+            cid: {sid: entry.copy() for sid, entry in per_client.items()}
+            for cid, per_client in self._entries.items()
+        }
+        clone._clients_on_server = {
+            sid: set(cids) for sid, cids in self._clients_on_server.items()
+        }
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        if self.cluster_of != other.cluster_of:
+            return False
+        if set(self._entries) != set(other._entries):
+            return False
+        for cid, per_client in self._entries.items():
+            other_per_client = other._entries[cid]
+            if set(per_client) != set(other_per_client):
+                return False
+            for sid, entry in per_client.items():
+                o = other_per_client[sid]
+                if (entry.alpha, entry.phi_p, entry.phi_b) != (o.alpha, o.phi_p, o.phi_b):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        num_entries = sum(len(v) for v in self._entries.values())
+        return (
+            f"Allocation(clients={len(self.cluster_of)}, "
+            f"entries={num_entries}, used_servers={len(self.used_server_ids())})"
+        )

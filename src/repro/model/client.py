@@ -1,0 +1,79 @@
+"""Client (application) model.
+
+Each client (section III) is an application that generates a Poisson stream
+of requests.  Two rates matter:
+
+* ``rate_agreed`` (``lambda^a``) — the contractual rate; it converts the
+  per-request utility into the revenue rate that enters the profit.
+* ``rate_predicted`` (``lambda``) — the forecast rate used to *provision*
+  resources ("predicted average request arrival rates are used to allocate
+  resources").  It is usually ``<= rate_agreed``, letting the provider
+  pack more clients when it knows actual traffic runs below contract.
+
+Service demands: a request needs mean time ``t_proc`` on one full unit of
+processing capacity and ``t_comm`` on one unit of communication capacity,
+so with GPS share ``phi`` on a server with capacity ``C`` the service rate
+is ``phi * C / t``.  ``storage_req`` (``m_i``) is a static disk footprint
+that must be reserved on every server serving any of the client's traffic
+(constraint (8) of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.model.utility import UtilityClass
+
+
+@dataclass(frozen=True)
+class Client:
+    """One client application; see module docstring for field semantics."""
+
+    client_id: int
+    utility_class: UtilityClass
+    rate_agreed: float
+    t_proc: float
+    t_comm: float
+    storage_req: float
+    rate_predicted: float = -1.0  # sentinel: default to rate_agreed
+
+    def __post_init__(self) -> None:
+        if self.client_id < 0:
+            raise ModelError(f"client_id must be >= 0, got {self.client_id}")
+        if self.rate_agreed <= 0:
+            raise ModelError(f"rate_agreed must be > 0, got {self.rate_agreed}")
+        if self.t_proc <= 0:
+            raise ModelError(f"t_proc must be > 0, got {self.t_proc}")
+        if self.t_comm <= 0:
+            raise ModelError(f"t_comm must be > 0, got {self.t_comm}")
+        if self.storage_req < 0:
+            raise ModelError(f"storage_req must be >= 0, got {self.storage_req}")
+        if self.rate_predicted == -1.0:
+            object.__setattr__(self, "rate_predicted", self.rate_agreed)
+        if self.rate_predicted <= 0:
+            raise ModelError(
+                f"rate_predicted must be > 0, got {self.rate_predicted}"
+            )
+
+    @property
+    def utility_slope(self) -> float:
+        """|dU/dR| of the client's SLA; heuristics use it to rank urgency."""
+        return self.utility_class.function.slope_magnitude()
+
+    def revenue(self, response_time: float) -> float:
+        """Revenue rate earned when the client sees this mean response time."""
+        return self.rate_agreed * self.utility_class.function.value(response_time)
+
+    def min_processing_share(self, cap_processing: float, traffic_fraction: float) -> float:
+        """Smallest stable processing share for ``traffic_fraction`` of requests.
+
+        Stability of the per-client M/M/1 queue requires
+        ``phi * C / t > alpha * lambda``; this returns the open lower bound
+        ``alpha * lambda * t / C`` (callers must allocate strictly more).
+        """
+        return traffic_fraction * self.rate_predicted * self.t_proc / cap_processing
+
+    def min_bandwidth_share(self, cap_bandwidth: float, traffic_fraction: float) -> float:
+        """Analogue of :meth:`min_processing_share` for the communication queue."""
+        return traffic_fraction * self.rate_predicted * self.t_comm / cap_bandwidth

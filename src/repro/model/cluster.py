@@ -1,0 +1,81 @@
+"""Cluster: a named group of (possibly heterogeneous) servers.
+
+Clusters matter for two reasons in the paper's formulation:
+
+* constraint (6): all of a client's requests must be served inside a single
+  cluster (so cluster-level managers can absorb small load changes locally);
+* the distributed solver runs one agent per cluster in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import ModelError
+from repro.model.server import Server, ServerClass
+
+
+@dataclass
+class Cluster:
+    """A cluster with a stable ordering of servers.
+
+    Servers are indexed globally (``server_id``) and must all carry this
+    cluster's id.  The helper views (grouping by server class, capacity
+    totals) are what the heuristic's per-class memoization relies on.
+    """
+
+    cluster_id: int
+    servers: List[Server] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cluster_id < 0:
+            raise ModelError(f"cluster_id must be >= 0, got {self.cluster_id}")
+        seen_ids = set()
+        for server in self.servers:
+            if server.cluster_id != self.cluster_id:
+                raise ModelError(
+                    f"server {server.server_id} carries cluster_id "
+                    f"{server.cluster_id}, expected {self.cluster_id}"
+                )
+            if server.server_id in seen_ids:
+                raise ModelError(f"duplicate server_id {server.server_id}")
+            seen_ids.add(server.server_id)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self) -> Iterator[Server]:
+        return iter(self.servers)
+
+    def server_ids(self) -> List[int]:
+        return [server.server_id for server in self.servers]
+
+    def servers_by_class(self) -> Dict[int, List[Server]]:
+        """Servers grouped by server-class index (stable order within groups)."""
+        groups: Dict[int, List[Server]] = {}
+        for server in self.servers:
+            groups.setdefault(server.server_class.index, []).append(server)
+        return groups
+
+    def server_classes(self) -> List[ServerClass]:
+        """Distinct server classes present, ordered by class index."""
+        by_index: Dict[int, ServerClass] = {}
+        for server in self.servers:
+            by_index.setdefault(server.server_class.index, server.server_class)
+        return [by_index[idx] for idx in sorted(by_index)]
+
+    def total_capacity(self) -> Tuple[float, float, float]:
+        """Aggregate (processing, bandwidth, storage) capacity of the cluster."""
+        total_p = sum(s.cap_processing for s in self.servers)
+        total_b = sum(s.cap_bandwidth for s in self.servers)
+        total_m = sum(s.cap_storage for s in self.servers)
+        return (total_p, total_b, total_m)
+
+    def free_capacity(self) -> Tuple[float, float, float]:
+        """Aggregate capacity net of background load."""
+        free_p = sum(s.free_processing_share * s.cap_processing for s in self.servers)
+        free_b = sum(s.free_bandwidth_share * s.cap_bandwidth for s in self.servers)
+        free_m = sum(s.free_storage for s in self.servers)
+        return (free_p, free_b, free_m)

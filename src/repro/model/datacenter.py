@@ -1,0 +1,116 @@
+"""The cloud system: clusters plus the client population.
+
+:class:`CloudSystem` is the immutable problem instance handed to every
+solver and evaluator in this library.  It provides id-based lookups that
+the heuristic's inner loops depend on being O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.exceptions import ModelError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.server import Server
+
+
+@dataclass
+class CloudSystem:
+    """A problem instance: the datacenter topology and the client set."""
+
+    clusters: List[Cluster]
+    clients: List[Client]
+    name: str = ""
+
+    _servers_by_id: Dict[int, Server] = field(init=False, repr=False)
+    _clients_by_id: Dict[int, Client] = field(init=False, repr=False)
+    _clusters_by_id: Dict[int, Cluster] = field(init=False, repr=False)
+    _cluster_of_server: Dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ModelError("a cloud system needs at least one cluster")
+        self._clusters_by_id = {}
+        self._servers_by_id = {}
+        self._cluster_of_server = {}
+        for cluster in self.clusters:
+            if cluster.cluster_id in self._clusters_by_id:
+                raise ModelError(f"duplicate cluster_id {cluster.cluster_id}")
+            self._clusters_by_id[cluster.cluster_id] = cluster
+            for server in cluster:
+                if server.server_id in self._servers_by_id:
+                    raise ModelError(f"duplicate server_id {server.server_id}")
+                self._servers_by_id[server.server_id] = server
+                self._cluster_of_server[server.server_id] = cluster.cluster_id
+        self._clients_by_id = {}
+        for client in self.clients:
+            if client.client_id in self._clients_by_id:
+                raise ModelError(f"duplicate client_id {client.client_id}")
+            self._clients_by_id[client.client_id] = client
+
+    # -- lookups ---------------------------------------------------------
+
+    def cluster(self, cluster_id: int) -> Cluster:
+        try:
+            return self._clusters_by_id[cluster_id]
+        except KeyError:
+            raise ModelError(f"unknown cluster_id {cluster_id}") from None
+
+    def server(self, server_id: int) -> Server:
+        try:
+            return self._servers_by_id[server_id]
+        except KeyError:
+            raise ModelError(f"unknown server_id {server_id}") from None
+
+    def client(self, client_id: int) -> Client:
+        try:
+            return self._clients_by_id[client_id]
+        except KeyError:
+            raise ModelError(f"unknown client_id {client_id}") from None
+
+    def cluster_of_server(self, server_id: int) -> int:
+        try:
+            return self._cluster_of_server[server_id]
+        except KeyError:
+            raise ModelError(f"unknown server_id {server_id}") from None
+
+    # -- iteration -------------------------------------------------------
+
+    def servers(self) -> Iterator[Server]:
+        """All servers across all clusters, in cluster order."""
+        for cluster in self.clusters:
+            yield from cluster
+
+    def cluster_ids(self) -> List[int]:
+        return [cluster.cluster_id for cluster in self.clusters]
+
+    def client_ids(self) -> List[int]:
+        return [client.client_id for client in self.clients]
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._servers_by_id)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary (used by the CLI)."""
+        lines = [
+            f"CloudSystem {self.name!r}: {self.num_clusters} clusters, "
+            f"{self.num_servers} servers, {self.num_clients} clients"
+        ]
+        for cluster in self.clusters:
+            by_class = cluster.servers_by_class()
+            mix = ", ".join(
+                f"class {idx}x{len(group)}" for idx, group in sorted(by_class.items())
+            )
+            lines.append(f"  cluster {cluster.cluster_id}: {len(cluster)} servers ({mix})")
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Server classes and server instances.
+
+A *server class* (section III) is a hardware SKU described by three
+capacities and a two-term operating-cost model:
+
+* ``cap_processing`` (``C^p``) — processing capacity, normalized units.
+* ``cap_bandwidth``  (``C^b``) — communication capacity.
+* ``cap_storage``    (``C^m``) — local disk capacity.
+* ``power_fixed``    (``P0``)  — constant cost of keeping the server ON.
+* ``power_per_util`` (``P1``)  — cost linear in processing utilization
+  (``cost = P0 + P1 * sum_i phi^p_ij`` while ON, 0 while OFF).
+
+A *server* is one physical instance of a class placed inside a cluster.  A
+server may carry a *background load*: resources already committed to
+previously placed clients or to applications outside the cloud system
+(section V.A "this initial state can be a result of the resources allocated
+to the previously assigned and running clients ... or other applications").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class ServerClass:
+    """A hardware SKU; see module docstring for the field semantics."""
+
+    index: int
+    cap_processing: float
+    cap_bandwidth: float
+    cap_storage: float
+    power_fixed: float
+    power_per_util: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"server class index must be >= 0, got {self.index}")
+        for label, cap in (
+            ("cap_processing", self.cap_processing),
+            ("cap_bandwidth", self.cap_bandwidth),
+            ("cap_storage", self.cap_storage),
+        ):
+            if cap <= 0:
+                raise ModelError(f"{label} must be > 0, got {cap}")
+        if self.power_fixed < 0:
+            raise ModelError(f"power_fixed must be >= 0, got {self.power_fixed}")
+        if self.power_per_util < 0:
+            raise ModelError(
+                f"power_per_util must be >= 0, got {self.power_per_util}"
+            )
+
+    def cost_when_on(self, processing_utilization: float) -> float:
+        """Operating cost of one ON server at the given processing utilization."""
+        if not 0.0 <= processing_utilization <= 1.0 + 1e-9:
+            raise ModelError(
+                "processing utilization must lie in [0, 1], got "
+                f"{processing_utilization}"
+            )
+        return self.power_fixed + self.power_per_util * processing_utilization
+
+
+@dataclass(frozen=True)
+class Server:
+    """One physical server instance inside a cluster.
+
+    ``background_*`` fields are shares/amounts already consumed before this
+    decision epoch (the paper's cluster "initial state"); they reduce the
+    capacity available to the allocator but still count toward utilization
+    cost, and a server with any background processing share is considered
+    ON regardless of new assignments.
+    """
+
+    server_id: int
+    cluster_id: int
+    server_class: ServerClass
+    background_processing: float = 0.0
+    background_bandwidth: float = 0.0
+    background_storage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ModelError(f"server_id must be >= 0, got {self.server_id}")
+        if self.cluster_id < 0:
+            raise ModelError(f"cluster_id must be >= 0, got {self.cluster_id}")
+        for label, share in (
+            ("background_processing", self.background_processing),
+            ("background_bandwidth", self.background_bandwidth),
+        ):
+            if not 0.0 <= share <= 1.0:
+                raise ModelError(f"{label} must lie in [0, 1], got {share}")
+        if not 0.0 <= self.background_storage <= self.server_class.cap_storage:
+            raise ModelError(
+                "background_storage must lie in [0, cap_storage], got "
+                f"{self.background_storage}"
+            )
+
+    @property
+    def cap_processing(self) -> float:
+        return self.server_class.cap_processing
+
+    @property
+    def cap_bandwidth(self) -> float:
+        return self.server_class.cap_bandwidth
+
+    @property
+    def cap_storage(self) -> float:
+        return self.server_class.cap_storage
+
+    @property
+    def free_processing_share(self) -> float:
+        """Processing share still assignable to cloud clients (0..1)."""
+        return 1.0 - self.background_processing
+
+    @property
+    def free_bandwidth_share(self) -> float:
+        return 1.0 - self.background_bandwidth
+
+    @property
+    def free_storage(self) -> float:
+        """Absolute storage still assignable to cloud clients."""
+        return self.server_class.cap_storage - self.background_storage
+
+    @property
+    def has_background_load(self) -> bool:
+        return (
+            self.background_processing > 0.0
+            or self.background_bandwidth > 0.0
+            or self.background_storage > 0.0
+        )

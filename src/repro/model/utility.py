@@ -1,0 +1,209 @@
+"""SLA utility functions.
+
+The paper models each client's SLA as a *non-increasing* utility function of
+the mean response time of its requests.  The revenue earned from a client is
+``lambda_agreed * U(R)``: utility is a per-request price and the agreed
+arrival rate converts it into a revenue rate (section III: "the agreed
+request arrival rates are used to determine the profit").
+
+Four concrete forms are provided:
+
+* :class:`LinearUtility` — ``v - beta * R``, the linear form the paper uses
+  inside its initial-solution optimization (section V.A).  May go negative.
+* :class:`ClippedLinearUtility` — ``max(v - beta * R, 0)``; the price can
+  never become a penalty.  This is the default used by the workload
+  generator.
+* :class:`PiecewiseLinearUtility` — a general non-increasing piecewise
+  linear curve, covering soft-deadline SLAs.
+* :class:`StepUtility` — discrete utility levels as in Zhang & Ardagna
+  (reference [9] of the paper), covering gold/silver/bronze response-time
+  tiers.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ModelError
+
+
+class UtilityFunction(ABC):
+    """A non-increasing mapping from mean response time to per-request price."""
+
+    @abstractmethod
+    def value(self, response_time: float) -> float:
+        """Per-request price when the mean response time is ``response_time``."""
+
+    @abstractmethod
+    def slope_magnitude(self) -> float:
+        """A representative |dU/dR|, used by heuristics to rank SLA urgency.
+
+        For the linear forms this is exact; for piecewise forms it is the
+        steepest segment.  The modified Proportional-Share baseline sorts
+        clients by this value (section VI).
+        """
+
+    def value_at_infinite_delay(self) -> float:
+        """Utility when the client is effectively unserved."""
+        return self.value(math.inf)
+
+    def __call__(self, response_time: float) -> float:
+        return self.value(response_time)
+
+
+@dataclass(frozen=True)
+class LinearUtility(UtilityFunction):
+    """``U(R) = base_value - slope * R`` (unclipped, may be negative)."""
+
+    base_value: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.slope < 0:
+            raise ModelError(f"utility slope must be >= 0, got {self.slope}")
+
+    def value(self, response_time: float) -> float:
+        if math.isinf(response_time):
+            return -math.inf if self.slope > 0 else self.base_value
+        return self.base_value - self.slope * response_time
+
+    def slope_magnitude(self) -> float:
+        return self.slope
+
+
+@dataclass(frozen=True)
+class ClippedLinearUtility(UtilityFunction):
+    """``U(R) = max(base_value - slope * R, 0)``."""
+
+    base_value: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.slope < 0:
+            raise ModelError(f"utility slope must be >= 0, got {self.slope}")
+        if self.base_value < 0:
+            raise ModelError(f"base_value must be >= 0, got {self.base_value}")
+
+    def value(self, response_time: float) -> float:
+        if math.isinf(response_time):
+            return 0.0
+        return max(self.base_value - self.slope * response_time, 0.0)
+
+    def slope_magnitude(self) -> float:
+        return self.slope
+
+    def zero_crossing(self) -> float:
+        """Response time beyond which the client pays nothing."""
+        if self.slope == 0:
+            return math.inf
+        return self.base_value / self.slope
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearUtility(UtilityFunction):
+    """Non-increasing piecewise-linear utility through ``(time, value)`` points.
+
+    The curve is flat at ``points[0].value`` before the first breakpoint and
+    flat at ``points[-1].value`` after the last one.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ModelError("need at least two breakpoints")
+        times = [t for t, _ in self.points]
+        values = [v for _, v in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ModelError("breakpoint times must be strictly increasing")
+        if any(b > a for a, b in zip(values, values[1:])):
+            raise ModelError("utility values must be non-increasing")
+
+    def value(self, response_time: float) -> float:
+        if response_time <= self.points[0][0]:
+            return self.points[0][1]
+        if response_time >= self.points[-1][0]:
+            return self.points[-1][1]
+        for (t0, v0), (t1, v1) in zip(self.points, self.points[1:]):
+            if t0 <= response_time <= t1:
+                frac = (response_time - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        raise AssertionError("unreachable: breakpoints cover the range")
+
+    def slope_magnitude(self) -> float:
+        steepest = 0.0
+        for (t0, v0), (t1, v1) in zip(self.points, self.points[1:]):
+            steepest = max(steepest, (v0 - v1) / (t1 - t0))
+        return steepest
+
+
+@dataclass(frozen=True)
+class StepUtility(UtilityFunction):
+    """Discrete utility levels: ``levels[n] = (deadline, value)``.
+
+    The price is the value of the first level whose deadline is met;
+    responses slower than every deadline earn ``fallback`` (default 0).
+    """
+
+    levels: Tuple[Tuple[float, float], ...]
+    fallback: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ModelError("need at least one level")
+        deadlines = [d for d, _ in self.levels]
+        values = [v for _, v in self.levels]
+        if any(b <= a for a, b in zip(deadlines, deadlines[1:])):
+            raise ModelError("deadlines must be strictly increasing")
+        if any(b > a for a, b in zip(values, values[1:])):
+            raise ModelError("values must be non-increasing")
+        if values and self.fallback > values[-1]:
+            raise ModelError("fallback must not exceed the last level's value")
+
+    def value(self, response_time: float) -> float:
+        for deadline, val in self.levels:
+            if response_time <= deadline:
+                return val
+        return self.fallback
+
+    def slope_magnitude(self) -> float:
+        # Steepest drop across adjacent levels, as a finite-difference slope.
+        steepest = 0.0
+        previous_deadline = 0.0
+        previous_value = self.levels[0][1]
+        for deadline, val in self.levels:
+            width = deadline - previous_deadline
+            if width > 0:
+                steepest = max(steepest, (previous_value - val) / width)
+            previous_deadline, previous_value = deadline, val
+        return steepest
+
+
+@dataclass(frozen=True)
+class UtilityClass:
+    """A class of clients sharing one SLA shape (section III).
+
+    The paper's experiments use 5 utility classes; each client references a
+    class by index.  ``linear_approximation`` is the ``v - beta * R`` form
+    the heuristic optimizes internally (section V.A fixes the utility "by a
+    linear form"); for :class:`LinearUtility`/:class:`ClippedLinearUtility`
+    members it is exact.
+    """
+
+    index: int
+    function: UtilityFunction
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(f"utility class index must be >= 0, got {self.index}")
+
+    def linear_approximation(self) -> LinearUtility:
+        """Linear ``v - beta * R`` surrogate used inside the optimizer."""
+        if isinstance(self.function, LinearUtility):
+            return self.function
+        base = self.function.value(0.0)
+        return LinearUtility(base_value=base, slope=self.function.slope_magnitude())

@@ -1,0 +1,52 @@
+"""Multi-tier applications — the paper's stated future work.
+
+Section VII: "In future works, the model will be expanded to deployment
+of complex multi-tier applications in a cloud computing infrastructure."
+(The authors did exactly that in their 2011 follow-up on multi-tier
+SLA-based allocation.)  This subpackage implements that extension on top
+of the flat machinery:
+
+* an *application* is a pipeline of *tiers* (web -> app -> db, ...); every
+  request visits every tier, so all tiers see the application's arrival
+  rate and the end-to-end response time is the **sum of tier response
+  times**;
+* the SLA prices the end-to-end response time;
+* all tiers of an application are co-located in one cluster (the paper's
+  single-cluster constraint (6), lifted to applications).
+
+The additive response time makes the linear-utility surrogate decompose
+*exactly*: ``U(sum_k R_k) = sum_k (v / K - beta R_k)``, so each tier can
+be treated as a flat pseudo-client with utility ``v/K - beta R`` and the
+whole flat toolbox (Assign_Distribute, share/dispersion adjusters, power
+moves) applies unchanged.  True (clipped) profit is scored by the
+dedicated evaluator in :mod:`repro.multitier.profit`.
+"""
+
+from repro.multitier.model import (
+    TierSpec,
+    MultiTierApplication,
+    MultiTierSystem,
+    FlatExpansion,
+    expand_to_flat,
+)
+from repro.multitier.profit import (
+    ApplicationOutcome,
+    MultiTierBreakdown,
+    evaluate_multitier_profit,
+)
+from repro.multitier.solver import MultiTierAllocator, MultiTierResult
+from repro.multitier.scenarios import generate_multitier_system
+
+__all__ = [
+    "generate_multitier_system",
+    "TierSpec",
+    "MultiTierApplication",
+    "MultiTierSystem",
+    "FlatExpansion",
+    "expand_to_flat",
+    "ApplicationOutcome",
+    "MultiTierBreakdown",
+    "evaluate_multitier_profit",
+    "MultiTierAllocator",
+    "MultiTierResult",
+]

@@ -1,0 +1,160 @@
+"""Multi-tier system model and its expansion to the flat problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ModelError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.datacenter import CloudSystem
+from repro.model.utility import LinearUtility, UtilityClass
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One tier of an application pipeline.
+
+    ``t_proc`` / ``t_comm`` are the tier's mean execution times on a unit
+    resource (the same semantics as a flat client's); ``storage_req`` is
+    the disk footprint each server hosting this tier must reserve.
+    """
+
+    name: str
+    t_proc: float
+    t_comm: float
+    storage_req: float
+
+    def __post_init__(self) -> None:
+        if self.t_proc <= 0 or self.t_comm <= 0:
+            raise ModelError(f"tier {self.name!r}: execution times must be > 0")
+        if self.storage_req < 0:
+            raise ModelError(f"tier {self.name!r}: storage_req must be >= 0")
+
+
+@dataclass(frozen=True)
+class MultiTierApplication:
+    """A pipeline of tiers sold under one end-to-end SLA.
+
+    Every request traverses every tier, so each tier's queues see the
+    application's full arrival rate and the SLA's response time is the
+    sum over tiers.
+    """
+
+    app_id: int
+    utility_class: UtilityClass
+    rate_agreed: float
+    tiers: Tuple[TierSpec, ...]
+    rate_predicted: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.app_id < 0:
+            raise ModelError(f"app_id must be >= 0, got {self.app_id}")
+        if self.rate_agreed <= 0:
+            raise ModelError(f"rate_agreed must be > 0, got {self.rate_agreed}")
+        if not self.tiers:
+            raise ModelError("an application needs at least one tier")
+        if self.rate_predicted == -1.0:
+            object.__setattr__(self, "rate_predicted", self.rate_agreed)
+        if self.rate_predicted <= 0:
+            raise ModelError(
+                f"rate_predicted must be > 0, got {self.rate_predicted}"
+            )
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+
+@dataclass
+class MultiTierSystem:
+    """Hardware (the flat clusters) plus the multi-tier application set."""
+
+    clusters: List[Cluster]
+    applications: List[MultiTierApplication]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for app in self.applications:
+            if app.app_id in seen:
+                raise ModelError(f"duplicate app_id {app.app_id}")
+            seen.add(app.app_id)
+
+    @property
+    def num_applications(self) -> int:
+        return len(self.applications)
+
+    def application(self, app_id: int) -> MultiTierApplication:
+        for app in self.applications:
+            if app.app_id == app_id:
+                return app
+        raise ModelError(f"unknown app_id {app_id}")
+
+
+@dataclass
+class FlatExpansion:
+    """The flat problem equivalent to a multi-tier system.
+
+    ``flat_system`` contains one pseudo-client per (application, tier);
+    ``tier_clients[app_id]`` lists the pseudo-client ids tier by tier,
+    and ``app_of_client`` inverts the mapping.
+    """
+
+    flat_system: CloudSystem
+    tier_clients: Dict[int, List[int]] = field(default_factory=dict)
+    app_of_client: Dict[int, int] = field(default_factory=dict)
+
+
+def expand_to_flat(system: MultiTierSystem) -> FlatExpansion:
+    """One pseudo-client per tier, with the exact linear decomposition.
+
+    The per-tier utility is ``v / K - beta * R`` where ``v`` and ``beta``
+    come from the application's linear surrogate and ``K`` is its tier
+    count: summed over tiers this reproduces ``v - beta * sum_k R_k``
+    exactly, so optimizing the flat problem optimizes the (unclipped)
+    multi-tier profit.  Utility-class indices are synthesized per
+    application (they only need to be internally consistent).
+    """
+    clients: List[Client] = []
+    tier_clients: Dict[int, List[int]] = {}
+    app_of_client: Dict[int, int] = {}
+    next_client_id = 0
+    for app_index, app in enumerate(system.applications):
+        linear = app.utility_class.linear_approximation()
+        per_tier_utility = UtilityClass(
+            index=app_index,
+            name=f"app-{app.app_id}-tier-share",
+            function=LinearUtility(
+                base_value=linear.base_value / app.num_tiers,
+                slope=linear.slope,
+            ),
+        )
+        ids: List[int] = []
+        for tier in app.tiers:
+            clients.append(
+                Client(
+                    client_id=next_client_id,
+                    utility_class=per_tier_utility,
+                    rate_agreed=app.rate_agreed,
+                    rate_predicted=app.rate_predicted,
+                    t_proc=tier.t_proc,
+                    t_comm=tier.t_comm,
+                    storage_req=tier.storage_req,
+                )
+            )
+            ids.append(next_client_id)
+            app_of_client[next_client_id] = app.app_id
+            next_client_id += 1
+        tier_clients[app.app_id] = ids
+    flat = CloudSystem(
+        clusters=system.clusters,
+        clients=clients,
+        name=f"{system.name}/flat" if system.name else "multitier/flat",
+    )
+    return FlatExpansion(
+        flat_system=flat,
+        tier_clients=tier_clients,
+        app_of_client=app_of_client,
+    )

@@ -1,0 +1,99 @@
+"""Generators for multi-tier problem instances.
+
+Hardware and SLA classes come from the flat section-VI generator; the
+application pipelines follow the classic three-tier pattern: a light
+web tier, a compute-heavy application tier, and a storage-heavy database
+tier, with the per-tier parameters drawn from the same published ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+from repro.multitier.model import MultiTierApplication, MultiTierSystem, TierSpec
+from repro.workload.generator import WorkloadConfig, generate_system
+
+
+def generate_multitier_system(
+    num_applications: int,
+    seed: Optional[int] = None,
+    min_tiers: int = 2,
+    max_tiers: int = 3,
+    config: Optional[WorkloadConfig] = None,
+    name: str = "",
+) -> MultiTierSystem:
+    """Draw a random multi-tier instance.
+
+    The flat generator supplies clusters (auto-sized for the total tier
+    count) and utility classes; each application gets ``min_tiers`` to
+    ``max_tiers`` tiers whose execution times and storage needs are drawn
+    from the flat config's published ranges.
+    """
+    if num_applications < 1:
+        raise ValueError(f"num_applications must be >= 1, got {num_applications}")
+    if not 1 <= min_tiers <= max_tiers:
+        raise ValueError("need 1 <= min_tiers <= max_tiers")
+    rng = np.random.default_rng(seed)
+    expected_tiers = num_applications * (min_tiers + max_tiers) // 2
+    base = generate_system(
+        num_clients=max(expected_tiers, 1),
+        seed=seed,
+        config=config,
+        name=name or f"multitier(n={num_applications}, seed={seed})",
+    )
+    flat_config = config or WorkloadConfig()
+    utility_classes = sorted(
+        {c.utility_class.index: c.utility_class for c in base.clients}.values(),
+        key=lambda u: u.index,
+    )
+
+    tier_names = ("web", "app", "db", "cache", "batch")
+    applications = []
+    for app_id in range(num_applications):
+        num_tiers = int(rng.integers(min_tiers, max_tiers + 1))
+        tiers = []
+        for level in range(num_tiers):
+            lo, hi = flat_config.exec_time_range
+            m_lo, m_hi = flat_config.storage_req_range
+            tiers.append(
+                TierSpec(
+                    name=tier_names[level % len(tier_names)],
+                    t_proc=float(rng.uniform(lo, hi)),
+                    t_comm=float(rng.uniform(lo, hi)),
+                    # Deeper tiers are more storage-heavy (db >> web).
+                    storage_req=float(rng.uniform(m_lo, m_hi))
+                    * (0.5 + 0.5 * level),
+                )
+            )
+        r_lo, r_hi = flat_config.rate_range
+        rate = float(rng.uniform(r_lo, r_hi))
+        # A K-tier contract consumes ~K servers' worth of capacity and
+        # accumulates K queueing delays, so its price scales with K to
+        # keep the per-tier economics aligned with the flat instances.
+        base_class = utility_classes[int(rng.integers(0, len(utility_classes)))]
+        linear = base_class.linear_approximation()
+        app_utility = UtilityClass(
+            index=base_class.index,
+            name=f"{base_class.name}-x{num_tiers}",
+            function=ClippedLinearUtility(
+                base_value=linear.base_value * num_tiers,
+                slope=linear.slope,
+            ),
+        )
+        applications.append(
+            MultiTierApplication(
+                app_id=app_id,
+                utility_class=app_utility,
+                rate_agreed=rate,
+                rate_predicted=rate * flat_config.predicted_rate_factor,
+                tiers=tuple(tiers),
+            )
+        )
+    return MultiTierSystem(
+        clusters=base.clusters,
+        applications=applications,
+        name=base.name,
+    )

@@ -1,0 +1,241 @@
+"""Multi-tier profit-maximizing allocator.
+
+Reuses the whole flat toolbox on the expanded problem while preserving
+the two application-level constraints:
+
+* **co-location** — all tiers of an application live in one cluster.
+  Every intra-cluster move (share adjustment, dispersion, power on/off)
+  preserves it by construction; the only cross-cluster move is the
+  *application-level* reassignment pass, which relocates whole apps;
+* **all-or-nothing service** — an application earns revenue only when
+  every tier is served.
+
+Move gates: the intra-cluster flat moves are gated by the flat
+(linear-surrogate) score — exact for linear SLAs thanks to the additive
+decomposition — while the application-level moves are gated by the true
+multi-tier evaluator, so clipped/stepped SLAs are honored where it
+matters most.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.assign import apply_placement, assign_distribute
+from repro.core.dispersion import adjust_dispersion_rates
+from repro.core.power import (
+    force_client_into_cluster,
+    turn_off_servers,
+    turn_on_servers,
+)
+from repro.core.shares import adjust_resource_shares
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+from repro.multitier.model import (
+    FlatExpansion,
+    MultiTierSystem,
+    expand_to_flat,
+)
+from repro.multitier.profit import MultiTierBreakdown, evaluate_multitier_profit
+
+
+@dataclass
+class MultiTierResult:
+    allocation: Allocation
+    breakdown: MultiTierBreakdown
+    expansion: FlatExpansion
+    profit_history: List[float] = field(default_factory=list)
+    rounds: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def profit(self) -> float:
+        return self.breakdown.total_profit
+
+
+class MultiTierAllocator:
+    """Profit maximization for pipelines of tiers under end-to-end SLAs."""
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config or SolverConfig()
+
+    # -- scoring ------------------------------------------------------------
+
+    def _score(
+        self,
+        system: MultiTierSystem,
+        expansion: FlatExpansion,
+        allocation: Allocation,
+    ) -> float:
+        """True multi-tier profit; -inf on any hard resource violation."""
+        breakdown = evaluate_multitier_profit(
+            system,
+            expansion,
+            allocation,
+            require_all_served=False,
+            require_colocation=False,
+        )
+        if breakdown.violations:
+            return -math.inf
+        return breakdown.total_profit
+
+    # -- construction --------------------------------------------------------
+
+    def _place_app(
+        self,
+        state: WorkingState,
+        expansion: FlatExpansion,
+        app_id: int,
+    ) -> bool:
+        """Place all tiers of one app in its estimated-best cluster."""
+        flat = expansion.flat_system
+        tier_ids = expansion.tier_clients[app_id]
+        best_estimate = -math.inf
+        best_snapshot: Optional[Allocation] = None
+        origin = state.snapshot()
+        for cluster_id in flat.cluster_ids():
+            estimate = 0.0
+            feasible = True
+            for client_id in tier_ids:
+                client = flat.client(client_id)
+                state.assign_client(client_id, cluster_id)
+                placement = assign_distribute(state, client, cluster_id, self.config)
+                if placement is None:
+                    feasible = False
+                    break
+                apply_placement(state, placement)
+                estimate += placement.estimated_profit
+            if feasible and estimate > best_estimate:
+                best_estimate = estimate
+                best_snapshot = state.snapshot()
+            state.restore(origin)
+        if best_snapshot is not None:
+            state.restore(best_snapshot)
+            return True
+        # Nowhere has free room for the whole pipeline: force it into the
+        # slackest cluster, tier by tier.
+        clusters = sorted(
+            flat.cluster_ids(),
+            key=lambda kid: sum(
+                state.free_processing(sid) + state.free_bandwidth(sid)
+                for sid in flat.cluster(kid).server_ids()
+            ),
+            reverse=True,
+        )
+        for cluster_id in clusters:
+            checkpoint = state.snapshot()
+            if all(
+                force_client_into_cluster(state, client_id, cluster_id, self.config)
+                for client_id in tier_ids
+            ):
+                return True
+            state.restore(checkpoint)
+        return False
+
+    def _greedy_pass(
+        self,
+        system: MultiTierSystem,
+        expansion: FlatExpansion,
+        rng: np.random.Generator,
+    ) -> WorkingState:
+        state = WorkingState(expansion.flat_system)
+        order = [app.app_id for app in system.applications]
+        rng.shuffle(order)
+        for app_id in order:
+            self._place_app(state, expansion, app_id)
+        return state
+
+    # -- improvement -----------------------------------------------------------
+
+    def _app_reassignment_pass(
+        self,
+        system: MultiTierSystem,
+        expansion: FlatExpansion,
+        state: WorkingState,
+        rng: np.random.Generator,
+    ) -> float:
+        """Move whole applications between clusters, gated by true profit."""
+        order = [app.app_id for app in system.applications]
+        rng.shuffle(order)
+        total_delta = 0.0
+        for app_id in order:
+            before = self._score(system, expansion, state.allocation)
+            snapshot = state.snapshot()
+            for client_id in expansion.tier_clients[app_id]:
+                state.unassign_client(client_id)
+            if not self._place_app(state, expansion, app_id):
+                state.restore(snapshot)
+                continue
+            after = self._score(system, expansion, state.allocation)
+            if after > before + 1e-12:
+                total_delta += after - before
+            else:
+                state.restore(snapshot)
+        return total_delta
+
+    def _improvement_round(
+        self,
+        system: MultiTierSystem,
+        expansion: FlatExpansion,
+        state: WorkingState,
+        rng: np.random.Generator,
+        blocked: Set[int],
+    ) -> None:
+        flat = expansion.flat_system
+        for server in flat.servers():
+            if state.allocation.clients_on_server(server.server_id):
+                adjust_resource_shares(state, server.server_id, self.config)
+        for client_id in flat.client_ids():
+            adjust_dispersion_rates(state, client_id, self.config)
+        for cluster_id in flat.cluster_ids():
+            turn_on_servers(state, cluster_id, self.config)
+            turn_off_servers(state, cluster_id, self.config, blocked)
+        if self.config.include_cluster_reassignment:
+            self._app_reassignment_pass(system, expansion, state, rng)
+
+    # -- driver ------------------------------------------------------------------
+
+    def solve(self, system: MultiTierSystem) -> MultiTierResult:
+        started = time.perf_counter()
+        expansion = expand_to_flat(system)
+        rng = np.random.default_rng(self.config.seed)
+
+        best_state: Optional[WorkingState] = None
+        best_profit = -math.inf
+        for _ in range(self.config.num_initial_solutions):
+            state = self._greedy_pass(system, expansion, rng)
+            profit = self._score(system, expansion, state.allocation)
+            if profit > best_profit:
+                best_profit = profit
+                best_state = state
+        assert best_state is not None
+        state = best_state
+
+        blocked: Set[int] = set()
+        history = [self._score(system, expansion, state.allocation)]
+        rounds = 0
+        for _ in range(self.config.max_improvement_rounds):
+            self._improvement_round(system, expansion, state, rng, blocked)
+            rounds += 1
+            profit = self._score(system, expansion, state.allocation)
+            history.append(profit)
+            if profit <= history[-2] + self.config.improvement_tolerance:
+                break
+
+        breakdown = evaluate_multitier_profit(
+            system, expansion, state.allocation
+        )
+        return MultiTierResult(
+            allocation=state.allocation,
+            breakdown=breakdown,
+            expansion=expansion,
+            profit_history=history,
+            rounds=rounds,
+            runtime_seconds=time.perf_counter() - started,
+        )

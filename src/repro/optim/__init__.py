@@ -1,0 +1,35 @@
+"""Numerical substrate for the resource-allocation heuristic.
+
+Everything in here is problem-specific but solver-agnostic mathematics:
+
+* :mod:`repro.optim.bisection` — robust monotone root finding;
+* :mod:`repro.optim.kkt` — closed-form KKT solutions for the share and
+  dispersion subproblems (paper eq. (16) and (18));
+* :mod:`repro.optim.dp` — the grid dynamic program that combines
+  per-server curves into a traffic split summing to one;
+* :mod:`repro.optim.reference` — slow scipy-based reference solvers used
+  by the test suite to certify the closed forms.
+"""
+
+from repro.optim.bisection import bisect_root, solve_monotone, expand_bracket
+from repro.optim.kkt import (
+    ShareProblemItem,
+    optimal_share_for_price,
+    waterfill_shares,
+    DispersionBranch,
+    optimal_dispersion,
+)
+from repro.optim.dp import combine_server_curves, brute_force_combination
+
+__all__ = [
+    "bisect_root",
+    "solve_monotone",
+    "expand_bracket",
+    "ShareProblemItem",
+    "optimal_share_for_price",
+    "waterfill_shares",
+    "DispersionBranch",
+    "optimal_dispersion",
+    "combine_server_curves",
+    "brute_force_combination",
+]

@@ -1,0 +1,104 @@
+"""Robust scalar root finding for monotone functions.
+
+The KKT systems in :mod:`repro.optim.kkt` all reduce to "find the Lagrange
+multiplier at which a monotone resource-usage curve hits its budget".
+Bisection is the right tool: the curves are monotone but have unbounded
+derivatives near stability boundaries, which defeats Newton-type methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.exceptions import SolverError
+
+DEFAULT_TOLERANCE = 1e-10
+DEFAULT_MAX_ITERATIONS = 200
+
+
+def bisect_root(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> float:
+    """Root of ``f`` on ``[lo, hi]``; ``f(lo)`` and ``f(hi)`` must straddle 0.
+
+    Converges on the interval width; ``max_iterations`` bisections of a unit
+    interval reach width ``2**-max_iterations``, far below any tolerance
+    this library uses.
+    """
+    if lo > hi:
+        raise SolverError(f"invalid bracket: lo={lo} > hi={hi}")
+    f_lo = f(lo)
+    f_hi = f(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        raise SolverError(
+            f"bracket does not straddle a root: f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        f_mid = f(mid)
+        if f_mid == 0.0 or (hi - lo) <= tolerance * max(1.0, abs(mid)):
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def solve_monotone(
+    f: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    increasing: bool,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> float:
+    """Solve ``f(x) == target`` for monotone ``f`` on ``[lo, hi]``.
+
+    If the target lies outside ``f``'s range on the bracket, the nearer
+    endpoint is returned (saturation semantics — exactly what multiplier
+    searches want).
+    """
+    f_lo = f(lo)
+    f_hi = f(hi)
+    if increasing:
+        if target <= f_lo:
+            return lo
+        if target >= f_hi:
+            return hi
+    else:
+        if target >= f_lo:
+            return lo
+        if target <= f_hi:
+            return hi
+    return bisect_root(
+        lambda x: f(x) - target,
+        lo,
+        hi,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+
+
+def expand_bracket(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    max_doublings: int = 100,
+) -> Tuple[float, float]:
+    """Grow ``hi`` geometrically until ``f`` changes sign on ``[lo, hi]``."""
+    f_lo = f(lo)
+    for _ in range(max_doublings):
+        if (f(hi) > 0) != (f_lo > 0) or f(hi) == 0.0:
+            return lo, hi
+        hi *= 2.0
+    raise SolverError(f"could not bracket a sign change from lo={lo} (f(lo)={f_lo})")

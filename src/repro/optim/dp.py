@@ -1,0 +1,118 @@
+"""Grid dynamic program for combining per-server profit curves.
+
+``Assign_Distribute`` (section V.A) evaluates, for each candidate server,
+the best achievable profit when the server carries ``g / G`` of a client's
+traffic (``g = 0 .. G``).  The per-server curves are then combined by a
+dynamic program that picks one grid point per server such that the chosen
+traffic portions sum to exactly 1 (``sum_j alpha_ij = 1``) and the total
+profit is maximal — a bounded-knapsack-style DP in ``O(J * G^2)``.
+
+The DP is exact for the discretized problem; :func:`brute_force_combination`
+provides an exponential reference used by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import SolverError
+
+NEG_INF = float("-inf")
+
+
+def combine_server_curves(
+    curves: Sequence[Sequence[float]],
+    granularity: int,
+) -> Tuple[float, List[int]]:
+    """Pick one grid point per curve so the points sum to ``granularity``.
+
+    Args:
+        curves: ``curves[j][g]`` is the profit of routing ``g`` grid units
+            of traffic to server ``j``; use ``-inf`` for impossible points.
+            Index 0 (no traffic) should normally be 0.
+        granularity: the grid size ``G``; chosen units must sum to exactly
+            ``G``.
+
+    Returns:
+        ``(best_total, units)`` where ``units[j]`` is the grid allocation
+        of server ``j``.  ``best_total`` is ``-inf`` when no combination is
+        feasible.
+    """
+    if granularity < 1:
+        raise SolverError(f"granularity must be >= 1, got {granularity}")
+    for j, curve in enumerate(curves):
+        if len(curve) != granularity + 1:
+            raise SolverError(
+                f"curve {j} has {len(curve)} points, expected {granularity + 1}"
+            )
+    if not curves:
+        return NEG_INF, []
+
+    # best[u] = best profit achieving u units with the servers seen so far.
+    best = [NEG_INF] * (granularity + 1)
+    best[0] = 0.0
+    # choices[j][u] = units given to server j in the best solution for u.
+    choices: List[List[int]] = []
+
+    for curve in curves:
+        new_best = [NEG_INF] * (granularity + 1)
+        choice_row = [0] * (granularity + 1)
+        for used in range(granularity + 1):
+            top = NEG_INF
+            top_units = 0
+            for units in range(used + 1):
+                prior = best[used - units]
+                value = curve[units]
+                if prior == NEG_INF or value == NEG_INF:
+                    continue
+                candidate = prior + value
+                if candidate > top:
+                    top = candidate
+                    top_units = units
+            new_best[used] = top
+            choice_row[used] = top_units
+        best = new_best
+        choices.append(choice_row)
+
+    total = best[granularity]
+    if total == NEG_INF:
+        return NEG_INF, [0] * len(curves)
+
+    units = [0] * len(curves)
+    remaining = granularity
+    for j in range(len(curves) - 1, -1, -1):
+        units[j] = choices[j][remaining]
+        remaining -= units[j]
+    if remaining != 0:
+        raise SolverError("DP reconstruction failed to consume all grid units")
+    return total, units
+
+
+def brute_force_combination(
+    curves: Sequence[Sequence[float]],
+    granularity: int,
+) -> Tuple[float, List[int]]:
+    """Exponential reference for :func:`combine_server_curves` (tests only)."""
+    if not curves:
+        return NEG_INF, []
+
+    best_total = NEG_INF
+    best_units: List[int] = [0] * len(curves)
+
+    def recurse(j: int, remaining: int, acc: float, units: List[int]) -> None:
+        nonlocal best_total, best_units
+        if j == len(curves):
+            if remaining == 0 and acc > best_total:
+                best_total = acc
+                best_units = list(units)
+            return
+        for g in range(remaining + 1):
+            value = curves[j][g]
+            if value == NEG_INF:
+                continue
+            units.append(g)
+            recurse(j + 1, remaining - g, acc + value, units)
+            units.pop()
+
+    recurse(0, granularity, 0.0, [])
+    return best_total, best_units

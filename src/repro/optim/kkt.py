@@ -1,0 +1,325 @@
+"""Closed-form KKT solutions for the two convex subproblems of the paper.
+
+Subproblem 1 — *share allocation* (paper eq. (16) inside the greedy
+constructor and eq. (18) inside ``Adjust_ResourceShares``): given clients
+with fixed traffic, split one server's GPS capacity among them.
+
+With service rate ``s * phi`` (``s = C / t``), branch arrivals ``a`` and
+SLA weight ``w`` (= agreed rate x utility slope x traffic portion), the
+per-client objective is::
+
+    minimize   w / (s * phi - a)  +  price * phi
+    subject to phi in [lower, upper],  s * phi > a
+
+Setting the derivative to zero gives the closed form the paper prints as a
+bounded expression::
+
+    phi*(price) = ( a + sqrt(w * s / price) ) / s      (clipped to bounds)
+
+which is decreasing in ``price``.  A shared capacity budget turns ``price``
+into ``price_floor + eta`` with the multiplier ``eta >= 0`` found by
+bisection on the monotone total-usage curve (:func:`waterfill_shares`).
+
+Subproblem 2 — *dispersion rates* (``Adjust_DispersionRates``): given fixed
+shares (hence fixed per-branch service rates ``r^p, r^b``), split a
+client's unit of traffic across servers::
+
+    minimize   sum_j  alpha_j * ( 1/(r^p_j - alpha_j L) + 1/(r^b_j - alpha_j L) )
+    subject to sum_j alpha_j = 1,   0 <= alpha_j,   alpha_j L < min(r^p_j, r^b_j)
+
+Each term is convex increasing in ``alpha_j`` with marginal::
+
+    G_j(alpha) = r^p / (r^p - alpha L)^2  +  r^b / (r^b - alpha L)^2
+
+so optimality equalizes marginals at a multiplier ``nu``; nested bisection
+(outer on ``nu``, inner on each ``alpha_j``) solves it to machine accuracy
+(:func:`optimal_dispersion`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import SolverError
+from repro.optim.bisection import bisect_root, solve_monotone
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ShareProblemItem:
+    """One client's slice of a server-share problem.
+
+    Attributes:
+        service_per_share: ``s = C / t`` — service rate delivered by one
+            full unit of the server's capacity share.
+        arrival_rate: ``a = alpha * lambda`` — branch arrival rate.
+        weight: ``w`` — marginal revenue of response-time reduction
+            (agreed rate x utility slope x traffic portion).  ``w = 0``
+            clients are pinned at their lower bound.
+        lower: smallest admissible share (must already include the
+            stability margin: ``lower * s > a``).
+        upper: largest admissible share.
+    """
+
+    service_per_share: float
+    arrival_rate: float
+    weight: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.service_per_share <= 0:
+            raise SolverError(
+                f"service_per_share must be > 0, got {self.service_per_share}"
+            )
+        if self.arrival_rate < 0:
+            raise SolverError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
+        if self.weight < 0:
+            raise SolverError(f"weight must be >= 0, got {self.weight}")
+        if not 0 <= self.lower <= self.upper:
+            raise SolverError(
+                f"bounds must satisfy 0 <= lower <= upper, got "
+                f"[{self.lower}, {self.upper}]"
+            )
+
+    def is_stable_at(self, phi: float) -> bool:
+        return phi * self.service_per_share > self.arrival_rate
+
+    def share_at_price(self, price: float) -> float:
+        """The clipped closed-form ``phi*(price)``; decreasing in price."""
+        if self.weight <= 0.0:
+            return self.lower
+        if price <= 0.0:
+            return self.upper
+        unclipped = (
+            self.arrival_rate
+            + math.sqrt(self.weight * self.service_per_share / price)
+        ) / self.service_per_share
+        return min(max(unclipped, self.lower), self.upper)
+
+    def response_cost(self, phi: float) -> float:
+        """``w / (s phi - a)``, or ``inf`` when the queue is unstable."""
+        headroom = phi * self.service_per_share - self.arrival_rate
+        if headroom <= 0:
+            return math.inf if self.weight > 0 else 0.0
+        return self.weight / headroom
+
+
+def optimal_share_for_price(
+    item: ShareProblemItem, price: float
+) -> Optional[float]:
+    """Best share for one client when capacity costs ``price`` per unit.
+
+    Returns ``None`` when no admissible share keeps the queue stable (the
+    client cannot be served on this server under the given bounds).
+    """
+    phi = item.share_at_price(price)
+    if item.arrival_rate > 0 and not item.is_stable_at(phi):
+        return None
+    return phi
+
+
+def waterfill_shares(
+    items: Sequence[ShareProblemItem],
+    budget: float,
+    price_floor: float = 0.0,
+) -> Optional[Tuple[List[float], float]]:
+    """Split ``budget`` units of a server's capacity among ``items``.
+
+    Implements the bisection-on-the-multiplier solution of eq. (18):
+    the effective price of capacity is ``price_floor + eta`` where
+    ``price_floor`` is the server's real marginal energy cost (``P1`` for
+    processing, typically 0 for bandwidth) and ``eta >= 0`` is the
+    capacity multiplier.
+
+    Returns ``(shares, effective_price)`` or ``None`` when even the lower
+    bounds do not fit in the budget.
+    """
+    if budget < 0:
+        raise SolverError(f"budget must be >= 0, got {budget}")
+    if price_floor < 0:
+        raise SolverError(f"price_floor must be >= 0, got {price_floor}")
+    if not items:
+        return [], price_floor
+
+    total_lower = sum(item.lower for item in items)
+    if total_lower > budget + 1e-9:
+        return None
+
+    def total_at(price: float) -> float:
+        return sum(item.share_at_price(price) for item in items)
+
+    if price_floor > 0.0:
+        if total_at(price_floor) <= budget:
+            price = price_floor
+            return [item.share_at_price(price) for item in items], price
+    else:
+        # Zero price: everyone would take their upper bound.
+        if sum(item.upper for item in items) <= budget:
+            return [item.upper for item in items], 0.0
+
+    # Bracket the multiplier: usage is decreasing in price and reaches
+    # sum(lower) <= budget as price -> inf.
+    price_lo = max(price_floor, _EPS)
+    price_hi = max(1.0, 2.0 * price_lo)
+    for _ in range(200):
+        if total_at(price_hi) <= budget:
+            break
+        price_hi *= 2.0
+    else:
+        raise SolverError("could not bracket the capacity multiplier")
+
+    price = solve_monotone(
+        total_at, budget, price_lo, price_hi, increasing=False
+    )
+    shares = [item.share_at_price(price) for item in items]
+
+    # Bisection leaves a sub-tolerance residual; push it into the client
+    # with the most headroom so the budget is met exactly from above.
+    residual = sum(shares) - budget
+    if residual > 0:
+        for idx in sorted(
+            range(len(shares)),
+            key=lambda i: shares[i] - items[i].lower,
+            reverse=True,
+        ):
+            slack = shares[idx] - items[idx].lower
+            cut = min(slack, residual)
+            shares[idx] -= cut
+            residual -= cut
+            if residual <= 0:
+                break
+    for idx, item in enumerate(items):
+        if item.arrival_rate > 0 and not item.is_stable_at(shares[idx]):
+            return None
+    return shares, price
+
+
+@dataclass(frozen=True)
+class DispersionBranch:
+    """Fixed service rates of one (client, server) branch.
+
+    ``rate_processing`` / ``rate_bandwidth`` are ``phi * C / t`` with the
+    shares held fixed; a zero rate marks the branch unusable.
+    """
+
+    rate_processing: float
+    rate_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.rate_processing < 0 or self.rate_bandwidth < 0:
+            raise SolverError("service rates must be >= 0")
+
+    @property
+    def usable(self) -> bool:
+        return self.rate_processing > 0 and self.rate_bandwidth > 0
+
+    def max_alpha(self, arrival_rate: float, margin: float) -> float:
+        """Largest traffic portion keeping both queues stable with margin."""
+        if not self.usable or arrival_rate <= 0:
+            return 0.0 if not self.usable else 1.0
+        bottleneck = min(self.rate_processing, self.rate_bandwidth)
+        return bottleneck / (arrival_rate * margin)
+
+    def marginal(self, alpha: float, arrival_rate: float) -> float:
+        """``G(alpha)`` — marginal response-time cost of more traffic."""
+        head_p = self.rate_processing - alpha * arrival_rate
+        head_b = self.rate_bandwidth - alpha * arrival_rate
+        if head_p <= 0 or head_b <= 0:
+            return math.inf
+        return (
+            self.rate_processing / (head_p * head_p)
+            + self.rate_bandwidth / (head_b * head_b)
+        )
+
+    def response_cost(self, alpha: float, arrival_rate: float) -> float:
+        """``alpha * (W_p + W_b)`` for this branch; ``inf`` when unstable."""
+        if alpha <= 0:
+            return 0.0
+        head_p = self.rate_processing - alpha * arrival_rate
+        head_b = self.rate_bandwidth - alpha * arrival_rate
+        if head_p <= 0 or head_b <= 0:
+            return math.inf
+        return alpha * (1.0 / head_p + 1.0 / head_b)
+
+
+def optimal_dispersion(
+    branches: Sequence[DispersionBranch],
+    arrival_rate: float,
+    total: float = 1.0,
+    stability_margin: float = 1.01,
+) -> Optional[List[float]]:
+    """Optimal traffic split across branches (``Adjust_DispersionRates``).
+
+    Returns the list of ``alpha_j`` summing to ``total`` that minimizes the
+    alpha-weighted mean response time, or ``None`` when the branches cannot
+    stably absorb ``total`` of the client's traffic.
+    """
+    if arrival_rate <= 0:
+        raise SolverError(f"arrival_rate must be > 0, got {arrival_rate}")
+    if total <= 0:
+        raise SolverError(f"total must be > 0, got {total}")
+    if not branches:
+        return None
+
+    caps = [
+        min(branch.max_alpha(arrival_rate, stability_margin), total)
+        for branch in branches
+    ]
+    if sum(caps) < total:
+        return None
+
+    def alpha_at(nu: float, idx: int) -> float:
+        branch = branches[idx]
+        cap = caps[idx]
+        if cap <= 0:
+            return 0.0
+        if branch.marginal(0.0, arrival_rate) >= nu:
+            return 0.0
+        if branch.marginal(cap, arrival_rate) <= nu:
+            return cap
+        return bisect_root(
+            lambda a: branch.marginal(a, arrival_rate) - nu, 0.0, cap
+        )
+
+    def total_at(nu: float) -> float:
+        return sum(alpha_at(nu, idx) for idx in range(len(branches)))
+
+    usable = [idx for idx in range(len(branches)) if caps[idx] > 0]
+    nu_lo = min(branches[idx].marginal(0.0, arrival_rate) for idx in usable)
+    nu_hi = max(branches[idx].marginal(caps[idx], arrival_rate) for idx in usable)
+    nu_hi = max(nu_hi, nu_lo * 2 + 1.0)
+
+    nu = solve_monotone(total_at, total, nu_lo, nu_hi, increasing=True)
+    alphas = [alpha_at(nu, idx) for idx in range(len(branches))]
+
+    # Distribute the bisection residual to branches with headroom so the
+    # traffic portions sum to ``total`` exactly.
+    residual = total - sum(alphas)
+    if residual > 0:
+        for idx in sorted(
+            range(len(alphas)), key=lambda i: caps[i] - alphas[i], reverse=True
+        ):
+            room = caps[idx] - alphas[idx]
+            add = min(room, residual)
+            alphas[idx] += add
+            residual -= add
+            if residual <= 1e-12:
+                break
+        if residual > 1e-9:
+            return None
+    elif residual < 0:
+        # Shrink proportionally from branches with positive alpha.
+        excess = -residual
+        for idx in sorted(
+            range(len(alphas)), key=lambda i: alphas[i], reverse=True
+        ):
+            cut = min(alphas[idx], excess)
+            alphas[idx] -= cut
+            excess -= cut
+            if excess <= 1e-12:
+                break
+    return alphas

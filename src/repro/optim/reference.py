@@ -1,0 +1,119 @@
+"""Slow scipy-based reference solvers.
+
+These solve the same convex subproblems as :mod:`repro.optim.kkt` with
+general-purpose numerical optimization (SLSQP).  They exist so the test
+suite can certify the closed forms against an independent implementation;
+production code paths never import this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.optim.kkt import DispersionBranch, ShareProblemItem
+
+
+def reference_waterfill(
+    items: Sequence[ShareProblemItem],
+    budget: float,
+    price_floor: float = 0.0,
+) -> Optional[List[float]]:
+    """Solve the share-allocation problem with SLSQP.
+
+    Minimizes ``sum_i w_i/(s_i phi_i - a_i) + price_floor * sum_i phi_i``
+    subject to the capacity budget and per-item bounds.  Returns ``None``
+    when the lower bounds alone exceed the budget.
+    """
+    if not items:
+        return []
+    lowers = np.array([item.lower for item in items])
+    uppers = np.array([item.upper for item in items])
+    if lowers.sum() > budget + 1e-9:
+        return None
+
+    s = np.array([item.service_per_share for item in items])
+    a = np.array([item.arrival_rate for item in items])
+    w = np.array([item.weight for item in items])
+
+    def objective(phi: np.ndarray) -> float:
+        headroom = s * phi - a
+        if np.any(headroom[w > 0] <= 0):
+            return 1e18
+        cost = price_floor * phi.sum()
+        with np.errstate(divide="ignore"):
+            response = np.where(w > 0, w / np.maximum(headroom, 1e-300), 0.0)
+        return float(response.sum() + cost)
+
+    start = np.clip((a / s) * 1.5 + 0.05, lowers, uppers)
+    scale = budget - lowers.sum()
+    if start.sum() > budget and scale > 0:
+        start = lowers + (start - lowers) * scale / (start - lowers).sum()
+
+    result = optimize.minimize(
+        objective,
+        start,
+        method="SLSQP",
+        bounds=list(zip(lowers, uppers)),
+        constraints=[
+            {"type": "ineq", "fun": lambda phi: budget - phi.sum()},
+        ],
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    if not result.success:
+        return None
+    return [float(x) for x in result.x]
+
+
+def reference_dispersion(
+    branches: Sequence[DispersionBranch],
+    arrival_rate: float,
+    total: float = 1.0,
+) -> Optional[List[float]]:
+    """Solve the dispersion problem with SLSQP (reference for tests)."""
+    usable = [branch.usable for branch in branches]
+    if not any(usable):
+        return None
+    r_p = np.array([b.rate_processing for b in branches])
+    r_b = np.array([b.rate_bandwidth for b in branches])
+    caps = np.array(
+        [
+            min(b.max_alpha(arrival_rate, 1.0001), total) if b.usable else 0.0
+            for b in branches
+        ]
+    )
+    if caps.sum() < total:
+        return None
+
+    def objective(alpha: np.ndarray) -> float:
+        head_p = r_p - alpha * arrival_rate
+        head_b = r_b - alpha * arrival_rate
+        active = alpha > 1e-15
+        if np.any(head_p[active] <= 0) or np.any(head_b[active] <= 0):
+            return 1e18
+        with np.errstate(divide="ignore"):
+            terms = np.where(
+                active,
+                alpha
+                * (
+                    1.0 / np.maximum(head_p, 1e-300)
+                    + 1.0 / np.maximum(head_b, 1e-300)
+                ),
+                0.0,
+            )
+        return float(terms.sum())
+
+    start = caps / caps.sum() * total
+    result = optimize.minimize(
+        objective,
+        start,
+        method="SLSQP",
+        bounds=[(0.0, float(c)) for c in caps],
+        constraints=[{"type": "eq", "fun": lambda alpha: alpha.sum() - total}],
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    if not result.success:
+        return None
+    return [float(x) for x in result.x]

@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is purely analytical (GPS + M/M/1 formulas).  This
+subpackage provides the queueing system those formulas model, so the
+library can *validate* the analytical response times instead of assuming
+them:
+
+* :mod:`repro.sim.events` — the event calendar;
+* :mod:`repro.sim.gps` — a fluid weighted-sharing server resource with two
+  modes: ``partitioned`` (each class permanently owns ``phi * C``, the
+  exact M/M/1 decoupling of eq. (1)) and ``gps`` (work-conserving
+  Generalized Processor Sharing, which redistributes idle classes'
+  capacity and therefore stochastically dominates the partitioned bound);
+* :mod:`repro.sim.measure` — streaming statistics with confidence
+  intervals;
+* :mod:`repro.sim.simulator` — wires a :class:`~repro.model.CloudSystem`
+  plus an :class:`~repro.model.Allocation` into Poisson sources, a
+  probabilistic per-client dispatcher, and tandem processing->bandwidth
+  queues per server, and measures per-client mean response times;
+* :mod:`repro.sim.epoch` — epoch-driven re-allocation under drifting
+  arrival rates (the "decision epoch" dynamics of section III).
+"""
+
+from repro.sim.events import EventQueue
+from repro.sim.gps import SharingMode, GpsResource
+from repro.sim.measure import StreamingStats
+from repro.sim.simulator import DatacenterSimulator, SimulationReport, ClientStats
+from repro.sim.epoch import EpochConfig, EpochReport, run_epoch_simulation
+
+__all__ = [
+    "EventQueue",
+    "SharingMode",
+    "GpsResource",
+    "StreamingStats",
+    "DatacenterSimulator",
+    "SimulationReport",
+    "ClientStats",
+    "EpochConfig",
+    "EpochReport",
+    "run_epoch_simulation",
+]

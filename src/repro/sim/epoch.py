@@ -1,0 +1,144 @@
+"""Epoch-driven dynamic re-allocation (section III's "decision epochs").
+
+The paper's allocator runs once per decision epoch with *predicted*
+arrival rates; between epochs the rates drift and the stale allocation
+degrades until the next decision.  This module simulates that lifecycle
+analytically:
+
+1. draw a problem instance;
+2. per epoch, evolve every client's true arrival rate by a bounded
+   geometric random walk;
+3. either re-run the allocator on the new predictions (``reallocate``)
+   or keep the stale allocation (``static``), and score both against the
+   *true* rates.
+
+The gap between the two policies is the value of per-epoch decisions —
+an extension experiment the paper motivates but does not plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import ConfigurationError
+from repro.model.client import Client
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+from repro.workload.traces import make_factors
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Dynamics of the epoch simulation.
+
+    ``pattern`` selects the trace generator from
+    :mod:`repro.workload.traces`: ``"random_walk"`` (default, ``drift``
+    is the per-epoch standard deviation of the log arrival rate),
+    ``"diurnal"`` (day/night sinusoid) or ``"bursty"`` (flash crowds).
+    Rates are clamped to ``[min_rate_factor, max_rate_factor]`` times the
+    contractual rate (the SLA bounds the believable range).
+    """
+
+    num_epochs: int = 10
+    drift: float = 0.15
+    min_rate_factor: float = 0.3
+    max_rate_factor: float = 1.0
+    pattern: str = "random_walk"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise ConfigurationError("num_epochs must be >= 1")
+        if self.drift < 0:
+            raise ConfigurationError("drift must be >= 0")
+        if not 0 < self.min_rate_factor <= self.max_rate_factor:
+            raise ConfigurationError(
+                "need 0 < min_rate_factor <= max_rate_factor"
+            )
+        if self.pattern not in ("random_walk", "diurnal", "bursty"):
+            raise ConfigurationError(f"unknown pattern {self.pattern!r}")
+
+
+@dataclass
+class EpochReport:
+    """Per-epoch profits of the re-allocating and static policies."""
+
+    reallocate_profits: List[float] = field(default_factory=list)
+    static_profits: List[float] = field(default_factory=list)
+
+    @property
+    def total_reallocate(self) -> float:
+        return sum(self.reallocate_profits)
+
+    @property
+    def total_static(self) -> float:
+        return sum(self.static_profits)
+
+    @property
+    def reallocation_gain(self) -> float:
+        """Total profit gained by deciding every epoch."""
+        return self.total_reallocate - self.total_static
+
+
+def _with_rates(system: CloudSystem, factors: np.ndarray) -> CloudSystem:
+    """Copy the system with each client's predicted rate scaled."""
+    clients: List[Client] = []
+    for idx, client in enumerate(system.clients):
+        clients.append(
+            replace(client, rate_predicted=client.rate_agreed * float(factors[idx]))
+        )
+    return CloudSystem(clusters=system.clusters, clients=clients, name=system.name)
+
+
+def run_epoch_simulation(
+    system: CloudSystem,
+    epoch_config: Optional[EpochConfig] = None,
+    solver_config: Optional[SolverConfig] = None,
+) -> EpochReport:
+    """Compare per-epoch re-allocation against a static day-one allocation.
+
+    Both policies are scored on the epoch's *true* rates: the evaluator
+    recomputes response times (and hence revenues) for the rates the
+    clients actually offered, so a stale allocation whose queues go
+    unstable earns nothing for those clients.
+    """
+    epoch_config = epoch_config or EpochConfig()
+    solver_config = solver_config or SolverConfig()
+    rng = np.random.default_rng(epoch_config.seed)
+    num_clients = system.num_clients
+
+    schedule = make_factors(
+        epoch_config.pattern,
+        epoch_config.num_epochs + 1,
+        num_clients,
+        rng,
+        drift=epoch_config.drift,
+        min_factor=epoch_config.min_rate_factor,
+        max_factor=epoch_config.max_rate_factor,
+    )
+    initial_system = _with_rates(system, schedule[0])
+    allocator = ResourceAllocator(solver_config)
+    static_result = allocator.solve(initial_system)
+    static_allocation = static_result.allocation
+
+    report = EpochReport()
+    for epoch in range(epoch_config.num_epochs):
+        true_system = _with_rates(system, schedule[epoch + 1])
+
+        fresh = allocator.solve(true_system)
+        report.reallocate_profits.append(
+            evaluate_profit(
+                true_system, fresh.allocation, require_all_served=False
+            ).total_profit
+        )
+        report.static_profits.append(
+            evaluate_profit(
+                true_system, static_allocation, require_all_served=False
+            ).total_profit
+        )
+    return report

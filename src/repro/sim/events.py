@@ -1,0 +1,90 @@
+"""Event calendar for the discrete-event simulator.
+
+A thin, allocation-free wrapper over :mod:`heapq`.  Events are arbitrary
+payloads ordered by time with a monotonically increasing sequence number
+breaking ties, so same-time events run in schedule order (deterministic
+replays for a fixed seed).
+
+Cancellation is handled by lazy invalidation: :meth:`EventQueue.cancel`
+marks the handle and :meth:`EventQueue.pop` skips dead entries, which is
+the textbook approach when most cancellations happen near the queue head
+(as with rescheduled departures in a fluid server).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.schedule`."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+
+class EventQueue:
+    """Time-ordered event calendar with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def schedule(self, time: float, payload: Any) -> EventHandle:
+        """Add an event; ``time`` must not precede the current clock."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        entry = _Entry(time=time, seq=next(self._counter), payload=payload)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def cancel(self, handle: EventHandle) -> None:
+        handle._entry.cancelled = True
+
+    def pop(self) -> Optional[Tuple[float, Any]]:
+        """Advance the clock to the next live event and return it."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            return entry.time, entry.payload
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

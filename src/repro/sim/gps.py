@@ -1,0 +1,182 @@
+"""Fluid weighted-sharing server resource.
+
+Models one resource (processing *or* communication) of one server.  Each
+client with a GPS share on the server is a *class* with weight
+``phi_ij``; jobs within a class are served FCFS, and the head job of each
+backlogged class receives fluid service at a rate set by the sharing
+mode:
+
+* ``PARTITIONED`` — exactly ``weight * capacity``, always.  This is the
+  decoupling the paper's analysis assumes: every class is an independent
+  M/M/1 queue with service rate ``phi * C / t``.
+* ``GPS`` — true work-conserving Generalized Processor Sharing: the
+  capacity is split among *backlogged* classes in proportion to weights,
+  so idle classes' capacity is recycled.  Response times under GPS are
+  stochastically dominated by the partitioned bound, which the validation
+  benchmark demonstrates.
+
+Work amounts are expressed in capacity-time units: a job with work ``w``
+served at rate ``r`` (capacity units per second) finishes in ``w / r``
+seconds.  Drawing ``w ~ Exp(mean_exec_time)`` and serving at the constant
+partitioned rate ``phi * C`` reproduces service rate ``phi * C / t``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventHandle, EventQueue
+
+#: Called when a job completes: (class_id, payload, completion_time).
+CompletionCallback = Callable[[int, object, float], None]
+
+
+class SharingMode(Enum):
+    PARTITIONED = "partitioned"
+    GPS = "gps"
+
+
+@dataclass
+class _Job:
+    class_id: int
+    work: float
+    payload: object = None
+
+
+@dataclass
+class _ClassState:
+    weight: float
+    queue: Deque[_Job] = field(default_factory=deque)
+    rate: float = 0.0
+    last_update: float = 0.0
+    completion: Optional[EventHandle] = None
+
+    @property
+    def backlogged(self) -> bool:
+        return bool(self.queue)
+
+
+class GpsResource:
+    """One server resource shared by weighted client classes."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        weights: Dict[int, float],
+        mode: SharingMode,
+        events: EventQueue,
+        on_complete: CompletionCallback,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity}")
+        for class_id, weight in weights.items():
+            if weight <= 0:
+                raise SimulationError(
+                    f"class {class_id} has non-positive weight {weight}"
+                )
+        self.name = name
+        self.capacity = capacity
+        self.mode = mode
+        self._events = events
+        self._on_complete = on_complete
+        self._classes: Dict[int, _ClassState] = {
+            class_id: _ClassState(weight=weight)
+            for class_id, weight in weights.items()
+        }
+        self.jobs_completed = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, class_id: int, work: float, payload: object = None) -> None:
+        """Enqueue a job (``work`` in capacity-time units) for a class."""
+        if class_id not in self._classes:
+            raise SimulationError(f"unknown class {class_id} on resource {self.name}")
+        if work <= 0:
+            raise SimulationError(f"job work must be > 0, got {work}")
+        state = self._classes[class_id]
+        was_backlogged = state.backlogged
+        state.queue.append(_Job(class_id=class_id, work=work, payload=payload))
+        if not was_backlogged:
+            state.last_update = self._events.now
+            self._rates_changed()
+
+    def backlog(self, class_id: int) -> int:
+        return len(self._classes[class_id].queue)
+
+    def total_backlog(self) -> int:
+        return sum(len(state.queue) for state in self._classes.values())
+
+    # -- internals ------------------------------------------------------------
+
+    def _current_rate(self, state: _ClassState) -> float:
+        if self.mode is SharingMode.PARTITIONED:
+            return state.weight * self.capacity
+        active_weight = sum(
+            s.weight for s in self._classes.values() if s.backlogged
+        )
+        if active_weight <= 0:
+            return 0.0
+        return self.capacity * state.weight / active_weight
+
+    def _advance(self, state: _ClassState, now: float) -> None:
+        """Consume the head job's work for the elapsed interval."""
+        if state.backlogged and state.rate > 0:
+            elapsed = now - state.last_update
+            if elapsed > 0:
+                state.queue[0].work = max(
+                    state.queue[0].work - state.rate * elapsed, 0.0
+                )
+        state.last_update = now
+
+    def _reschedule(self, state: _ClassState, class_id: int) -> None:
+        if state.completion is not None:
+            self._events.cancel(state.completion)
+            state.completion = None
+        if not state.backlogged or state.rate <= 0:
+            return
+        finish = self._events.now + state.queue[0].work / state.rate
+        state.completion = self._events.schedule(
+            finish, lambda _t, cid=class_id: self._complete(cid)
+        )
+
+    def _rates_changed(self) -> None:
+        """Recompute rates; in GPS mode every backlogged class is touched."""
+        now = self._events.now
+        for class_id, state in self._classes.items():
+            if not state.backlogged:
+                state.rate = 0.0
+                if state.completion is not None:
+                    self._events.cancel(state.completion)
+                    state.completion = None
+                continue
+            self._advance(state, now)
+            new_rate = self._current_rate(state)
+            if (
+                state.completion is None
+                or abs(new_rate - state.rate) > 1e-15 * max(new_rate, 1.0)
+            ):
+                state.rate = new_rate
+                self._reschedule(state, class_id)
+
+    def _complete(self, class_id: int) -> None:
+        state = self._classes[class_id]
+        now = self._events.now
+        self._advance(state, now)
+        if not state.queue:
+            raise SimulationError(
+                f"completion fired for empty class {class_id} on {self.name}"
+            )
+        job = state.queue.popleft()
+        state.completion = None
+        self.jobs_completed += 1
+        if self.mode is SharingMode.GPS and not state.backlogged:
+            # The active set shrank: every surviving class speeds up.
+            self._rates_changed()
+        else:
+            self._reschedule(state, class_id)
+        self._on_complete(class_id, job.payload, now)

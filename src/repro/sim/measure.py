@@ -1,0 +1,87 @@
+"""Streaming statistics for simulation measurements.
+
+Welford's online algorithm: numerically stable single-pass mean/variance,
+plus a normal-approximation confidence interval (simulation runs collect
+thousands of samples, where the CLT is comfortably in force).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+#: Two-sided z-values for common confidence levels.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass
+class StreamingStats:
+    """Single-pass mean / variance / extrema accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 for fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        if self.count < 1:
+            return math.inf
+        return self.stddev / math.sqrt(self.count)
+
+    def confidence_interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        try:
+            z = _Z_VALUES[level]
+        except KeyError:
+            raise ValueError(
+                f"unsupported confidence level {level}; "
+                f"choose from {sorted(_Z_VALUES)}"
+            ) from None
+        half_width = z * self.stderr
+        return self.mean - half_width, self.mean + half_width
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Chan et al. parallel combination of two accumulators."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / total
+        )
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self

@@ -1,0 +1,210 @@
+"""End-to-end datacenter simulation of an allocation.
+
+Builds the queueing system that eq. (1) models — Poisson sources, a
+probabilistic dispatcher (branch ``j`` with probability ``alpha_ij``, the
+Poisson-splitting property the paper invokes), and per-server tandem
+processing -> communication resources — then measures per-client response
+times.  With ``SharingMode.PARTITIONED`` and exponential work, the
+measured means converge on :func:`repro.model.profit.client_response_time`
+(the validation benchmark asserts this); with ``SharingMode.GPS`` they
+fall below it (work conservation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import client_response_time
+from repro.sim.events import EventQueue
+from repro.sim.gps import GpsResource, SharingMode
+from repro.sim.measure import StreamingStats
+
+
+@dataclass
+class _Request:
+    client_id: int
+    server_id: int
+    arrived_at: float
+
+
+@dataclass
+class ClientStats:
+    """Measured vs analytical response time for one client."""
+
+    client_id: int
+    completed: int
+    response: StreamingStats
+    analytical_mean: float
+
+    @property
+    def measured_mean(self) -> float:
+        return self.response.mean
+
+    def relative_error(self) -> float:
+        if self.analytical_mean == 0 or math.isinf(self.analytical_mean):
+            return math.nan
+        return (self.measured_mean - self.analytical_mean) / self.analytical_mean
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one simulation run."""
+
+    duration: float
+    total_arrivals: int
+    total_completed: int
+    clients: Dict[int, ClientStats] = field(default_factory=dict)
+
+    def worst_relative_error(self) -> float:
+        errors = [
+            abs(stats.relative_error())
+            for stats in self.clients.values()
+            if stats.completed > 0 and not math.isnan(stats.relative_error())
+        ]
+        return max(errors) if errors else math.nan
+
+
+class DatacenterSimulator:
+    """Simulate a (system, allocation) pair and measure response times."""
+
+    def __init__(
+        self,
+        system: CloudSystem,
+        allocation: Allocation,
+        mode: SharingMode = SharingMode.PARTITIONED,
+        seed: Optional[int] = None,
+        warmup_fraction: float = 0.1,
+    ) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError("warmup_fraction must lie in [0, 1)")
+        self.system = system
+        self.allocation = allocation
+        self.mode = mode
+        self.warmup_fraction = warmup_fraction
+        self._rng = np.random.default_rng(seed)
+        self._events = EventQueue()
+        self._proc: Dict[int, GpsResource] = {}
+        self._comm: Dict[int, GpsResource] = {}
+        self._branches: Dict[int, Tuple[List[int], List[float]]] = {}
+        self._stats: Dict[int, StreamingStats] = {}
+        self._arrivals = 0
+        self._completions = 0
+        self._warmup_end = 0.0
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        proc_weights: Dict[int, Dict[int, float]] = {}
+        comm_weights: Dict[int, Dict[int, float]] = {}
+        for client_id, server_id, entry in self.allocation.iter_entries():
+            if entry.alpha <= 0:
+                continue
+            proc_weights.setdefault(server_id, {})[client_id] = entry.phi_p
+            comm_weights.setdefault(server_id, {})[client_id] = entry.phi_b
+            ids, probs = self._branches.setdefault(client_id, ([], []))
+            ids.append(server_id)
+            probs.append(entry.alpha)
+        for client_id, (_, probs) in self._branches.items():
+            total = sum(probs)
+            if abs(total - 1.0) > 1e-6:
+                raise SimulationError(
+                    f"client {client_id} traffic portions sum to {total}"
+                )
+            probs[:] = [p / total for p in probs]
+            self._stats[client_id] = StreamingStats()
+        for server_id, weights in proc_weights.items():
+            server = self.system.server(server_id)
+            self._proc[server_id] = GpsResource(
+                name=f"proc-{server_id}",
+                capacity=server.cap_processing,
+                weights=weights,
+                mode=self.mode,
+                events=self._events,
+                on_complete=self._processing_done,
+            )
+            self._comm[server_id] = GpsResource(
+                name=f"comm-{server_id}",
+                capacity=server.cap_bandwidth,
+                weights=comm_weights[server_id],
+                mode=self.mode,
+                events=self._events,
+                on_complete=self._request_done,
+            )
+
+    # -- event handlers -------------------------------------------------------
+
+    def _schedule_arrival(self, client_id: int) -> None:
+        client = self.system.client(client_id)
+        gap = float(self._rng.exponential(1.0 / client.rate_predicted))
+        self._events.schedule(
+            self._events.now + gap, lambda _t, cid=client_id: self._arrive(cid)
+        )
+
+    def _arrive(self, client_id: int) -> None:
+        now = self._events.now
+        self._arrivals += 1
+        client = self.system.client(client_id)
+        ids, probs = self._branches[client_id]
+        idx = int(self._rng.choice(len(ids), p=probs))
+        server_id = ids[idx]
+        work = float(self._rng.exponential(client.t_proc))
+        request = _Request(client_id=client_id, server_id=server_id, arrived_at=now)
+        self._proc[server_id].submit(client_id, work, payload=request)
+        self._schedule_arrival(client_id)
+
+    def _processing_done(self, class_id: int, payload: object, now: float) -> None:
+        request = payload
+        assert isinstance(request, _Request)
+        client = self.system.client(request.client_id)
+        work = float(self._rng.exponential(client.t_comm))
+        self._comm[request.server_id].submit(class_id, work, payload=request)
+
+    def _request_done(self, class_id: int, payload: object, now: float) -> None:
+        request = payload
+        assert isinstance(request, _Request)
+        self._completions += 1
+        if now >= self._warmup_end:
+            self._stats[request.client_id].add(now - request.arrived_at)
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(self, duration: float) -> SimulationReport:
+        """Simulate for ``duration`` time units (after seeding all sources)."""
+        if duration <= 0:
+            raise SimulationError(f"duration must be > 0, got {duration}")
+        self._warmup_end = duration * self.warmup_fraction
+        for client_id in self._branches:
+            self._schedule_arrival(client_id)
+        while True:
+            nxt = self._events.peek_time()
+            if nxt is None or nxt > duration:
+                break
+            popped = self._events.pop()
+            assert popped is not None
+            _, payload = popped
+            payload(self._events.now)
+        clients = {
+            client_id: ClientStats(
+                client_id=client_id,
+                completed=stats.count,
+                response=stats,
+                analytical_mean=client_response_time(
+                    self.system, self.allocation, client_id
+                ),
+            )
+            for client_id, stats in self._stats.items()
+        }
+        return SimulationReport(
+            duration=duration,
+            total_arrivals=self._arrivals,
+            total_completed=self._completions,
+            clients=clients,
+        )

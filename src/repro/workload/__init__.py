@@ -1,0 +1,26 @@
+"""Workload generation: the paper's section-VI experimental setup.
+
+:func:`generate_system` reproduces the published randomized instance
+family (5 clusters, 10 server classes, 5 utility classes, all uniform
+parameter ranges as printed); :mod:`repro.workload.scenarios` adds named
+instances used by examples and tests.
+"""
+
+from repro.workload.generator import WorkloadConfig, generate_system
+from repro.workload.scenarios import (
+    paper_scenario,
+    tiny_system,
+    small_system,
+    consolidation_scenario,
+    tiered_sla_scenario,
+)
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_system",
+    "paper_scenario",
+    "tiny_system",
+    "small_system",
+    "consolidation_scenario",
+    "tiered_sla_scenario",
+]

@@ -1,0 +1,250 @@
+"""Randomized instance generator matching section VI of the paper.
+
+Published parameters (quoted ranges are from the paper's text):
+
+* 5 clusters, 10 server classes, 5 utility classes;
+* per utility class, the slope ``beta`` of the utility function and the
+  clients' mean execution times are drawn from U(0.4, 1);
+* the agreed arrival rate ``lambda^a`` of each client from U(0.5, 4.5);
+* each client's utility class is a uniform random pick;
+* server-class processing and communication capacities from U(2, 6), the
+  constant power cost ``P0`` from U(1, 3), storage capacity from U(2, 6);
+* each client's storage requirement from U(0.2, 2).
+
+Two quantities the text references but never prints ranges for are
+configurable with documented defaults (see DESIGN.md "Substitutions"):
+the utility intercept ``v`` (default U(2.0, 4.0), sized so that serving a
+client is profitable on average, matching the paper's positive-profit
+figures) and the linear cost slope ``P1`` (default U(0.5, 1.5)).  Figures
+are normalized by best-found profit, so these scales do not change the
+reproduced shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.model import (
+    Client,
+    ClippedLinearUtility,
+    CloudSystem,
+    Cluster,
+    LinearUtility,
+    Server,
+    ServerClass,
+    StepUtility,
+    UtilityClass,
+)
+
+Range = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the instance generator; defaults reproduce section VI.
+
+    Attributes:
+        num_clusters / num_server_classes / num_utility_classes: the
+            paper's 5 / 10 / 5.
+        servers_per_cluster: servers in each cluster; ``None`` sizes the
+            datacenter automatically to roughly one server per client
+            (split evenly, minimum 4 per cluster) so consolidation is a
+            real decision at every population size.
+        beta_range: utility slope per utility class, U(0.4, 1) (paper).
+        base_value_range: utility intercept ``v`` per utility class
+            (documented substitution, see module docstring).
+        exec_time_range: per-client mean processing / communication
+            execution time on a unit resource, U(0.4, 1) (paper).
+        rate_range: agreed arrival rate ``lambda^a``, U(0.5, 4.5) (paper).
+        predicted_rate_factor: ``lambda = factor * lambda^a``; 1.0 makes
+            predicted and agreed rates coincide as in the paper's runs.
+        cap_processing_range / cap_bandwidth_range: server-class
+            capacities, U(2, 6) (paper).
+        cap_storage_range: server-class storage capacity, U(2, 6) (paper).
+        power_fixed_range: ``P0``, U(1, 3) (paper).
+        power_per_util_range: ``P1`` (documented substitution).
+        storage_req_range: client disk need ``m``, U(0.2, 2) (paper).
+        utility_form: ``"clipped_linear"`` (default), ``"linear"``, or
+            ``"step"`` (a 3-level discretization of the linear SLA, for
+            the discrete-utility extension).
+        background_load_fraction: fraction of servers given a random
+            pre-existing load (the paper's non-empty cluster "initial
+            state"); 0 reproduces the published runs.
+    """
+
+    num_clusters: int = 5
+    num_server_classes: int = 10
+    num_utility_classes: int = 5
+    servers_per_cluster: Optional[int] = None
+    beta_range: Range = (0.4, 1.0)
+    base_value_range: Range = (2.0, 4.0)
+    exec_time_range: Range = (0.4, 1.0)
+    rate_range: Range = (0.5, 4.5)
+    predicted_rate_factor: float = 1.0
+    cap_processing_range: Range = (2.0, 6.0)
+    cap_bandwidth_range: Range = (2.0, 6.0)
+    cap_storage_range: Range = (2.0, 6.0)
+    power_fixed_range: Range = (1.0, 3.0)
+    power_per_util_range: Range = (0.5, 1.5)
+    storage_req_range: Range = (0.2, 2.0)
+    utility_form: str = "clipped_linear"
+    background_load_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise WorkloadError("num_clusters must be >= 1")
+        if self.num_server_classes < 1:
+            raise WorkloadError("num_server_classes must be >= 1")
+        if self.num_utility_classes < 1:
+            raise WorkloadError("num_utility_classes must be >= 1")
+        if self.servers_per_cluster is not None and self.servers_per_cluster < 1:
+            raise WorkloadError("servers_per_cluster must be >= 1 when given")
+        if not 0 < self.predicted_rate_factor <= 1.0:
+            raise WorkloadError("predicted_rate_factor must lie in (0, 1]")
+        if self.utility_form not in ("clipped_linear", "linear", "step"):
+            raise WorkloadError(f"unknown utility_form {self.utility_form!r}")
+        if not 0.0 <= self.background_load_fraction <= 1.0:
+            raise WorkloadError("background_load_fraction must lie in [0, 1]")
+        for label in (
+            "beta_range",
+            "base_value_range",
+            "exec_time_range",
+            "rate_range",
+            "cap_processing_range",
+            "cap_bandwidth_range",
+            "cap_storage_range",
+            "power_fixed_range",
+            "power_per_util_range",
+            "storage_req_range",
+        ):
+            lo, hi = getattr(self, label)
+            if not (0 <= lo <= hi):
+                raise WorkloadError(f"{label} must satisfy 0 <= lo <= hi, got {lo, hi}")
+
+
+def _uniform(rng: np.random.Generator, bounds: Range) -> float:
+    lo, hi = bounds
+    if lo == hi:
+        return lo
+    return float(rng.uniform(lo, hi))
+
+
+def _make_utility_classes(
+    rng: np.random.Generator, config: WorkloadConfig
+) -> List[UtilityClass]:
+    classes: List[UtilityClass] = []
+    for index in range(config.num_utility_classes):
+        beta = _uniform(rng, config.beta_range)
+        base = _uniform(rng, config.base_value_range)
+        if config.utility_form == "linear":
+            function = LinearUtility(base_value=base, slope=beta)
+        elif config.utility_form == "clipped_linear":
+            function = ClippedLinearUtility(base_value=base, slope=beta)
+        else:  # "step": 3 discrete levels tracking the linear SLA.
+            horizon = base / beta if beta > 0 else 1.0
+            deadlines = (horizon / 4, horizon / 2, horizon)
+            values = tuple(max(base - beta * d, 0.0) for d in deadlines)
+            function = StepUtility(levels=tuple(zip(deadlines, values)))
+        classes.append(
+            UtilityClass(index=index, function=function, name=f"class-{index}")
+        )
+    return classes
+
+
+def _make_server_classes(
+    rng: np.random.Generator, config: WorkloadConfig
+) -> List[ServerClass]:
+    classes: List[ServerClass] = []
+    for index in range(config.num_server_classes):
+        classes.append(
+            ServerClass(
+                index=index,
+                cap_processing=_uniform(rng, config.cap_processing_range),
+                cap_bandwidth=_uniform(rng, config.cap_bandwidth_range),
+                cap_storage=_uniform(rng, config.cap_storage_range),
+                power_fixed=_uniform(rng, config.power_fixed_range),
+                power_per_util=_uniform(rng, config.power_per_util_range),
+                name=f"sku-{index}",
+            )
+        )
+    return classes
+
+
+def _default_servers_per_cluster(num_clients: int, num_clusters: int) -> int:
+    return max(4, math.ceil(num_clients / num_clusters))
+
+
+def generate_system(
+    num_clients: int,
+    seed: Optional[int] = None,
+    config: Optional[WorkloadConfig] = None,
+    name: str = "",
+) -> CloudSystem:
+    """Draw one random problem instance from the paper's distribution.
+
+    The same ``(num_clients, seed, config)`` triple always produces an
+    identical :class:`~repro.model.CloudSystem`, which is what lets every
+    solver in an experiment see the same scenarios.
+    """
+    if num_clients < 1:
+        raise WorkloadError(f"num_clients must be >= 1, got {num_clients}")
+    config = config or WorkloadConfig()
+    rng = np.random.default_rng(seed)
+
+    utility_classes = _make_utility_classes(rng, config)
+    server_classes = _make_server_classes(rng, config)
+
+    per_cluster = config.servers_per_cluster
+    if per_cluster is None:
+        per_cluster = _default_servers_per_cluster(num_clients, config.num_clusters)
+
+    clusters: List[Cluster] = []
+    server_id = 0
+    for cluster_id in range(config.num_clusters):
+        servers: List[Server] = []
+        for _ in range(per_cluster):
+            sku = server_classes[int(rng.integers(0, len(server_classes)))]
+            background_p = background_b = background_m = 0.0
+            if (
+                config.background_load_fraction > 0.0
+                and rng.random() < config.background_load_fraction
+            ):
+                background_p = float(rng.uniform(0.0, 0.5))
+                background_b = float(rng.uniform(0.0, 0.5))
+                background_m = float(rng.uniform(0.0, 0.5)) * sku.cap_storage
+            servers.append(
+                Server(
+                    server_id=server_id,
+                    cluster_id=cluster_id,
+                    server_class=sku,
+                    background_processing=background_p,
+                    background_bandwidth=background_b,
+                    background_storage=background_m,
+                )
+            )
+            server_id += 1
+        clusters.append(Cluster(cluster_id=cluster_id, servers=servers))
+
+    clients: List[Client] = []
+    for client_id in range(num_clients):
+        utility_class = utility_classes[int(rng.integers(0, len(utility_classes)))]
+        rate_agreed = _uniform(rng, config.rate_range)
+        clients.append(
+            Client(
+                client_id=client_id,
+                utility_class=utility_class,
+                rate_agreed=rate_agreed,
+                rate_predicted=rate_agreed * config.predicted_rate_factor,
+                t_proc=_uniform(rng, config.exec_time_range),
+                t_comm=_uniform(rng, config.exec_time_range),
+                storage_req=_uniform(rng, config.storage_req_range),
+            )
+        )
+
+    label = name or f"paper-instance(n={num_clients}, seed={seed})"
+    return CloudSystem(clusters=clusters, clients=clients, name=label)

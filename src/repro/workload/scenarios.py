@@ -1,0 +1,104 @@
+"""Named problem instances used by tests, examples and benchmarks.
+
+Everything here is a thin, deterministic wrapper around
+:func:`repro.workload.generator.generate_system` or a hand-built system
+small enough for exhaustive reference solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model import (
+    Client,
+    ClippedLinearUtility,
+    CloudSystem,
+    UtilityClass,
+)
+from repro.workload.generator import WorkloadConfig, generate_system
+
+
+def paper_scenario(num_clients: int, seed: int) -> CloudSystem:
+    """One instance exactly as drawn for Figures 4 and 5 (section VI)."""
+    return generate_system(
+        num_clients=num_clients,
+        seed=seed,
+        name=f"fig-scenario(n={num_clients}, seed={seed})",
+    )
+
+
+def tiny_system(seed: Optional[int] = 0) -> CloudSystem:
+    """2 clusters x 2 servers, 3 clients — small enough to enumerate.
+
+    Used by tests that compare heuristics against exhaustive search.
+    """
+    config = WorkloadConfig(
+        num_clusters=2,
+        num_server_classes=2,
+        num_utility_classes=2,
+        servers_per_cluster=2,
+    )
+    return generate_system(num_clients=3, seed=seed, config=config, name="tiny")
+
+
+def small_system(seed: Optional[int] = 0, num_clients: int = 10) -> CloudSystem:
+    """3 clusters x 4 servers — fast integration-test size."""
+    config = WorkloadConfig(
+        num_clusters=3,
+        num_server_classes=4,
+        num_utility_classes=3,
+        servers_per_cluster=4,
+    )
+    return generate_system(
+        num_clients=num_clients, seed=seed, config=config, name="small"
+    )
+
+
+def consolidation_scenario(seed: Optional[int] = 11) -> CloudSystem:
+    """Over-provisioned datacenter: far more servers than the load needs.
+
+    The profit-optimal solution keeps most servers OFF, which exercises
+    the ``TurnOFF_servers`` move; used by the consolidation example.
+    """
+    config = WorkloadConfig(
+        num_clusters=3,
+        num_server_classes=5,
+        num_utility_classes=3,
+        servers_per_cluster=10,
+        power_fixed_range=(2.0, 4.0),
+    )
+    return generate_system(
+        num_clients=8, seed=seed, config=config, name="consolidation"
+    )
+
+
+def tiered_sla_scenario(seed: Optional[int] = 23, num_clients: int = 30) -> CloudSystem:
+    """Gold/silver/bronze SLA tiers built by hand on top of generated hardware.
+
+    Demonstrates heterogeneous utility classes: gold clients pay 4x bronze
+    but their price decays 4x faster with response time.
+    """
+    base = generate_system(
+        num_clients=num_clients,
+        seed=seed,
+        config=WorkloadConfig(num_clusters=3, servers_per_cluster=None),
+        name="tiered-sla",
+    )
+    tiers = [
+        UtilityClass(0, ClippedLinearUtility(base_value=4.0, slope=2.0), "gold"),
+        UtilityClass(1, ClippedLinearUtility(base_value=2.0, slope=1.0), "silver"),
+        UtilityClass(2, ClippedLinearUtility(base_value=1.0, slope=0.5), "bronze"),
+    ]
+    clients = [
+        Client(
+            client_id=client.client_id,
+            utility_class=tiers[client.client_id % len(tiers)],
+            rate_agreed=client.rate_agreed,
+            rate_predicted=client.rate_predicted,
+            t_proc=client.t_proc,
+            t_comm=client.t_comm,
+            storage_req=client.storage_req,
+        )
+        for client in base.clients
+    ]
+    return CloudSystem(clusters=base.clusters, clients=clients, name="tiered-sla")

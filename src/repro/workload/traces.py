@@ -1,0 +1,143 @@
+"""Synthetic arrival-rate traces for the epoch simulation.
+
+The paper treats rate prediction as out of scope but its decision-epoch
+design exists *because* traffic moves.  These generators produce the
+per-epoch, per-client rate factors (multipliers on the agreed rate) for
+the three canonical shapes cloud operators plan around:
+
+* :func:`random_walk_factors` — bounded geometric random walk (the
+  default drift model);
+* :func:`diurnal_factors` — a day/night sinusoid with per-client phase
+  jitter (web traffic);
+* :func:`bursty_factors` — a calm baseline punctuated by short
+  correlated spikes (flash crowds).
+
+All return an array of shape ``(num_epochs, num_clients)`` clipped to
+``[min_factor, max_factor]``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+
+
+def _clip(factors: np.ndarray, min_factor: float, max_factor: float) -> np.ndarray:
+    if not 0 < min_factor <= max_factor:
+        raise WorkloadError("need 0 < min_factor <= max_factor")
+    return np.clip(factors, min_factor, max_factor)
+
+
+def random_walk_factors(
+    num_epochs: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    drift: float = 0.15,
+    min_factor: float = 0.3,
+    max_factor: float = 1.0,
+) -> np.ndarray:
+    """Bounded geometric random walk starting at a random level."""
+    if num_epochs < 1 or num_clients < 1:
+        raise WorkloadError("num_epochs and num_clients must be >= 1")
+    levels = np.exp(rng.normal(0.0, drift, size=num_clients))
+    rows = []
+    for _ in range(num_epochs):
+        levels = levels * np.exp(rng.normal(0.0, drift, size=num_clients))
+        rows.append(_clip(levels, min_factor, max_factor))
+    return np.stack(rows)
+
+
+def diurnal_factors(
+    num_epochs: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    period: int = 8,
+    amplitude: float = 0.35,
+    base: float = 0.6,
+    min_factor: float = 0.1,
+    max_factor: float = 1.0,
+) -> np.ndarray:
+    """Day/night sinusoid; each client gets a random phase offset.
+
+    ``period`` epochs make one "day"; the factor oscillates around
+    ``base`` with the given ``amplitude``.
+    """
+    if num_epochs < 1 or num_clients < 1:
+        raise WorkloadError("num_epochs and num_clients must be >= 1")
+    if period < 1:
+        raise WorkloadError("period must be >= 1")
+    phases = rng.uniform(0.0, 2 * math.pi, size=num_clients)
+    epochs = np.arange(num_epochs)[:, None]
+    wave = base + amplitude * np.sin(2 * math.pi * epochs / period + phases[None, :])
+    noise = rng.normal(0.0, amplitude * 0.1, size=wave.shape)
+    return _clip(wave + noise, min_factor, max_factor)
+
+
+def bursty_factors(
+    num_epochs: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    baseline: float = 0.4,
+    burst_probability: float = 0.15,
+    burst_level: float = 1.0,
+    correlated_fraction: float = 0.5,
+    min_factor: float = 0.1,
+    max_factor: float = 1.0,
+) -> np.ndarray:
+    """Calm baseline with correlated flash-crowd spikes.
+
+    In a burst epoch, ``correlated_fraction`` of the clients (chosen per
+    burst) jump to ``burst_level``; everyone else jitters around the
+    baseline.
+    """
+    if num_epochs < 1 or num_clients < 1:
+        raise WorkloadError("num_epochs and num_clients must be >= 1")
+    if not 0 <= burst_probability <= 1:
+        raise WorkloadError("burst_probability must lie in [0, 1]")
+    if not 0 <= correlated_fraction <= 1:
+        raise WorkloadError("correlated_fraction must lie in [0, 1]")
+    rows = []
+    for _ in range(num_epochs):
+        row = baseline + rng.normal(0.0, baseline * 0.15, size=num_clients)
+        if rng.random() < burst_probability:
+            num_hot = max(1, int(num_clients * correlated_fraction))
+            hot = rng.choice(num_clients, size=num_hot, replace=False)
+            row[hot] = burst_level + rng.normal(0.0, 0.05, size=num_hot)
+        rows.append(_clip(row, min_factor, max_factor))
+    return np.stack(rows)
+
+
+def make_factors(
+    pattern: str,
+    num_epochs: int,
+    num_clients: int,
+    rng: np.random.Generator,
+    drift: float = 0.15,
+    min_factor: float = 0.3,
+    max_factor: float = 1.0,
+) -> np.ndarray:
+    """Dispatch by pattern name (used by the epoch simulation config)."""
+    if pattern == "random_walk":
+        return random_walk_factors(
+            num_epochs, num_clients, rng, drift, min_factor, max_factor
+        )
+    if pattern == "diurnal":
+        return diurnal_factors(
+            num_epochs,
+            num_clients,
+            rng,
+            min_factor=min_factor,
+            max_factor=max_factor,
+        )
+    if pattern == "bursty":
+        return bursty_factors(
+            num_epochs,
+            num_clients,
+            rng,
+            min_factor=min_factor,
+            max_factor=max_factor,
+        )
+    raise WorkloadError(f"unknown trace pattern {pattern!r}")

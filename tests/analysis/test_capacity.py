@@ -1,0 +1,117 @@
+"""Tests for the capacity planner."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    build_planned_system,
+    client_requirements,
+    plan_capacity,
+)
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import SolverError
+from repro.model.client import Client
+from repro.model.server import ServerClass
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+from repro.workload import generate_system
+
+
+@pytest.fixture(scope="module")
+def population():
+    system = generate_system(num_clients=15, seed=23)
+    classes = sorted(
+        {s.server_class.index: s.server_class for s in system.servers()}.values(),
+        key=lambda sc: sc.index,
+    )
+    return list(system.clients), list(classes)
+
+
+class TestClientRequirements:
+    def test_above_stability_floor(self, population):
+        clients, _ = population
+        for requirement, client in zip(client_requirements(clients), clients):
+            assert requirement.processing >= client.rate_predicted * client.t_proc
+            assert requirement.bandwidth >= client.rate_predicted * client.t_comm
+            assert requirement.storage == client.storage_req
+
+    def test_tighter_target_needs_more(self, population):
+        clients, _ = population
+        loose = client_requirements(clients, target_response_fraction=0.9)
+        tight = client_requirements(clients, target_response_fraction=0.3)
+        for l, t in zip(loose, tight):
+            assert t.processing >= l.processing - 1e-12
+
+    def test_invalid_fraction_rejected(self, population):
+        clients, _ = population
+        with pytest.raises(SolverError):
+            client_requirements(clients, target_response_fraction=1.5)
+
+
+class TestPlanCapacity:
+    def test_plan_covers_demand(self, population):
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        assert plan.total_servers >= 1
+        bought_capacity = sum(
+            count * next(sc for sc in classes if sc.index == idx).cap_processing
+            for idx, count in plan.servers_by_class.items()
+        )
+        total_need = sum(r.processing for r in plan.requirements)
+        assert bought_capacity >= total_need - 1e-6
+
+    def test_utilization_in_range(self, population):
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        assert 0.0 < plan.mean_processing_utilization <= 1.0 + 1e-9
+
+    def test_fixed_cost_positive(self, population):
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        assert plan.fixed_cost > 0
+
+    def test_no_server_classes_rejected(self, population):
+        clients, _ = population
+        with pytest.raises(SolverError):
+            plan_capacity(clients, [])
+
+    def test_oversized_storage_rejected(self, population):
+        _, classes = population
+        monster = Client(
+            client_id=0,
+            utility_class=UtilityClass(0, ClippedLinearUtility(3.0, 1.0)),
+            rate_agreed=1.0,
+            t_proc=0.5,
+            t_comm=0.5,
+            storage_req=100.0,
+        )
+        with pytest.raises(SolverError):
+            plan_capacity([monster], classes)
+
+
+class TestBuildPlannedSystem:
+    def test_fleet_matches_plan(self, population):
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        system = build_planned_system(clients, classes, plan, num_clusters=2)
+        assert system.num_servers == plan.total_servers
+        assert system.num_clients == len(clients)
+
+    def test_planned_fleet_serves_everyone(self, population):
+        """The whole point: the solver confirms the shopping list works."""
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        system = build_planned_system(clients, classes, plan, num_clusters=2)
+        result = ResourceAllocator(SolverConfig(seed=1)).solve(system)
+        assert result.breakdown.feasible
+        served = sum(
+            1
+            for cid in system.client_ids()
+            if result.allocation.entries_of_client(cid)
+        )
+        assert served == len(clients)
+
+    def test_invalid_cluster_count(self, population):
+        clients, classes = population
+        plan = plan_capacity(clients, classes)
+        with pytest.raises(SolverError):
+            build_planned_system(clients, classes, plan, num_clusters=0)

@@ -1,0 +1,128 @@
+"""Tests for the figure runners (tiny configurations)."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    run_figure4,
+    run_figure5,
+    run_scalability,
+)
+from repro.config import SolverConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        client_counts=(6, 10),
+        scenarios_per_point=2,
+        scenarios_at_largest=1,
+        mc_trials=4,
+        seed=5,
+        solver=SolverConfig(
+            seed=0,
+            num_initial_solutions=1,
+            alpha_granularity=6,
+            max_improvement_rounds=2,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def fig4(tiny_config):
+    return run_figure4(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def fig5(tiny_config):
+    return run_figure5(tiny_config)
+
+
+class TestExperimentConfig:
+    def test_paper_scale_matches_section_vi(self):
+        config = ExperimentConfig.paper_scale()
+        assert max(config.client_counts) == 200
+        assert config.scenarios_per_point == 20
+        assert config.scenarios_at_largest == 5
+        assert config.mc_trials == 10_000
+
+    def test_scenarios_for_largest_point(self):
+        config = ExperimentConfig(
+            client_counts=(10, 20), scenarios_per_point=5, scenarios_at_largest=2
+        )
+        assert config.scenarios_for(10) == 5
+        assert config.scenarios_for(20) == 2
+
+    def test_from_environment_default_is_scaled_down(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert ExperimentConfig.from_environment().mc_trials < 100
+
+    def test_from_environment_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert ExperimentConfig.from_environment().mc_trials == 10_000
+
+
+class TestFigure4:
+    def test_row_per_client_count(self, fig4, tiny_config):
+        assert [r.num_clients for r in fig4.rows] == list(tiny_config.client_counts)
+
+    def test_best_found_is_unity(self, fig4):
+        for row in fig4.rows:
+            assert row.best_found == 1.0
+
+    def test_proposed_close_to_best(self, fig4):
+        """Paper: 'differences ... not more than 9%'."""
+        for row in fig4.rows:
+            assert row.proposed >= 0.85
+            assert row.proposed <= 1.0 + 1e-9
+
+    def test_ps_below_proposed(self, fig4):
+        for row in fig4.rows:
+            assert row.modified_ps < row.proposed
+
+    def test_table_and_chart_render(self, fig4):
+        assert "proposed" in fig4.to_table()
+        assert "95% CI" in fig4.to_table()
+        assert "legend" in fig4.to_chart()
+
+    def test_confidence_intervals_bracket_means(self, fig4):
+        for row in fig4.rows:
+            lo, hi = row.proposed_ci
+            assert lo - 1e-9 <= row.proposed <= hi + 1e-9
+            lo, hi = row.ps_ci
+            assert lo - 1e-9 <= row.modified_ps <= hi + 1e-9
+
+
+class TestFigure5:
+    def test_ordering_of_series(self, fig5):
+        """Local search lifts the worst random start toward the best."""
+        for row in fig5.rows:
+            assert row.worst_initial_before <= row.worst_initial_after + 1e-9
+            assert row.worst_initial_after <= 1.0 + 1e-9
+            assert row.worst_proposed <= 1.0 + 1e-9
+
+    def test_proposed_is_robust(self, fig5):
+        """The heuristic's worst case stays near the optimum (robustness)."""
+        for row in fig5.rows:
+            assert row.worst_proposed >= 0.8
+
+    def test_table_and_chart_render(self, fig5):
+        assert "worst" in fig5.to_table()
+        assert "legend" in fig5.to_chart()
+
+
+class TestScalability:
+    def test_rows_and_monotone_size(self):
+        rows = run_scalability(
+            client_counts=(4, 8),
+            solver=SolverConfig(
+                seed=0,
+                num_initial_solutions=1,
+                alpha_granularity=5,
+                max_improvement_rounds=1,
+            ),
+        )
+        assert [r.num_clients for r in rows] == [4, 8]
+        assert rows[1].num_servers >= rows[0].num_servers
+        for row in rows:
+            assert row.solve_seconds > 0

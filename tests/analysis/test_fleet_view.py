@@ -1,0 +1,43 @@
+"""Tests for the fleet-utilization report."""
+
+import pytest
+
+from repro.analysis.reporting import format_fleet
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.model.allocation import Allocation
+from repro.model.profit import evaluate_profit
+
+
+class TestFormatFleet:
+    def test_marks_off_servers(self, two_cluster_system):
+        breakdown = evaluate_profit(
+            two_cluster_system, Allocation(), require_all_served=False
+        )
+        text = format_fleet(breakdown, two_cluster_system)
+        assert text.count("OFF") == two_cluster_system.num_servers
+        assert "0/2 ON" in text
+
+    def test_marks_on_servers_with_bars(self, two_cluster_system):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 1.0, 0.5, 0.3)
+        breakdown = evaluate_profit(
+            two_cluster_system, alloc, require_all_served=False
+        )
+        text = format_fleet(breakdown, two_cluster_system)
+        assert "1/2 ON" in text
+        assert "#####....." in text  # 50% processing bar
+        assert "p= 50%" in text
+        assert "b= 30%" in text
+
+    def test_one_line_per_server(self, small, solver_config):
+        result = ResourceAllocator(solver_config).solve(small)
+        text = format_fleet(result.breakdown, small)
+        server_lines = [l for l in text.splitlines() if "server" in l]
+        assert len(server_lines) == small.num_servers
+
+    def test_cost_shown_for_on_servers(self, small, solver_config):
+        result = ResourceAllocator(solver_config).solve(small)
+        text = format_fleet(result.breakdown, small)
+        assert "cost=" in text

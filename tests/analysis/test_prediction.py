@@ -1,0 +1,48 @@
+"""Tests for the prediction-error study."""
+
+import pytest
+
+from repro.analysis.prediction import run_prediction_study
+from repro.config import SolverConfig
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_prediction_study(
+        factors=(0.6, 1.0),
+        num_clients=10,
+        seed=17,
+        solver=SolverConfig(
+            seed=0,
+            num_initial_solutions=1,
+            alpha_granularity=6,
+            max_improvement_rounds=2,
+        ),
+    )
+
+
+class TestPredictionStudy:
+    def test_one_row_per_factor(self, study):
+        assert [row.factor for row in study.rows] == [0.6, 1.0]
+
+    def test_factor_one_policies_coincide(self, study):
+        """With factor 1.0, trusting the prediction IS the conservative plan."""
+        row = next(r for r in study.rows if r.factor == 1.0)
+        assert row.profit_trusting_prediction == pytest.approx(
+            row.profit_conservative, rel=0.05
+        )
+
+    def test_trusting_correct_prediction_pays(self, study):
+        """When actual < agreed, provisioning on the prediction earns more."""
+        row = next(r for r in study.rows if r.factor == 0.6)
+        assert row.profit_trusting_prediction >= row.profit_conservative - 1e-6
+
+    def test_wrong_prediction_costs(self, study):
+        """An under-provisioned allocation hit by full traffic earns less."""
+        row = next(r for r in study.rows if r.factor == 0.6)
+        assert row.profit_if_prediction_wrong <= row.profit_trusting_prediction + 1e-6
+
+    def test_table_renders(self, study):
+        table = study.to_table()
+        assert "trust prediction" in table
+        assert "conservative" in table

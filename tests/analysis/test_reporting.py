@@ -1,0 +1,59 @@
+"""Tests for tables, charts and CSV export."""
+
+import math
+
+from repro.analysis.reporting import format_series_chart, format_table, rows_to_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["name", "value"], [("a", 1.0), ("long-name", 22.5)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Columns right-aligned: all rows same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(1.23456,)])
+        assert "1.235" in table
+
+    def test_nan_rendering(self):
+        table = format_table(["x"], [(float("nan"),)])
+        assert "nan" in table
+
+    def test_custom_float_format(self):
+        table = format_table(["x"], [(1.23456,)], float_format="{:.1f}")
+        assert "1.2" in table
+
+
+class TestSeriesChart:
+    def test_contains_legend_and_markers(self):
+        chart = format_series_chart(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+        )
+        assert "legend:" in chart
+        assert "* up" in chart
+        assert "o down" in chart
+        assert "*" in chart.splitlines()[0] + chart  # markers plotted
+
+    def test_handles_nan_series(self):
+        chart = format_series_chart([1, 2], {"s": [float("nan"), 1.0]})
+        assert "legend" in chart
+
+    def test_no_data(self):
+        assert format_series_chart([1], {"s": [float("nan")]}) == "(no data)"
+
+    def test_flat_series(self):
+        chart = format_series_chart([1, 2], {"s": [1.0, 1.0]})
+        assert "legend" in chart
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv = rows_to_csv(["a", "b"], [(1, 2.5), (3, 4.0)])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.500000"
+        assert lines[2] == "3,4.000000"

@@ -1,0 +1,87 @@
+"""Tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    SampleSummary,
+    bootstrap_mean_ci,
+    geometric_mean,
+    paired_gap_summary,
+)
+
+
+class TestBootstrapMeanCi:
+    def test_mean_matches_numpy(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        summary = bootstrap_mean_ci(samples)
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.count == 4
+
+    def test_interval_contains_mean(self):
+        summary = bootstrap_mean_ci([3.0, 5.0, 4.0, 6.0, 2.0])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_sample_degenerates(self):
+        summary = bootstrap_mean_ci([7.0])
+        assert summary.ci_low == summary.ci_high == summary.mean == 7.0
+
+    def test_deterministic_for_seed(self):
+        a = bootstrap_mean_ci([1.0, 5.0, 3.0], seed=4)
+        b = bootstrap_mean_ci([1.0, 5.0, 3.0], seed=4)
+        assert (a.ci_low, a.ci_high) == (b.ci_low, b.ci_high)
+
+    def test_wider_at_higher_level(self):
+        samples = list(np.random.default_rng(0).normal(0, 1, size=30))
+        narrow = bootstrap_mean_ci(samples, level=0.80)
+        wide = bootstrap_mean_ci(samples, level=0.99)
+        assert wide.half_width >= narrow.half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], level=1.5)
+
+    def test_str_renders(self):
+        text = str(bootstrap_mean_ci([1.0, 2.0]))
+        assert "n=2" in text
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=5, max_size=30
+        )
+    )
+    def test_interval_brackets_sample_mean(self, samples):
+        summary = bootstrap_mean_ci(samples)
+        assert summary.ci_low - 1e-9 <= summary.mean <= summary.ci_high + 1e-9
+
+
+class TestPairedGap:
+    def test_positive_gap_detected(self):
+        better = [10.0, 11.0, 12.0, 13.0]
+        worse = [8.0, 9.5, 10.0, 11.0]
+        summary = paired_gap_summary(better, worse)
+        assert summary.mean > 0
+        assert summary.ci_low > 0  # consistently better
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_gap_summary([1.0], [1.0, 2.0])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,58 @@
+"""Tests for the analytical profit upper bound."""
+
+import pytest
+
+from repro.baselines.bounds import profit_upper_bound
+from repro.baselines.exhaustive import exhaustive_search
+from repro.baselines.monte_carlo import MonteCarloSearch
+from repro.config import SolverConfig
+from repro.core.admission import admission_controlled_solve
+from repro.core.allocator import ResourceAllocator
+from repro.workload import generate_system, tiny_system
+
+
+class TestProfitUpperBound:
+    def test_dominates_heuristic(self, generated_20, solver_config):
+        result = ResourceAllocator(solver_config).solve(generated_20)
+        bound = profit_upper_bound(generated_20)
+        assert result.profit <= bound.profit_bound + 1e-9
+
+    def test_dominates_monte_carlo(self, small, solver_config):
+        mc = MonteCarloSearch(num_trials=10, config=solver_config).run(small, seed=2)
+        bound = profit_upper_bound(small)
+        assert mc.best_profit <= bound.profit_bound + 1e-9
+
+    def test_dominates_exhaustive_optimum(self, tiny, solver_config):
+        exhaustive = exhaustive_search(tiny, solver_config)
+        bound = profit_upper_bound(tiny)
+        assert exhaustive.best_profit <= bound.profit_bound + 1e-9
+
+    def test_relaxed_bound_dominates_admission_control(self, solver_config):
+        system = generate_system(num_clients=12, seed=29)
+        result = admission_controlled_solve(system, solver_config)
+        bound = profit_upper_bound(system, require_all_served=False)
+        assert result.profit <= bound.profit_bound + 1e-9
+
+    def test_relaxed_bound_at_least_constrained(self, generated_20):
+        constrained = profit_upper_bound(generated_20, require_all_served=True)
+        relaxed = profit_upper_bound(generated_20, require_all_served=False)
+        assert relaxed.profit_bound >= constrained.profit_bound - 1e-9
+
+    def test_structure(self, small):
+        bound = profit_upper_bound(small)
+        assert bound.profit_bound == pytest.approx(
+            bound.revenue_bound - bound.cost_bound
+        )
+        assert set(bound.per_client_revenue) == set(small.client_ids())
+        for r_min in bound.min_response_times.values():
+            assert r_min > 0
+
+    def test_min_response_uses_best_hardware(self, small):
+        bound = profit_upper_bound(small)
+        best_p = max(s.cap_processing for s in small.servers())
+        best_b = max(s.cap_bandwidth for s in small.servers())
+        for client in small.clients:
+            expected = client.t_proc / best_p + client.t_comm / best_b
+            assert bound.min_response_times[client.client_id] == pytest.approx(
+                expected
+            )

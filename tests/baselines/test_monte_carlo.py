@@ -1,0 +1,88 @@
+"""Tests for the Monte Carlo reference search."""
+
+import math
+
+import pytest
+
+from repro.baselines.monte_carlo import MonteCarloResult, MonteCarloSearch
+from repro.model.profit import evaluate_profit
+
+
+class TestMonteCarloSearch:
+    def test_runs_requested_trials(self, small, solver_config):
+        result = MonteCarloSearch(num_trials=5, config=solver_config).run(
+            small, seed=1
+        )
+        assert result.trials == 5
+        assert len(result.initial_profits) == 5
+
+    def test_best_is_one_of_the_optimized_trials(self, small, solver_config):
+        result = MonteCarloSearch(num_trials=5, config=solver_config).run(
+            small, seed=1
+        )
+        # Best is a recorded trial (the max among those serving everyone,
+        # which may be below the unconstrained max).
+        assert any(
+            result.best_profit == pytest.approx(p)
+            for p in result.optimized_profits
+        )
+        assert result.best_profit <= max(result.optimized_profits) + 1e-9
+
+    def test_best_allocation_scores_best_profit(self, small, solver_config):
+        result = MonteCarloSearch(num_trials=4, config=solver_config).run(
+            small, seed=2
+        )
+        assert result.best_allocation is not None
+        independent = evaluate_profit(
+            small, result.best_allocation, require_all_served=False
+        )
+        assert independent.total_profit == pytest.approx(result.best_profit)
+
+    def test_local_search_never_hurts(self, small, solver_config):
+        result = MonteCarloSearch(num_trials=5, config=solver_config).run(
+            small, seed=3
+        )
+        for before, after in zip(result.initial_profits, result.optimized_profits):
+            assert after >= before - 1e-9
+
+    def test_deterministic_for_seed(self, small, solver_config):
+        a = MonteCarloSearch(num_trials=3, config=solver_config).run(small, seed=9)
+        b = MonteCarloSearch(num_trials=3, config=solver_config).run(small, seed=9)
+        assert a.optimized_profits == b.optimized_profits
+
+    def test_without_local_search(self, small, solver_config):
+        result = MonteCarloSearch(
+            num_trials=3, config=solver_config, local_search=False
+        ).run(small, seed=1)
+        for before, after in zip(result.initial_profits, result.optimized_profits):
+            assert after == pytest.approx(before)
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ValueError):
+            MonteCarloSearch(num_trials=0)
+
+
+class TestMonteCarloResultAccessors:
+    def make(self):
+        return MonteCarloResult(
+            best_profit=10.0,
+            best_allocation=None,
+            initial_profits=[3.0, 1.0, 2.0],
+            optimized_profits=[8.0, 6.0, 10.0],
+        )
+
+    def test_worst_initial(self):
+        assert self.make().worst_initial_profit == 1.0
+
+    def test_worst_initial_after_search(self):
+        # Trial index 1 had the worst start; its optimized profit is 6.
+        assert self.make().worst_initial_after_search == 6.0
+
+    def test_worst_optimized(self):
+        assert self.make().worst_optimized_profit == 6.0
+
+    def test_empty_result_is_nan(self):
+        empty = MonteCarloResult(best_profit=-math.inf, best_allocation=None)
+        assert math.isnan(empty.worst_initial_profit)
+        assert math.isnan(empty.worst_initial_after_search)
+        assert math.isnan(empty.worst_optimized_profit)

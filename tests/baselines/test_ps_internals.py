@@ -1,0 +1,172 @@
+"""Unit tests for the Proportional Share internals."""
+
+import pytest
+
+from repro.baselines.proportional_share import (
+    _aggregate_demands,
+    _assign_clients_to_clusters,
+    _first_fit_placement,
+    _minimum_required,
+)
+from repro.config import SolverConfig
+from repro.workload import generate_system
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(num_clients=12, seed=13)
+
+
+class TestClusterBalancing:
+    def test_every_client_assigned_once(self, system):
+        members = _assign_clients_to_clusters(system, system.clients)
+        assigned = [c.client_id for group in members.values() for c in group]
+        assert sorted(assigned) == system.client_ids()
+
+    def test_load_roughly_balanced(self, system):
+        members = _assign_clients_to_clusters(system, system.clients)
+        loads = [
+            sum(c.rate_predicted * c.t_proc for c in group)
+            for group in members.values()
+            if group
+        ]
+        assert max(loads) <= min(loads) * 4 + 3  # no cluster grossly overloaded
+
+
+class TestMinimumRequired:
+    def test_stability_floor(self, system):
+        minima = _minimum_required(
+            system.clients, "processing", margin=1.05, sla_aware=False
+        )
+        for client in system.clients:
+            assert minima[client.client_id] == pytest.approx(
+                client.rate_predicted * client.t_proc * 1.05
+            )
+
+    def test_sla_aware_at_least_stability(self, system):
+        floor = _minimum_required(
+            system.clients, "processing", margin=1.05, sla_aware=False
+        )
+        sla = _minimum_required(
+            system.clients, "processing", margin=1.05, sla_aware=True
+        )
+        for cid in floor:
+            assert sla[cid] >= floor[cid] - 1e-12
+
+    def test_bandwidth_uses_t_comm(self, system):
+        minima = _minimum_required(
+            system.clients, "bandwidth", margin=1.05, sla_aware=False
+        )
+        for client in system.clients:
+            assert minima[client.client_id] == pytest.approx(
+                client.rate_predicted * client.t_comm * 1.05
+            )
+
+
+class TestAggregateDemands:
+    def test_returns_none_when_minima_exceed_pool(self, system):
+        clients = system.clients
+        minima = _minimum_required(clients, "processing", 1.05, False)
+        tiny_pool = sum(minima.values()) * 0.5
+        assert (
+            _aggregate_demands(clients, 4.0, tiny_pool, "processing", minima)
+            is None
+        )
+
+    def test_demands_at_least_minima(self, system):
+        clients = system.clients
+        minima = _minimum_required(clients, "processing", 1.05, False)
+        pool = sum(minima.values()) * 2.0
+        demands = _aggregate_demands(clients, 4.0, pool, "processing", minima)
+        assert demands is not None
+        for cid, minimum in minima.items():
+            assert demands[cid] >= minimum - 1e-12
+
+    def test_pool_not_fully_distributed(self, system):
+        """The 10% holdback that keeps First-Fit from exact-fill failure."""
+        clients = system.clients
+        minima = _minimum_required(clients, "processing", 1.05, False)
+        pool = sum(minima.values()) * 2.0
+        demands = _aggregate_demands(clients, 4.0, pool, "processing", minima)
+        assert demands is not None
+        assert sum(demands.values()) < pool
+
+    def test_higher_slope_earns_more_bonus(self):
+        system = generate_system(
+            num_clients=6,
+            seed=3,
+            config=WorkloadConfig(num_utility_classes=5),
+        )
+        clients = sorted(system.clients, key=lambda c: c.utility_slope)
+        minima = _minimum_required(clients, "processing", 1.05, False)
+        pool = sum(minima.values()) * 3.0
+        demands = _aggregate_demands(clients, 4.0, pool, "processing", minima)
+        assert demands is not None
+        low = clients[0]
+        high = clients[-1]
+        bonus_low = demands[low.client_id] - minima[low.client_id]
+        bonus_high = demands[high.client_id] - minima[high.client_id]
+        # Same execution-time scale assumed; the slope should dominate.
+        if abs(low.t_proc - high.t_proc) < 0.3:
+            assert bonus_high >= bonus_low * 0.5
+
+
+class TestFirstFitPlacement:
+    def test_minima_always_placed(self, system):
+        config = SolverConfig()
+        members = _assign_clients_to_clusters(system, system.clients)
+        for cluster in system.clusters:
+            clients = members[cluster.cluster_id]
+            if not clients:
+                continue
+            servers = list(cluster.servers)
+            min_p = _minimum_required(clients, "processing", 1.05, False)
+            min_b = _minimum_required(clients, "bandwidth", 1.05, False)
+            pool_p = sum(s.cap_processing for s in servers)
+            pool_b = sum(s.cap_bandwidth for s in servers)
+            demand_p = _aggregate_demands(clients, 4.0, pool_p, "processing", min_p)
+            demand_b = _aggregate_demands(clients, 4.0, pool_b, "bandwidth", min_b)
+            if demand_p is None or demand_b is None:
+                continue
+            placements = _first_fit_placement(
+                clients, servers, demand_p, demand_b, min_p, min_b
+            )
+            if placements is None:
+                continue
+            for client in clients:
+                placed = sum(
+                    chunk.processing for chunk in placements[client.client_id]
+                )
+                floor = client.rate_predicted * client.t_proc
+                assert placed > floor  # strictly stable
+
+    def test_capacity_never_exceeded(self, system):
+        members = _assign_clients_to_clusters(system, system.clients)
+        cluster = system.clusters[0]
+        clients = members[0]
+        if not clients:
+            pytest.skip("empty cluster in fixture")
+        servers = list(cluster.servers)
+        min_p = _minimum_required(clients, "processing", 1.05, False)
+        min_b = _minimum_required(clients, "bandwidth", 1.05, False)
+        pool_p = sum(s.cap_processing for s in servers)
+        pool_b = sum(s.cap_bandwidth for s in servers)
+        demand_p = _aggregate_demands(clients, 4.0, pool_p, "processing", min_p)
+        demand_b = _aggregate_demands(clients, 4.0, pool_b, "bandwidth", min_b)
+        if demand_p is None or demand_b is None:
+            pytest.skip("infeasible cluster draw")
+        placements = _first_fit_placement(
+            clients, servers, demand_p, demand_b, min_p, min_b
+        )
+        if placements is None:
+            pytest.skip("placement infeasible on this draw")
+        used_p = {s.server_id: 0.0 for s in servers}
+        used_b = {s.server_id: 0.0 for s in servers}
+        for chunks in placements.values():
+            for chunk in chunks:
+                used_p[chunk.server_id] += chunk.processing
+                used_b[chunk.server_id] += chunk.bandwidth
+        for server in servers:
+            assert used_p[server.server_id] <= server.cap_processing + 1e-9
+            assert used_b[server.server_id] <= server.cap_bandwidth + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for exhaustive search, simulated annealing, and genetic search."""
+
+import pytest
+
+from repro.baselines.annealing import (
+    SimulatedAnnealingConfig,
+    simulated_annealing,
+)
+from repro.baselines.exhaustive import MAX_ASSIGNMENTS, exhaustive_search
+from repro.baselines.genetic import GeneticConfig, genetic_search
+from repro.config import SolverConfig
+from repro.exceptions import ConfigurationError, SolverError
+from repro.model.profit import evaluate_profit
+from repro.workload import generate_system
+from repro.workload.generator import WorkloadConfig
+
+
+class TestExhaustive:
+    def test_finds_feasible_best(self, tiny, solver_config):
+        result = exhaustive_search(tiny, solver_config)
+        assert result.best_allocation is not None
+        assert result.assignments_tried == len(tiny.cluster_ids()) ** len(
+            tiny.client_ids()
+        )
+        independent = evaluate_profit(
+            tiny, result.best_allocation, require_all_served=False
+        )
+        assert independent.total_profit == pytest.approx(result.best_profit)
+
+    def test_best_assignment_matches_allocation(self, tiny, solver_config):
+        result = exhaustive_search(tiny, solver_config)
+        assert result.best_assignment is not None
+        for cid, kid in result.best_assignment.items():
+            assert result.best_allocation.cluster_of[cid] == kid
+
+    def test_refuses_large_spaces(self, solver_config):
+        system = generate_system(
+            num_clients=30,
+            seed=0,
+            config=WorkloadConfig(num_clusters=5),
+        )
+        assert 5**30 > MAX_ASSIGNMENTS
+        with pytest.raises(SolverError):
+            exhaustive_search(system, solver_config)
+
+
+class TestSimulatedAnnealing:
+    def test_returns_feasible_best(self, tiny, solver_config):
+        result = simulated_annealing(
+            tiny,
+            SimulatedAnnealingConfig(iterations=40),
+            solver_config,
+            seed=1,
+        )
+        assert result.best_allocation is not None
+        independent = evaluate_profit(
+            tiny, result.best_allocation, require_all_served=False
+        )
+        assert independent.total_profit == pytest.approx(result.best_profit)
+
+    def test_close_to_exhaustive_on_tiny(self, tiny, solver_config):
+        exhaustive = exhaustive_search(tiny, solver_config)
+        result = simulated_annealing(
+            tiny,
+            SimulatedAnnealingConfig(iterations=80),
+            solver_config,
+            seed=1,
+        )
+        assert result.best_profit >= exhaustive.best_profit * 0.8
+
+    def test_deterministic_for_seed(self, tiny, solver_config):
+        cfg = SimulatedAnnealingConfig(iterations=20)
+        a = simulated_annealing(tiny, cfg, solver_config, seed=3)
+        b = simulated_annealing(tiny, cfg, solver_config, seed=3)
+        assert a.best_profit == pytest.approx(b.best_profit)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingConfig(iterations=0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingConfig(cooling=1.5)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealingConfig(initial_temperature=0.0)
+
+
+class TestGeneticSearch:
+    def test_returns_feasible_best(self, tiny, solver_config):
+        result = genetic_search(
+            tiny,
+            GeneticConfig(population_size=8, generations=4),
+            solver_config,
+            seed=1,
+        )
+        assert result.best_allocation is not None
+        independent = evaluate_profit(
+            tiny, result.best_allocation, require_all_served=False
+        )
+        assert independent.total_profit == pytest.approx(result.best_profit)
+
+    def test_evaluation_count(self, tiny, solver_config):
+        config = GeneticConfig(population_size=6, generations=3)
+        result = genetic_search(tiny, config, solver_config, seed=1)
+        assert result.evaluations == 6 * (3 + 1)
+
+    def test_close_to_exhaustive_on_tiny(self, tiny, solver_config):
+        exhaustive = exhaustive_search(tiny, solver_config)
+        result = genetic_search(
+            tiny,
+            GeneticConfig(population_size=10, generations=6),
+            solver_config,
+            seed=2,
+        )
+        assert result.best_profit >= exhaustive.best_profit * 0.8
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(population_size=1)
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(mutation_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            GeneticConfig(elite_count=20, population_size=10)

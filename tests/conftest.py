@@ -1,0 +1,137 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.model import (
+    Client,
+    ClippedLinearUtility,
+    CloudSystem,
+    Cluster,
+    LinearUtility,
+    Server,
+    ServerClass,
+    UtilityClass,
+)
+from repro.workload import generate_system, small_system, tiny_system
+from repro.workload.generator import WorkloadConfig
+
+
+@pytest.fixture
+def solver_config() -> SolverConfig:
+    return SolverConfig(seed=0)
+
+
+@pytest.fixture
+def fast_config() -> SolverConfig:
+    """Smaller grid / fewer rounds for tests that only need a feasible run."""
+    return SolverConfig(
+        seed=0,
+        num_initial_solutions=1,
+        alpha_granularity=5,
+        max_improvement_rounds=3,
+    )
+
+
+@pytest.fixture
+def gold_class() -> UtilityClass:
+    return UtilityClass(0, ClippedLinearUtility(base_value=3.0, slope=1.0), "gold")
+
+
+@pytest.fixture
+def linear_class() -> UtilityClass:
+    return UtilityClass(1, LinearUtility(base_value=3.0, slope=1.0), "linear")
+
+
+@pytest.fixture
+def sku() -> ServerClass:
+    return ServerClass(
+        index=0,
+        cap_processing=4.0,
+        cap_bandwidth=4.0,
+        cap_storage=4.0,
+        power_fixed=1.5,
+        power_per_util=1.0,
+        name="sku-test",
+    )
+
+
+@pytest.fixture
+def one_server_system(gold_class: UtilityClass, sku: ServerClass) -> CloudSystem:
+    """One cluster, one server, one client — the smallest exercisable system."""
+    server = Server(server_id=0, cluster_id=0, server_class=sku)
+    client = Client(
+        client_id=0,
+        utility_class=gold_class,
+        rate_agreed=1.0,
+        t_proc=0.5,
+        t_comm=0.5,
+        storage_req=0.5,
+    )
+    return CloudSystem(
+        clusters=[Cluster(cluster_id=0, servers=[server])],
+        clients=[client],
+        name="one-server",
+    )
+
+
+@pytest.fixture
+def two_cluster_system(gold_class: UtilityClass, sku: ServerClass) -> CloudSystem:
+    """Two clusters x two servers, three clients — hand-built and small."""
+    servers0 = [
+        Server(server_id=0, cluster_id=0, server_class=sku),
+        Server(server_id=1, cluster_id=0, server_class=sku),
+    ]
+    servers1 = [
+        Server(server_id=2, cluster_id=1, server_class=sku),
+        Server(server_id=3, cluster_id=1, server_class=sku),
+    ]
+    clients = [
+        Client(
+            client_id=i,
+            utility_class=gold_class,
+            rate_agreed=1.0 + 0.5 * i,
+            t_proc=0.5,
+            t_comm=0.4,
+            storage_req=0.5,
+        )
+        for i in range(3)
+    ]
+    return CloudSystem(
+        clusters=[
+            Cluster(cluster_id=0, servers=servers0),
+            Cluster(cluster_id=1, servers=servers1),
+        ],
+        clients=clients,
+        name="two-cluster",
+    )
+
+
+@pytest.fixture
+def tiny() -> CloudSystem:
+    return tiny_system(seed=0)
+
+
+@pytest.fixture
+def small() -> CloudSystem:
+    return small_system(seed=0, num_clients=8)
+
+
+@pytest.fixture
+def generated_20() -> CloudSystem:
+    return generate_system(num_clients=20, seed=5)
+
+
+@pytest.fixture
+def overprovisioned() -> CloudSystem:
+    """Far more servers than needed; consolidation must pay off."""
+    config = WorkloadConfig(
+        num_clusters=2,
+        num_server_classes=3,
+        num_utility_classes=2,
+        servers_per_cluster=8,
+        power_fixed_range=(2.0, 3.0),
+    )
+    return generate_system(num_clients=4, seed=3, config=config)

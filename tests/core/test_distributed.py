@@ -1,0 +1,55 @@
+"""Tests for the per-cluster distributed allocator."""
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.distributed import DistributedAllocator, _cluster_subproblem
+from repro.model.validation import find_violations
+
+
+class TestClusterSubproblem:
+    def test_extracts_only_bound_clients(self, generated_20, solver_config):
+        result = ResourceAllocator(solver_config).solve(generated_20)
+        cluster_id = generated_20.cluster_ids()[0]
+        sub_system, sub_allocation = _cluster_subproblem(
+            generated_20, result.allocation, cluster_id
+        )
+        expected = set(result.allocation.clients_in_cluster(cluster_id))
+        assert {c.client_id for c in sub_system.clients} == expected
+        assert sub_system.num_clusters == 1
+        for cid in expected:
+            assert sub_allocation.cluster_of[cid] == cluster_id
+
+    def test_subproblem_allocation_feasible(self, generated_20, solver_config):
+        result = ResourceAllocator(solver_config).solve(generated_20)
+        for cluster_id in generated_20.cluster_ids():
+            sub_system, sub_allocation = _cluster_subproblem(
+                generated_20, result.allocation, cluster_id
+            )
+            assert (
+                find_violations(sub_system, sub_allocation, require_all_served=False)
+                == []
+            )
+
+
+class TestDistributedAllocator:
+    def test_produces_feasible_solution(self, generated_20):
+        config = SolverConfig(seed=1, num_workers=2)
+        result = DistributedAllocator(config).solve(generated_20)
+        assert result.breakdown.feasible
+
+    def test_quality_comparable_to_sequential(self, generated_20):
+        config = SolverConfig(seed=1, num_workers=2)
+        distributed = DistributedAllocator(config).solve(generated_20)
+        sequential = ResourceAllocator(SolverConfig(seed=1)).solve(generated_20)
+        # Same class of solution: within 15% of each other.
+        assert distributed.profit >= sequential.profit * 0.85
+
+    def test_all_clients_served(self, generated_20):
+        config = SolverConfig(seed=1, num_workers=2)
+        result = DistributedAllocator(config).solve(generated_20)
+        for cid in generated_20.client_ids():
+            assert result.allocation.total_alpha(cid) == pytest.approx(
+                1.0, abs=1e-6
+            )

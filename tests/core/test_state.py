@@ -1,0 +1,135 @@
+"""Tests for the WorkingState capacity cache."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+
+
+class TestCapacityQueries:
+    def test_fresh_server_fully_free(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        assert state.free_processing(0) == 1.0
+        assert state.free_bandwidth(0) == 1.0
+        assert state.free_storage(0) == 4.0
+
+    def test_entry_consumes_capacity(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        assert state.free_processing(0) == pytest.approx(0.6)
+        assert state.free_bandwidth(0) == pytest.approx(0.7)
+        assert state.free_storage(0) == pytest.approx(3.5)
+
+    def test_overwrite_replaces_consumption(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        state.set_entry(0, 0, 1.0, 0.2, 0.2)
+        assert state.free_processing(0) == pytest.approx(0.8)
+        assert state.free_storage(0) == pytest.approx(3.5)  # storage charged once
+
+    def test_remove_restores_capacity(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        state.remove_entry(0, 0)
+        assert state.free_processing(0) == 1.0
+        assert state.free_storage(0) == 4.0
+
+    def test_zero_alpha_entry_removes(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        state.set_entry(0, 0, 0.0, 0.4, 0.3)
+        assert state.allocation.entry(0, 0) is None
+
+    def test_existing_allocation_ingested(self, two_cluster_system):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 1, 1.0, 0.5, 0.5)
+        state = WorkingState(two_cluster_system, alloc)
+        assert state.free_processing(1) == pytest.approx(0.5)
+
+
+class TestActivity:
+    def test_inactive_by_default(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        assert not state.server_is_active(0)
+        assert state.inactive_server_ids(0) == {0, 1}
+
+    def test_active_with_traffic(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        assert state.server_is_active(0)
+        assert state.active_server_ids(0) == {0}
+        assert state.active_server_ids() == {0}
+
+    def test_unassign_client_clears_state(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        state.unassign_client(0)
+        assert not state.server_is_active(0)
+        assert not state.allocation.is_assigned(0)
+
+    def test_cluster_switch_clears_entries(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        state.assign_client(0, 1)
+        assert state.free_processing(0) == 1.0
+        assert state.allocation.cluster_of[0] == 1
+
+
+class TestSnapshots:
+    def test_restore_round_trip(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        snapshot = state.snapshot()
+        state.set_entry(0, 0, 1.0, 0.9, 0.9)
+        state.assign_client(1, 1)
+        state.restore(snapshot)
+        assert state.free_processing(0) == pytest.approx(0.6)
+        assert not state.allocation.is_assigned(1)
+
+    def test_snapshot_is_decoupled(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        state.assign_client(0, 0)
+        state.set_entry(0, 0, 1.0, 0.4, 0.3)
+        snapshot = state.snapshot()
+        state.set_entry(0, 0, 1.0, 0.1, 0.1)
+        entry = snapshot.entry(0, 0)
+        assert entry is not None and entry.phi_p == pytest.approx(0.4)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),   # client
+            st.integers(min_value=0, max_value=3),   # server (cluster = sid // 2)
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=0.3),
+        ),
+        max_size=25,
+    )
+)
+def test_aggregates_never_drift(two_cluster_system, ops):
+    """Property: incremental aggregates equal a full recount after any ops."""
+    state = WorkingState(two_cluster_system)
+    for client_id, server_id, alpha, phi in ops:
+        cluster_id = two_cluster_system.cluster_of_server(server_id)
+        state.assign_client(client_id, cluster_id)
+        if alpha < 0.1:
+            state.remove_entry(client_id, server_id)
+        else:
+            state.set_entry(client_id, server_id, alpha, phi, phi)
+    state.check_consistency()  # raises on drift

@@ -1,0 +1,192 @@
+"""Tests for the Allocation state container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ModelError
+from repro.model.allocation import Allocation, ServerAllocation
+
+
+class TestServerAllocation:
+    def test_valid(self):
+        entry = ServerAllocation(alpha=0.5, phi_p=0.3, phi_b=0.2)
+        assert entry.alpha == 0.5
+
+    @pytest.mark.parametrize("alpha", [-0.1, 1.5])
+    def test_alpha_bounds(self, alpha):
+        with pytest.raises(ModelError):
+            ServerAllocation(alpha=alpha, phi_p=0.1, phi_b=0.1)
+
+    def test_negative_shares_rejected(self):
+        with pytest.raises(ModelError):
+            ServerAllocation(alpha=0.5, phi_p=-0.1, phi_b=0.1)
+
+    def test_copy_is_independent(self):
+        entry = ServerAllocation(alpha=0.5, phi_p=0.3, phi_b=0.2)
+        clone = entry.copy()
+        clone.alpha = 0.7
+        assert entry.alpha == 0.5
+
+
+class TestAssignment:
+    def test_assign_and_query(self):
+        alloc = Allocation()
+        alloc.assign_client(1, 2)
+        assert alloc.is_assigned(1)
+        assert alloc.cluster_of[1] == 2
+
+    def test_entry_requires_assignment(self):
+        alloc = Allocation()
+        with pytest.raises(ModelError):
+            alloc.set_entry(0, 0, 0.5, 0.1, 0.1)
+
+    def test_reassigning_same_cluster_keeps_entries(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 1)
+        alloc.set_entry(0, 5, 1.0, 0.5, 0.5)
+        alloc.assign_client(0, 1)
+        assert alloc.entry(0, 5) is not None
+
+    def test_reassigning_other_cluster_clears_entries(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 1)
+        alloc.set_entry(0, 5, 1.0, 0.5, 0.5)
+        alloc.assign_client(0, 2)
+        assert alloc.entry(0, 5) is None
+        assert alloc.is_assigned(0)
+
+    def test_unassign_removes_everything(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 1)
+        alloc.set_entry(0, 5, 1.0, 0.5, 0.5)
+        alloc.unassign_client(0)
+        assert not alloc.is_assigned(0)
+        assert alloc.entry(0, 5) is None
+        assert alloc.clients_on_server(5) == set()
+
+
+class TestEntries:
+    def make(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.assign_client(1, 0)
+        alloc.set_entry(0, 10, 0.6, 0.3, 0.2)
+        alloc.set_entry(0, 11, 0.4, 0.2, 0.1)
+        alloc.set_entry(1, 10, 1.0, 0.4, 0.5)
+        return alloc
+
+    def test_entries_of_client(self):
+        alloc = self.make()
+        assert set(alloc.entries_of_client(0)) == {10, 11}
+
+    def test_clients_on_server(self):
+        alloc = self.make()
+        assert alloc.clients_on_server(10) == {0, 1}
+        assert alloc.clients_on_server(11) == {0}
+
+    def test_server_share_totals(self):
+        alloc = self.make()
+        total_p, total_b = alloc.server_share_totals(10)
+        assert total_p == pytest.approx(0.7)
+        assert total_b == pytest.approx(0.7)
+
+    def test_total_alpha(self):
+        alloc = self.make()
+        assert alloc.total_alpha(0) == pytest.approx(1.0)
+        assert alloc.total_alpha(1) == pytest.approx(1.0)
+        assert alloc.total_alpha(42) == 0.0
+
+    def test_overwrite_entry(self):
+        alloc = self.make()
+        alloc.set_entry(0, 10, 0.5, 0.25, 0.25)
+        entry = alloc.entry(0, 10)
+        assert entry is not None and entry.alpha == 0.5
+        total_p, _ = alloc.server_share_totals(10)
+        assert total_p == pytest.approx(0.25 + 0.4)
+
+    def test_remove_entry_cleans_reverse_index(self):
+        alloc = self.make()
+        alloc.remove_entry(0, 11)
+        assert alloc.clients_on_server(11) == set()
+        assert alloc.entry(0, 11) is None
+
+    def test_remove_missing_entry_is_noop(self):
+        alloc = self.make()
+        alloc.remove_entry(0, 99)  # must not raise
+
+    def test_iter_entries_count(self):
+        assert len(list(self.make().iter_entries())) == 3
+
+    def test_used_server_ids(self):
+        assert self.make().used_server_ids() == {10, 11}
+
+    def test_clients_in_cluster(self):
+        alloc = self.make()
+        assert sorted(alloc.clients_in_cluster(0)) == [0, 1]
+        assert alloc.clients_in_cluster(1) == []
+
+    def test_server_is_used(self):
+        alloc = self.make()
+        assert alloc.server_is_used(10)
+        assert not alloc.server_is_used(99)
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 1, 1.0, 0.5, 0.5)
+        clone = alloc.copy()
+        clone.set_entry(0, 1, 0.5, 0.1, 0.1)
+        entry = alloc.entry(0, 1)
+        assert entry is not None and entry.alpha == 1.0
+
+    def test_equality(self):
+        a, b = Allocation(), Allocation()
+        for alloc in (a, b):
+            alloc.assign_client(0, 0)
+            alloc.set_entry(0, 1, 1.0, 0.5, 0.5)
+        assert a == b
+        b.set_entry(0, 1, 1.0, 0.5, 0.4)
+        assert a != b
+
+    def test_equality_different_structure(self):
+        a, b = Allocation(), Allocation()
+        a.assign_client(0, 0)
+        assert a != b
+
+    def test_repr_mentions_counts(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 1, 1.0, 0.5, 0.5)
+        assert "clients=1" in repr(alloc)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),   # client
+            st.integers(min_value=0, max_value=3),   # server
+            st.floats(min_value=0.0, max_value=1.0), # alpha
+        ),
+        max_size=40,
+    )
+)
+def test_reverse_index_consistency(ops):
+    """Property: the reverse index always matches the forward entries."""
+    alloc = Allocation()
+    for client_id, server_id, alpha in ops:
+        alloc.assign_client(client_id, 0)
+        if alpha < 0.05:
+            alloc.remove_entry(client_id, server_id)
+        else:
+            alloc.set_entry(client_id, server_id, alpha, alpha / 2, alpha / 2)
+    forward = {
+        (cid, sid) for cid, sid, _ in alloc.iter_entries()
+    }
+    reverse = {
+        (cid, sid)
+        for sid in range(5)
+        for cid in alloc.clients_on_server(sid)
+    }
+    assert forward == reverse

@@ -1,0 +1,81 @@
+"""Tests for the client model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.client import Client
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+
+
+def make_client(**overrides):
+    defaults = dict(
+        client_id=0,
+        utility_class=UtilityClass(0, ClippedLinearUtility(3.0, 1.0)),
+        rate_agreed=2.0,
+        t_proc=0.5,
+        t_comm=0.4,
+        storage_req=1.0,
+    )
+    defaults.update(overrides)
+    return Client(**defaults)
+
+
+class TestClientValidation:
+    def test_valid(self):
+        client = make_client()
+        assert client.rate_agreed == 2.0
+
+    def test_predicted_defaults_to_agreed(self):
+        assert make_client().rate_predicted == 2.0
+
+    def test_predicted_override(self):
+        client = make_client(rate_predicted=1.5)
+        assert client.rate_predicted == 1.5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("client_id", -1),
+            ("rate_agreed", 0.0),
+            ("rate_agreed", -1.0),
+            ("t_proc", 0.0),
+            ("t_comm", -0.5),
+            ("storage_req", -0.1),
+            ("rate_predicted", 0.0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        with pytest.raises(ModelError):
+            make_client(**{field: value})
+
+
+class TestClientBehaviour:
+    def test_utility_slope(self):
+        assert make_client().utility_slope == pytest.approx(1.0)
+
+    def test_revenue_scales_with_agreed_rate(self):
+        client = make_client(rate_agreed=2.0)
+        assert client.revenue(1.0) == pytest.approx(2.0 * (3.0 - 1.0))
+
+    def test_revenue_clips(self):
+        client = make_client()
+        assert client.revenue(100.0) == 0.0
+
+    def test_revenue_at_infinite_delay(self):
+        assert make_client().revenue(math.inf) == 0.0
+
+    def test_min_processing_share(self):
+        client = make_client(rate_predicted=2.0, t_proc=0.5)
+        # full traffic on a capacity-4 server: needs share > 2*0.5/4
+        assert client.min_processing_share(4.0, 1.0) == pytest.approx(0.25)
+        assert client.min_processing_share(4.0, 0.5) == pytest.approx(0.125)
+
+    def test_min_bandwidth_share(self):
+        client = make_client(rate_predicted=2.0, t_comm=0.4)
+        assert client.min_bandwidth_share(4.0, 1.0) == pytest.approx(0.2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_client().rate_agreed = 5.0

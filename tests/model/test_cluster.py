@@ -1,0 +1,94 @@
+"""Tests for clusters and the datacenter container."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.cluster import Cluster
+from repro.model.server import Server, ServerClass
+
+
+def sku(index=0, **overrides):
+    defaults = dict(
+        index=index,
+        cap_processing=4.0,
+        cap_bandwidth=3.0,
+        cap_storage=5.0,
+        power_fixed=2.0,
+        power_per_util=1.0,
+    )
+    defaults.update(overrides)
+    return ServerClass(**defaults)
+
+
+def make_cluster():
+    sku_a, sku_b = sku(0), sku(1, cap_processing=6.0)
+    servers = [
+        Server(server_id=0, cluster_id=0, server_class=sku_a),
+        Server(server_id=1, cluster_id=0, server_class=sku_a),
+        Server(server_id=2, cluster_id=0, server_class=sku_b),
+    ]
+    return Cluster(cluster_id=0, servers=servers)
+
+
+class TestCluster:
+    def test_len_and_iter(self):
+        cluster = make_cluster()
+        assert len(cluster) == 3
+        assert [s.server_id for s in cluster] == [0, 1, 2]
+
+    def test_server_ids(self):
+        assert make_cluster().server_ids() == [0, 1, 2]
+
+    def test_servers_by_class(self):
+        groups = make_cluster().servers_by_class()
+        assert sorted(groups) == [0, 1]
+        assert [s.server_id for s in groups[0]] == [0, 1]
+        assert [s.server_id for s in groups[1]] == [2]
+
+    def test_server_classes_sorted(self):
+        classes = make_cluster().server_classes()
+        assert [c.index for c in classes] == [0, 1]
+
+    def test_total_capacity(self):
+        total_p, total_b, total_m = make_cluster().total_capacity()
+        assert total_p == pytest.approx(4.0 + 4.0 + 6.0)
+        assert total_b == pytest.approx(9.0)
+        assert total_m == pytest.approx(15.0)
+
+    def test_free_capacity_with_background(self):
+        base = sku(0)
+        servers = [
+            Server(
+                server_id=0,
+                cluster_id=0,
+                server_class=base,
+                background_processing=0.5,
+                background_storage=1.0,
+            ),
+        ]
+        cluster = Cluster(cluster_id=0, servers=servers)
+        free_p, free_b, free_m = cluster.free_capacity()
+        assert free_p == pytest.approx(2.0)
+        assert free_b == pytest.approx(3.0)
+        assert free_m == pytest.approx(4.0)
+
+    def test_mismatched_cluster_id_rejected(self):
+        with pytest.raises(ModelError):
+            Cluster(
+                cluster_id=1,
+                servers=[Server(server_id=0, cluster_id=0, server_class=sku())],
+            )
+
+    def test_duplicate_server_id_rejected(self):
+        with pytest.raises(ModelError):
+            Cluster(
+                cluster_id=0,
+                servers=[
+                    Server(server_id=0, cluster_id=0, server_class=sku()),
+                    Server(server_id=0, cluster_id=0, server_class=sku()),
+                ],
+            )
+
+    def test_negative_cluster_id_rejected(self):
+        with pytest.raises(ModelError):
+            Cluster(cluster_id=-1, servers=[])

@@ -1,0 +1,120 @@
+"""Tests for the CloudSystem container."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.datacenter import CloudSystem
+from repro.model.server import Server, ServerClass
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+
+
+def sku():
+    return ServerClass(
+        index=0,
+        cap_processing=4.0,
+        cap_bandwidth=3.0,
+        cap_storage=5.0,
+        power_fixed=2.0,
+        power_per_util=1.0,
+    )
+
+
+def client(cid):
+    return Client(
+        client_id=cid,
+        utility_class=UtilityClass(0, ClippedLinearUtility(3.0, 1.0)),
+        rate_agreed=1.0,
+        t_proc=0.5,
+        t_comm=0.5,
+        storage_req=0.5,
+    )
+
+
+def make_system():
+    clusters = [
+        Cluster(
+            cluster_id=k,
+            servers=[
+                Server(server_id=2 * k + j, cluster_id=k, server_class=sku())
+                for j in range(2)
+            ],
+        )
+        for k in range(2)
+    ]
+    return CloudSystem(clusters=clusters, clients=[client(0), client(1)])
+
+
+class TestLookups:
+    def test_cluster_lookup(self):
+        system = make_system()
+        assert system.cluster(1).cluster_id == 1
+
+    def test_server_lookup(self):
+        system = make_system()
+        assert system.server(3).server_id == 3
+
+    def test_client_lookup(self):
+        system = make_system()
+        assert system.client(1).client_id == 1
+
+    def test_cluster_of_server(self):
+        system = make_system()
+        assert system.cluster_of_server(0) == 0
+        assert system.cluster_of_server(3) == 1
+
+    @pytest.mark.parametrize("method", ["cluster", "server", "client", "cluster_of_server"])
+    def test_unknown_ids_raise(self, method):
+        system = make_system()
+        with pytest.raises(ModelError):
+            getattr(system, method)(99)
+
+
+class TestStructure:
+    def test_counts(self):
+        system = make_system()
+        assert system.num_clusters == 2
+        assert system.num_servers == 4
+        assert system.num_clients == 2
+
+    def test_servers_iteration_order(self):
+        assert [s.server_id for s in make_system().servers()] == [0, 1, 2, 3]
+
+    def test_id_lists(self):
+        system = make_system()
+        assert system.cluster_ids() == [0, 1]
+        assert system.client_ids() == [0, 1]
+
+    def test_describe_mentions_topology(self):
+        text = make_system().describe()
+        assert "2 clusters" in text
+        assert "4 servers" in text
+
+    def test_duplicate_cluster_id_rejected(self):
+        cluster = Cluster(cluster_id=0, servers=[])
+        with pytest.raises(ModelError):
+            CloudSystem(clusters=[cluster, Cluster(cluster_id=0, servers=[])], clients=[])
+
+    def test_duplicate_server_id_across_clusters_rejected(self):
+        clusters = [
+            Cluster(
+                cluster_id=0,
+                servers=[Server(server_id=0, cluster_id=0, server_class=sku())],
+            ),
+            Cluster(
+                cluster_id=1,
+                servers=[Server(server_id=0, cluster_id=1, server_class=sku())],
+            ),
+        ]
+        with pytest.raises(ModelError):
+            CloudSystem(clusters=clusters, clients=[])
+
+    def test_duplicate_client_id_rejected(self):
+        cluster = Cluster(cluster_id=0, servers=[])
+        with pytest.raises(ModelError):
+            CloudSystem(clusters=[cluster], clients=[client(0), client(0)])
+
+    def test_needs_a_cluster(self):
+        with pytest.raises(ModelError):
+            CloudSystem(clusters=[], clients=[])

@@ -1,0 +1,175 @@
+"""Tests for response-time and profit evaluation (eq. (1)-(2))."""
+
+import math
+
+import pytest
+
+from repro.model.allocation import Allocation
+from repro.model.profit import (
+    client_response_time,
+    evaluate_profit,
+    mm1_response_time,
+)
+
+
+class TestMm1:
+    def test_formula(self):
+        assert mm1_response_time(4.0, 2.0) == pytest.approx(0.5)
+
+    def test_zero_arrivals(self):
+        assert mm1_response_time(4.0, 0.0) == pytest.approx(0.25)
+
+    def test_unstable_is_inf(self):
+        assert mm1_response_time(2.0, 2.0) == math.inf
+        assert mm1_response_time(1.0, 2.0) == math.inf
+
+    def test_negative_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_response_time(1.0, -0.5)
+
+
+def single_entry_allocation(alpha=1.0, phi_p=0.5, phi_b=0.5):
+    alloc = Allocation()
+    alloc.assign_client(0, 0)
+    alloc.set_entry(0, 0, alpha, phi_p, phi_b)
+    return alloc
+
+
+class TestClientResponseTime:
+    def test_matches_hand_computation(self, one_server_system):
+        # capacity 4, t = 0.5 -> service rate = phi*8; lambda = 1.
+        alloc = single_entry_allocation(phi_p=0.5, phi_b=0.25)
+        expected = 1.0 / (0.5 * 8 - 1.0) + 1.0 / (0.25 * 8 - 1.0)
+        actual = client_response_time(one_server_system, alloc, 0)
+        assert actual == pytest.approx(expected)
+
+    def test_unserved_client_is_inf(self, one_server_system):
+        assert client_response_time(one_server_system, Allocation(), 0) == math.inf
+
+    def test_unstable_branch_is_inf(self, one_server_system):
+        alloc = single_entry_allocation(phi_p=0.1, phi_b=0.5)
+        # phi_p * 8 = 0.8 < lambda=1 -> unstable
+        assert client_response_time(one_server_system, alloc, 0) == math.inf
+
+    def test_split_traffic_weights_branches(self, two_cluster_system):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 0.5, 0.4, 0.4)
+        alloc.set_entry(0, 1, 0.5, 0.4, 0.4)
+        # lambda = 1.0; branch arrival = 0.5; s_p = 4/0.5 = 8, s_b = 4/0.4 = 10
+        w_p = 1.0 / (0.4 * 8 - 0.5)
+        w_b = 1.0 / (0.4 * 10 - 0.5)
+        expected = 2 * 0.5 * (w_p + w_b)
+        assert client_response_time(two_cluster_system, alloc, 0) == pytest.approx(
+            expected
+        )
+
+    def test_rate_override(self, one_server_system):
+        alloc = single_entry_allocation(phi_p=0.5, phi_b=0.5)
+        slower = client_response_time(one_server_system, alloc, 0, rate=0.5)
+        faster_arrivals = client_response_time(one_server_system, alloc, 0, rate=2.0)
+        assert slower < faster_arrivals
+
+
+class TestEvaluateProfit:
+    def test_revenue_and_cost_breakdown(self, one_server_system):
+        alloc = single_entry_allocation(phi_p=0.5, phi_b=0.5)
+        breakdown = evaluate_profit(one_server_system, alloc)
+        response = client_response_time(one_server_system, alloc, 0)
+        expected_revenue = 1.0 * max(3.0 - 1.0 * response, 0.0)
+        expected_cost = 1.5 + 1.0 * 0.5  # P0 + P1 * util
+        assert breakdown.total_revenue == pytest.approx(expected_revenue)
+        assert breakdown.total_cost == pytest.approx(expected_cost)
+        assert breakdown.total_profit == pytest.approx(
+            expected_revenue - expected_cost
+        )
+        assert breakdown.feasible
+
+    def test_empty_allocation_marks_unserved(self, one_server_system):
+        breakdown = evaluate_profit(one_server_system, Allocation())
+        assert not breakdown.feasible
+        assert breakdown.total_revenue == 0.0
+        assert breakdown.total_cost == 0.0
+        assert not breakdown.clients[0].served
+
+    def test_empty_allocation_ok_when_not_required(self, one_server_system):
+        breakdown = evaluate_profit(
+            one_server_system, Allocation(), require_all_served=False
+        )
+        assert breakdown.feasible
+
+    def test_off_server_costs_nothing(self, two_cluster_system):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 1.0, 0.5, 0.5)
+        breakdown = evaluate_profit(
+            two_cluster_system, alloc, require_all_served=False
+        )
+        assert breakdown.servers[0].is_on
+        assert not breakdown.servers[1].is_on
+        assert breakdown.servers[1].cost == 0.0
+        assert breakdown.num_servers_on == 1
+
+    def test_background_load_keeps_server_on(self, one_server_system, sku):
+        from repro.model.cluster import Cluster
+        from repro.model.datacenter import CloudSystem
+        from repro.model.server import Server
+
+        server = Server(
+            server_id=0,
+            cluster_id=0,
+            server_class=sku,
+            background_processing=0.3,
+        )
+        system = CloudSystem(
+            clusters=[Cluster(cluster_id=0, servers=[server])],
+            clients=list(one_server_system.clients),
+        )
+        breakdown = evaluate_profit(system, Allocation(), require_all_served=False)
+        assert breakdown.servers[0].is_on
+        assert breakdown.servers[0].cost == pytest.approx(1.5 + 1.0 * 0.3)
+
+    def test_storage_accounting(self, one_server_system):
+        alloc = single_entry_allocation()
+        breakdown = evaluate_profit(one_server_system, alloc)
+        assert breakdown.servers[0].storage_used == pytest.approx(0.5)
+
+    def test_profit_or_neg_inf(self, one_server_system):
+        feasible = evaluate_profit(
+            one_server_system, single_entry_allocation(phi_p=0.5, phi_b=0.5)
+        )
+        assert feasible.profit_or_neg_inf() == feasible.total_profit
+        infeasible = evaluate_profit(one_server_system, Allocation())
+        assert infeasible.profit_or_neg_inf() == -math.inf
+
+    def test_unclipped_linear_at_infinite_delay_counts_zero(self, linear_class, sku):
+        from repro.model.client import Client
+        from repro.model.cluster import Cluster
+        from repro.model.datacenter import CloudSystem
+        from repro.model.server import Server
+
+        system = CloudSystem(
+            clusters=[
+                Cluster(
+                    cluster_id=0,
+                    servers=[Server(server_id=0, cluster_id=0, server_class=sku)],
+                )
+            ],
+            clients=[
+                Client(
+                    client_id=0,
+                    utility_class=linear_class,
+                    rate_agreed=1.0,
+                    t_proc=0.5,
+                    t_comm=0.5,
+                    storage_req=0.5,
+                )
+            ],
+        )
+        breakdown = evaluate_profit(system, Allocation(), require_all_served=False)
+        assert breakdown.total_revenue == 0.0
+        assert breakdown.clients[0].revenue == 0.0
+
+    def test_summary_mentions_feasibility(self, one_server_system):
+        breakdown = evaluate_profit(one_server_system, Allocation())
+        assert "violation" in breakdown.summary()

@@ -1,0 +1,117 @@
+"""Tests for server classes and server instances."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.server import Server, ServerClass
+
+
+def make_sku(**overrides):
+    defaults = dict(
+        index=0,
+        cap_processing=4.0,
+        cap_bandwidth=3.0,
+        cap_storage=5.0,
+        power_fixed=2.0,
+        power_per_util=1.0,
+    )
+    defaults.update(overrides)
+    return ServerClass(**defaults)
+
+
+class TestServerClass:
+    def test_valid_construction(self):
+        sku = make_sku(name="m5")
+        assert sku.cap_processing == 4.0
+        assert sku.name == "m5"
+
+    @pytest.mark.parametrize(
+        "field", ["cap_processing", "cap_bandwidth", "cap_storage"]
+    )
+    def test_non_positive_capacity_rejected(self, field):
+        with pytest.raises(ModelError):
+            make_sku(**{field: 0.0})
+        with pytest.raises(ModelError):
+            make_sku(**{field: -1.0})
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ModelError):
+            make_sku(power_fixed=-0.1)
+        with pytest.raises(ModelError):
+            make_sku(power_per_util=-0.1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            make_sku(index=-1)
+
+    def test_cost_when_on(self):
+        sku = make_sku(power_fixed=2.0, power_per_util=1.5)
+        assert sku.cost_when_on(0.0) == pytest.approx(2.0)
+        assert sku.cost_when_on(1.0) == pytest.approx(3.5)
+        assert sku.cost_when_on(0.5) == pytest.approx(2.75)
+
+    def test_cost_rejects_out_of_range_utilization(self):
+        sku = make_sku()
+        with pytest.raises(ModelError):
+            sku.cost_when_on(1.5)
+        with pytest.raises(ModelError):
+            sku.cost_when_on(-0.1)
+
+    def test_frozen(self):
+        sku = make_sku()
+        with pytest.raises(AttributeError):
+            sku.cap_processing = 10.0
+
+
+class TestServer:
+    def test_capacity_properties_delegate(self):
+        server = Server(server_id=1, cluster_id=0, server_class=make_sku())
+        assert server.cap_processing == 4.0
+        assert server.cap_bandwidth == 3.0
+        assert server.cap_storage == 5.0
+
+    def test_free_capacity_without_background(self):
+        server = Server(server_id=1, cluster_id=0, server_class=make_sku())
+        assert server.free_processing_share == 1.0
+        assert server.free_bandwidth_share == 1.0
+        assert server.free_storage == 5.0
+        assert not server.has_background_load
+
+    def test_background_load_reduces_free(self):
+        server = Server(
+            server_id=1,
+            cluster_id=0,
+            server_class=make_sku(),
+            background_processing=0.25,
+            background_bandwidth=0.5,
+            background_storage=2.0,
+        )
+        assert server.free_processing_share == pytest.approx(0.75)
+        assert server.free_bandwidth_share == pytest.approx(0.5)
+        assert server.free_storage == pytest.approx(3.0)
+        assert server.has_background_load
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ModelError):
+            Server(server_id=-1, cluster_id=0, server_class=make_sku())
+        with pytest.raises(ModelError):
+            Server(server_id=0, cluster_id=-1, server_class=make_sku())
+
+    @pytest.mark.parametrize("share", [-0.1, 1.1])
+    def test_background_share_bounds(self, share):
+        with pytest.raises(ModelError):
+            Server(
+                server_id=0,
+                cluster_id=0,
+                server_class=make_sku(),
+                background_processing=share,
+            )
+
+    def test_background_storage_bounded_by_capacity(self):
+        with pytest.raises(ModelError):
+            Server(
+                server_id=0,
+                cluster_id=0,
+                server_class=make_sku(cap_storage=2.0),
+                background_storage=2.5,
+            )

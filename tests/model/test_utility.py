@@ -1,0 +1,199 @@
+"""Tests for SLA utility functions."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import ModelError
+from repro.model.utility import (
+    ClippedLinearUtility,
+    LinearUtility,
+    PiecewiseLinearUtility,
+    StepUtility,
+    UtilityClass,
+)
+
+
+class TestLinearUtility:
+    def test_value_at_zero_is_base(self):
+        u = LinearUtility(base_value=3.0, slope=0.5)
+        assert u.value(0.0) == 3.0
+
+    def test_value_decreases_linearly(self):
+        u = LinearUtility(base_value=3.0, slope=0.5)
+        assert u.value(2.0) == pytest.approx(2.0)
+        assert u.value(10.0) == pytest.approx(-2.0)
+
+    def test_negative_values_allowed(self):
+        u = LinearUtility(base_value=1.0, slope=1.0)
+        assert u.value(5.0) == pytest.approx(-4.0)
+
+    def test_infinite_delay_is_minus_inf(self):
+        u = LinearUtility(base_value=1.0, slope=1.0)
+        assert u.value(math.inf) == -math.inf
+
+    def test_zero_slope_infinite_delay_keeps_base(self):
+        u = LinearUtility(base_value=1.0, slope=0.0)
+        assert u.value(math.inf) == 1.0
+
+    def test_slope_magnitude(self):
+        assert LinearUtility(3.0, 0.7).slope_magnitude() == 0.7
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(ModelError):
+            LinearUtility(base_value=1.0, slope=-0.1)
+
+    def test_callable_protocol(self):
+        u = LinearUtility(2.0, 1.0)
+        assert u(1.0) == u.value(1.0)
+
+
+class TestClippedLinearUtility:
+    def test_clips_at_zero(self):
+        u = ClippedLinearUtility(base_value=1.0, slope=1.0)
+        assert u.value(2.0) == 0.0
+
+    def test_positive_region_matches_linear(self):
+        u = ClippedLinearUtility(base_value=3.0, slope=0.5)
+        assert u.value(1.0) == pytest.approx(2.5)
+
+    def test_infinite_delay_is_zero(self):
+        u = ClippedLinearUtility(base_value=3.0, slope=0.5)
+        assert u.value(math.inf) == 0.0
+
+    def test_zero_crossing(self):
+        u = ClippedLinearUtility(base_value=2.0, slope=0.5)
+        assert u.zero_crossing() == pytest.approx(4.0)
+        assert u.value(u.zero_crossing()) == 0.0
+
+    def test_zero_crossing_with_zero_slope(self):
+        assert ClippedLinearUtility(2.0, 0.0).zero_crossing() == math.inf
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ModelError):
+            ClippedLinearUtility(base_value=-1.0, slope=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_never_negative(self, response_time):
+        u = ClippedLinearUtility(base_value=2.0, slope=0.7)
+        assert u.value(response_time) >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_non_increasing(self, r1, r2):
+        u = ClippedLinearUtility(base_value=2.0, slope=0.7)
+        lo, hi = sorted((r1, r2))
+        assert u.value(lo) >= u.value(hi)
+
+
+class TestPiecewiseLinearUtility:
+    def make(self):
+        return PiecewiseLinearUtility(points=((0.0, 4.0), (1.0, 2.0), (3.0, 0.0)))
+
+    def test_flat_before_first_point(self):
+        assert self.make().value(-1.0) == 4.0
+
+    def test_flat_after_last_point(self):
+        assert self.make().value(100.0) == 0.0
+
+    def test_interpolates(self):
+        assert self.make().value(0.5) == pytest.approx(3.0)
+        assert self.make().value(2.0) == pytest.approx(1.0)
+
+    def test_exact_breakpoints(self):
+        u = self.make()
+        assert u.value(1.0) == pytest.approx(2.0)
+        assert u.value(3.0) == pytest.approx(0.0)
+
+    def test_slope_magnitude_is_steepest_segment(self):
+        assert self.make().slope_magnitude() == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearUtility(points=((0.0, 1.0),))
+
+    def test_times_must_increase(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearUtility(points=((0.0, 2.0), (0.0, 1.0)))
+
+    def test_values_must_not_increase(self):
+        with pytest.raises(ModelError):
+            PiecewiseLinearUtility(points=((0.0, 1.0), (1.0, 2.0)))
+
+    @given(st.floats(min_value=-5.0, max_value=10.0))
+    def test_bounded_by_extremes(self, r):
+        u = self.make()
+        assert 0.0 <= u.value(r) <= 4.0
+
+
+class TestStepUtility:
+    def make(self):
+        return StepUtility(levels=((0.5, 3.0), (1.0, 2.0), (2.0, 1.0)))
+
+    def test_first_level(self):
+        assert self.make().value(0.3) == 3.0
+
+    def test_boundary_inclusive(self):
+        assert self.make().value(0.5) == 3.0
+        assert self.make().value(1.0) == 2.0
+
+    def test_fallback(self):
+        assert self.make().value(5.0) == 0.0
+
+    def test_custom_fallback(self):
+        u = StepUtility(levels=((1.0, 2.0),), fallback=0.5)
+        assert u.value(9.0) == 0.5
+
+    def test_fallback_cannot_exceed_last_level(self):
+        with pytest.raises(ModelError):
+            StepUtility(levels=((1.0, 2.0),), fallback=3.0)
+
+    def test_deadlines_must_increase(self):
+        with pytest.raises(ModelError):
+            StepUtility(levels=((1.0, 2.0), (1.0, 1.0)))
+
+    def test_values_must_not_increase(self):
+        with pytest.raises(ModelError):
+            StepUtility(levels=((1.0, 1.0), (2.0, 2.0)))
+
+    def test_needs_a_level(self):
+        with pytest.raises(ModelError):
+            StepUtility(levels=())
+
+    def test_slope_magnitude_positive(self):
+        assert self.make().slope_magnitude() > 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_non_increasing(self, r1, r2):
+        u = self.make()
+        lo, hi = sorted((r1, r2))
+        assert u.value(lo) >= u.value(hi)
+
+
+class TestUtilityClass:
+    def test_linear_approximation_exact_for_linear(self):
+        f = LinearUtility(3.0, 0.5)
+        uc = UtilityClass(0, f)
+        assert uc.linear_approximation() is f
+
+    def test_linear_approximation_of_clipped(self):
+        uc = UtilityClass(0, ClippedLinearUtility(3.0, 0.5))
+        lin = uc.linear_approximation()
+        assert lin.base_value == pytest.approx(3.0)
+        assert lin.slope == pytest.approx(0.5)
+
+    def test_linear_approximation_of_step(self):
+        uc = UtilityClass(0, StepUtility(levels=((1.0, 2.0), (2.0, 0.0))))
+        lin = uc.linear_approximation()
+        assert lin.base_value == pytest.approx(2.0)
+        assert lin.slope > 0.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ModelError):
+            UtilityClass(-1, LinearUtility(1.0, 0.1))

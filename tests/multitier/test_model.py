@@ -1,0 +1,146 @@
+"""Tests for the multi-tier model and its flat expansion."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.utility import ClippedLinearUtility, LinearUtility, UtilityClass
+from repro.multitier.model import (
+    MultiTierApplication,
+    MultiTierSystem,
+    TierSpec,
+    expand_to_flat,
+)
+from repro.multitier.scenarios import generate_multitier_system
+
+
+def make_app(app_id=0, num_tiers=3, base=6.0, slope=1.0, rate=2.0):
+    tiers = tuple(
+        TierSpec(name=f"tier-{k}", t_proc=0.5, t_comm=0.4, storage_req=0.5)
+        for k in range(num_tiers)
+    )
+    return MultiTierApplication(
+        app_id=app_id,
+        utility_class=UtilityClass(0, ClippedLinearUtility(base, slope)),
+        rate_agreed=rate,
+        tiers=tiers,
+    )
+
+
+class TestTierSpec:
+    def test_valid(self):
+        tier = TierSpec(name="web", t_proc=0.3, t_comm=0.2, storage_req=0.1)
+        assert tier.name == "web"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(t_proc=0.0, t_comm=0.2, storage_req=0.1),
+            dict(t_proc=0.3, t_comm=-0.1, storage_req=0.1),
+            dict(t_proc=0.3, t_comm=0.2, storage_req=-0.1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ModelError):
+            TierSpec(name="bad", **kwargs)
+
+
+class TestMultiTierApplication:
+    def test_valid(self):
+        app = make_app()
+        assert app.num_tiers == 3
+        assert app.rate_predicted == app.rate_agreed
+
+    def test_needs_tiers(self):
+        with pytest.raises(ModelError):
+            MultiTierApplication(
+                app_id=0,
+                utility_class=UtilityClass(0, ClippedLinearUtility(1.0, 1.0)),
+                rate_agreed=1.0,
+                tiers=(),
+            )
+
+    def test_duplicate_app_ids_rejected(self):
+        base = generate_multitier_system(num_applications=2, seed=0)
+        with pytest.raises(ModelError):
+            MultiTierSystem(
+                clusters=base.clusters,
+                applications=[make_app(0), make_app(0)],
+            )
+
+
+class TestExpansion:
+    def make_system(self):
+        base = generate_multitier_system(num_applications=1, seed=0)
+        return MultiTierSystem(
+            clusters=base.clusters,
+            applications=[make_app(0, num_tiers=3)],
+        )
+
+    def test_one_pseudo_client_per_tier(self):
+        system = self.make_system()
+        expansion = expand_to_flat(system)
+        assert expansion.flat_system.num_clients == 3
+        assert len(expansion.tier_clients[0]) == 3
+
+    def test_mapping_is_inverse(self):
+        expansion = expand_to_flat(self.make_system())
+        for app_id, ids in expansion.tier_clients.items():
+            for cid in ids:
+                assert expansion.app_of_client[cid] == app_id
+
+    def test_tiers_inherit_rate_and_demands(self):
+        system = self.make_system()
+        expansion = expand_to_flat(system)
+        app = system.applications[0]
+        for cid, tier in zip(expansion.tier_clients[0], app.tiers):
+            client = expansion.flat_system.client(cid)
+            assert client.rate_agreed == app.rate_agreed
+            assert client.t_proc == tier.t_proc
+            assert client.storage_req == tier.storage_req
+
+    def test_linear_decomposition_is_exact(self):
+        """sum of per-tier utilities == application's linear utility."""
+        system = self.make_system()
+        expansion = expand_to_flat(system)
+        app = system.applications[0]
+        linear = app.utility_class.linear_approximation()
+        tier_fns = [
+            expansion.flat_system.client(cid).utility_class.function
+            for cid in expansion.tier_clients[0]
+        ]
+        for responses in ([0.1, 0.2, 0.3], [1.0, 1.0, 1.0], [0.0, 2.0, 0.5]):
+            total = sum(fn.value(r) for fn, r in zip(tier_fns, responses))
+            assert total == pytest.approx(linear.value(sum(responses)))
+
+    def test_tier_utilities_are_linear(self):
+        expansion = expand_to_flat(self.make_system())
+        for client in expansion.flat_system.clients:
+            assert isinstance(client.utility_class.function, LinearUtility)
+
+
+class TestGenerator:
+    def test_counts(self):
+        system = generate_multitier_system(num_applications=6, seed=3)
+        assert system.num_applications == 6
+        for app in system.applications:
+            assert 2 <= app.num_tiers <= 3
+
+    def test_deterministic(self):
+        a = generate_multitier_system(num_applications=4, seed=9)
+        b = generate_multitier_system(num_applications=4, seed=9)
+        assert [app.rate_agreed for app in a.applications] == [
+            app.rate_agreed for app in b.applications
+        ]
+
+    def test_price_scales_with_tiers(self):
+        system = generate_multitier_system(num_applications=10, seed=3)
+        for app in system.applications:
+            base = app.utility_class.function.value(0.0)
+            # Per-tier price is in the flat generator's (2, 4) range.
+            assert 2.0 * app.num_tiers <= base <= 4.0 * app.num_tiers + 1e-9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_multitier_system(num_applications=0)
+        with pytest.raises(ValueError):
+            generate_multitier_system(num_applications=2, min_tiers=3, max_tiers=2)

@@ -1,0 +1,72 @@
+"""Tests for monotone root finding."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import SolverError
+from repro.optim.bisection import bisect_root, expand_bracket, solve_monotone
+
+
+class TestBisectRoot:
+    def test_simple_root(self):
+        root = bisect_root(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), rel=1e-9)
+
+    def test_root_at_lo(self):
+        assert bisect_root(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_root_at_hi(self):
+        assert bisect_root(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_decreasing_function(self):
+        root = bisect_root(lambda x: 1.0 - x, 0.0, 5.0)
+        assert root == pytest.approx(1.0, rel=1e-9)
+
+    def test_no_straddle_raises(self):
+        with pytest.raises(SolverError):
+            bisect_root(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_bad_bracket_raises(self):
+        with pytest.raises(SolverError):
+            bisect_root(lambda x: x, 1.0, 0.0)
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_recovers_known_root(self, target):
+        root = bisect_root(lambda x: x - target, 0.0, 200.0)
+        assert root == pytest.approx(target, rel=1e-8)
+
+
+class TestSolveMonotone:
+    def test_increasing(self):
+        x = solve_monotone(lambda v: v * 2, 4.0, 0.0, 10.0, increasing=True)
+        assert x == pytest.approx(2.0, rel=1e-9)
+
+    def test_decreasing(self):
+        x = solve_monotone(lambda v: 10.0 - v, 4.0, 0.0, 10.0, increasing=False)
+        assert x == pytest.approx(6.0, rel=1e-9)
+
+    def test_saturates_low(self):
+        assert solve_monotone(lambda v: v, -5.0, 0.0, 10.0, increasing=True) == 0.0
+
+    def test_saturates_high(self):
+        assert solve_monotone(lambda v: v, 50.0, 0.0, 10.0, increasing=True) == 10.0
+
+    def test_saturates_decreasing(self):
+        assert (
+            solve_monotone(lambda v: 10.0 - v, 50.0, 0.0, 10.0, increasing=False)
+            == 0.0
+        )
+
+
+class TestExpandBracket:
+    def test_grows_until_sign_change(self):
+        lo, hi = expand_bracket(lambda x: x - 50.0, 0.0, 1.0)
+        assert hi >= 50.0
+        root = bisect_root(lambda x: x - 50.0, lo, hi)
+        assert root == pytest.approx(50.0, rel=1e-8)
+
+    def test_gives_up_eventually(self):
+        with pytest.raises(SolverError):
+            expand_bracket(lambda x: 1.0, 0.0, 1.0, max_doublings=5)

@@ -1,0 +1,92 @@
+"""Tests for the alpha-combination dynamic program."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.optim.dp import NEG_INF, brute_force_combination, combine_server_curves
+
+
+class TestCombineServerCurves:
+    def test_single_server_must_take_everything(self):
+        curves = [[0.0, -1.0, -2.0, -3.0, -4.0]]
+        total, units = combine_server_curves(curves, 4)
+        assert total == -4.0
+        assert units == [4]
+
+    def test_prefers_better_server(self):
+        good = [0.0, -0.1, -0.2, -0.3, -0.4]
+        bad = [0.0, -1.0, -2.0, -3.0, -4.0]
+        total, units = combine_server_curves([bad, good], 4)
+        assert units == [0, 4]
+        assert total == pytest.approx(-0.4)
+
+    def test_splits_when_concave(self):
+        # Convex penalty makes splitting across servers optimal.
+        curve = [0.0, -1.0, -4.0, -9.0, -16.0]
+        total, units = combine_server_curves([curve, curve], 4)
+        assert sorted(units) == [2, 2]
+        assert total == pytest.approx(-8.0)
+
+    def test_respects_infeasible_points(self):
+        curves = [
+            [0.0, NEG_INF, NEG_INF],
+            [0.0, -1.0, -3.0],
+        ]
+        total, units = combine_server_curves(curves, 2)
+        assert units == [0, 2]
+        assert total == pytest.approx(-3.0)
+
+    def test_infeasible_when_no_combination(self):
+        curves = [[0.0, NEG_INF], [0.0, NEG_INF]]
+        total, units = combine_server_curves(curves, 1)
+        assert total == NEG_INF
+
+    def test_units_always_sum_to_granularity(self):
+        curves = [[0.0, -2.0, -1.5], [0.0, -1.0, -5.0]]
+        _, units = combine_server_curves(curves, 2)
+        assert sum(units) == 2
+
+    def test_empty_curves(self):
+        total, units = combine_server_curves([], 3)
+        assert total == NEG_INF and units == []
+
+    def test_wrong_curve_length_rejected(self):
+        with pytest.raises(SolverError):
+            combine_server_curves([[0.0, 1.0]], 3)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(SolverError):
+            combine_server_curves([[0.0]], 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    num_servers=st.integers(min_value=1, max_value=4),
+    granularity=st.integers(min_value=1, max_value=6),
+)
+def test_dp_matches_brute_force(data, num_servers, granularity):
+    """Property: the DP is exact for the discretized problem."""
+    curves = []
+    for _ in range(num_servers):
+        points = [0.0]
+        for _ in range(granularity):
+            if data.draw(st.booleans()):
+                points.append(
+                    data.draw(st.floats(min_value=-10.0, max_value=10.0))
+                )
+            else:
+                points.append(NEG_INF)
+        curves.append(points)
+    dp_total, dp_units = combine_server_curves(curves, granularity)
+    bf_total, _ = brute_force_combination(curves, granularity)
+    if bf_total == NEG_INF:
+        assert dp_total == NEG_INF
+    else:
+        assert dp_total == pytest.approx(bf_total)
+        assert sum(dp_units) == granularity
+        realized = sum(curves[j][g] for j, g in enumerate(dp_units))
+        assert realized == pytest.approx(dp_total)

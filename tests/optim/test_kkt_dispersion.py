@@ -1,0 +1,120 @@
+"""Tests for the dispersion-rate KKT solution."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.optim.kkt import DispersionBranch, optimal_dispersion
+from repro.optim.reference import reference_dispersion
+
+
+def total_cost(branches, alphas, lam):
+    return sum(
+        b.response_cost(a, lam) for b, a in zip(branches, alphas)
+    )
+
+
+class TestDispersionBranch:
+    def test_usable(self):
+        assert DispersionBranch(1.0, 1.0).usable
+        assert not DispersionBranch(0.0, 1.0).usable
+
+    def test_max_alpha(self):
+        branch = DispersionBranch(4.0, 2.0)
+        assert branch.max_alpha(1.0, 1.0) == pytest.approx(2.0)
+        assert branch.max_alpha(1.0, 2.0) == pytest.approx(1.0)
+
+    def test_marginal_increases(self):
+        branch = DispersionBranch(4.0, 4.0)
+        assert branch.marginal(0.5, 1.0) > branch.marginal(0.1, 1.0)
+
+    def test_marginal_inf_at_saturation(self):
+        branch = DispersionBranch(1.0, 1.0)
+        assert branch.marginal(1.0, 1.0) == math.inf
+
+    def test_response_cost_zero_at_zero(self):
+        assert DispersionBranch(1.0, 1.0).response_cost(0.0, 1.0) == 0.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(SolverError):
+            DispersionBranch(-1.0, 1.0)
+
+
+class TestOptimalDispersion:
+    def test_symmetric_branches_split_evenly(self):
+        branches = [DispersionBranch(4.0, 4.0)] * 3
+        alphas = optimal_dispersion(branches, arrival_rate=2.0)
+        assert alphas is not None
+        assert sum(alphas) == pytest.approx(1.0, abs=1e-9)
+        for a in alphas:
+            assert a == pytest.approx(1.0 / 3.0, abs=1e-6)
+
+    def test_faster_branch_gets_more(self):
+        branches = [DispersionBranch(8.0, 8.0), DispersionBranch(3.0, 3.0)]
+        alphas = optimal_dispersion(branches, arrival_rate=2.0)
+        assert alphas is not None
+        assert alphas[0] > alphas[1]
+
+    def test_unusable_branch_gets_zero(self):
+        branches = [DispersionBranch(8.0, 8.0), DispersionBranch(0.0, 4.0)]
+        alphas = optimal_dispersion(branches, arrival_rate=2.0)
+        assert alphas is not None
+        assert alphas[1] == 0.0
+        assert alphas[0] == pytest.approx(1.0)
+
+    def test_infeasible_when_capacity_short(self):
+        branches = [DispersionBranch(0.5, 0.5), DispersionBranch(0.4, 0.4)]
+        assert optimal_dispersion(branches, arrival_rate=2.0) is None
+
+    def test_empty_branches(self):
+        assert optimal_dispersion([], arrival_rate=1.0) is None
+
+    def test_invalid_arrival(self):
+        with pytest.raises(SolverError):
+            optimal_dispersion([DispersionBranch(1.0, 1.0)], arrival_rate=0.0)
+
+    def test_invalid_total(self):
+        with pytest.raises(SolverError):
+            optimal_dispersion([DispersionBranch(1.0, 1.0)], 1.0, total=0.0)
+
+    def test_stability_margin_enforced(self):
+        branches = [DispersionBranch(2.0, 2.0), DispersionBranch(2.0, 2.0)]
+        alphas = optimal_dispersion(
+            branches, arrival_rate=1.5, stability_margin=1.1
+        )
+        assert alphas is not None
+        for branch, alpha in zip(branches, alphas):
+            if alpha > 0:
+                assert alpha * 1.5 < min(branch.rate_processing, branch.rate_bandwidth)
+
+    def test_partial_total(self):
+        branches = [DispersionBranch(4.0, 4.0), DispersionBranch(4.0, 4.0)]
+        alphas = optimal_dispersion(branches, arrival_rate=2.0, total=0.5)
+        assert alphas is not None
+        assert sum(alphas) == pytest.approx(0.5, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rates=st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=8.0),
+                st.floats(min_value=1.0, max_value=8.0),
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        lam=st.floats(min_value=0.5, max_value=2.0),
+    )
+    def test_matches_scipy_reference(self, rates, lam):
+        branches = [DispersionBranch(rp, rb) for rp, rb in rates]
+        ours = optimal_dispersion(branches, lam)
+        ref = reference_dispersion(branches, lam)
+        if ours is None or ref is None:
+            return
+        ours_cost = total_cost(branches, ours, lam)
+        ref_cost = total_cost(branches, ref, lam)
+        # Nested bisection must not lose to SLSQP.
+        assert ours_cost <= ref_cost * (1 + 1e-3) + 1e-9
+        assert sum(ours) == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,161 @@
+"""Tests for the eq. (16)/(18) closed-form share solutions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import SolverError
+from repro.optim.kkt import (
+    ShareProblemItem,
+    optimal_share_for_price,
+    waterfill_shares,
+)
+from repro.optim.reference import reference_waterfill
+
+
+def item(s=8.0, a=1.0, w=2.0, lower=None, upper=1.0):
+    lower = lower if lower is not None else a / s * 1.05 + 1e-6
+    return ShareProblemItem(
+        service_per_share=s, arrival_rate=a, weight=w, lower=lower, upper=upper
+    )
+
+
+class TestShareProblemItem:
+    def test_share_decreases_with_price(self):
+        it = item()
+        assert it.share_at_price(0.5) >= it.share_at_price(2.0)
+
+    def test_share_clipped_to_bounds(self):
+        it = item(upper=0.4)
+        assert it.share_at_price(1e-9) == 0.4
+        assert it.share_at_price(1e9) == it.lower
+
+    def test_zero_weight_pins_to_lower(self):
+        it = item(w=0.0)
+        assert it.share_at_price(0.5) == it.lower
+
+    def test_zero_price_takes_upper(self):
+        assert item().share_at_price(0.0) == 1.0
+
+    def test_closed_form_matches_derivative_zero(self):
+        # At the interior optimum, marginal response gain equals price.
+        it = item(s=8.0, a=1.0, w=2.0, upper=10.0)
+        price = 0.7
+        phi = it.share_at_price(price)
+        headroom = it.service_per_share * phi - it.arrival_rate
+        marginal = it.weight * it.service_per_share / headroom**2
+        assert marginal == pytest.approx(price, rel=1e-9)
+
+    def test_response_cost(self):
+        it = item(s=8.0, a=1.0)
+        assert it.response_cost(0.5) == pytest.approx(2.0 / 3.0)
+        assert it.response_cost(0.125) == math.inf
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            ShareProblemItem(0.0, 1.0, 1.0, 0.1, 1.0)
+        with pytest.raises(SolverError):
+            ShareProblemItem(1.0, -1.0, 1.0, 0.1, 1.0)
+        with pytest.raises(SolverError):
+            ShareProblemItem(1.0, 1.0, -1.0, 0.1, 1.0)
+        with pytest.raises(SolverError):
+            ShareProblemItem(1.0, 1.0, 1.0, 0.5, 0.4)
+
+    def test_optimal_share_none_when_unstable(self):
+        it = ShareProblemItem(
+            service_per_share=1.0, arrival_rate=2.0, weight=1.0, lower=0.0, upper=1.0
+        )
+        assert optimal_share_for_price(it, 1.0) is None
+
+
+class TestWaterfill:
+    def test_empty_items(self):
+        shares, price = waterfill_shares([], 1.0)
+        assert shares == []
+
+    def test_budget_not_binding_with_price_floor(self):
+        items = [item(w=0.5), item(w=0.5)]
+        solved = waterfill_shares(items, 10.0, price_floor=1.0)
+        assert solved is not None
+        shares, price = solved
+        assert price == 1.0
+        for it, phi in zip(items, shares):
+            assert phi == pytest.approx(it.share_at_price(1.0))
+
+    def test_budget_binding_splits_capacity(self):
+        items = [item(w=2.0, upper=1.0), item(w=2.0, upper=1.0)]
+        solved = waterfill_shares(items, 1.0, price_floor=0.1)
+        assert solved is not None
+        shares, price = solved
+        assert sum(shares) <= 1.0 + 1e-9
+        assert price > 0.1
+        # Symmetric clients split evenly.
+        assert shares[0] == pytest.approx(shares[1], rel=1e-6)
+
+    def test_zero_price_floor_uses_whole_budget(self):
+        items = [item(w=1.0, upper=1.0), item(w=3.0, upper=1.0)]
+        solved = waterfill_shares(items, 0.8, price_floor=0.0)
+        assert solved is not None
+        shares, _ = solved
+        assert sum(shares) == pytest.approx(0.8, abs=1e-6)
+        assert shares[1] > shares[0]  # heavier weight gets more
+
+    def test_infeasible_lower_bounds(self):
+        items = [item(lower=0.7), item(lower=0.7)]
+        assert waterfill_shares(items, 1.0) is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SolverError):
+            waterfill_shares([item()], -1.0)
+
+    def test_stability_respected(self):
+        items = [item(s=4.0, a=1.5, w=2.0, lower=1.5 / 4 * 1.05)]
+        solved = waterfill_shares(items, 1.0, price_floor=0.5)
+        assert solved is not None
+        shares, _ = solved
+        assert shares[0] * 4.0 > 1.5
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=4
+        ),
+        arrivals=st.lists(
+            st.floats(min_value=0.1, max_value=2.0), min_size=4, max_size=4
+        ),
+        price=st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_matches_scipy_reference(self, weights, arrivals, price):
+        items = []
+        for idx, w in enumerate(weights):
+            a = arrivals[idx]
+            s = 6.0 + idx
+            items.append(
+                ShareProblemItem(
+                    service_per_share=s,
+                    arrival_rate=a,
+                    weight=w,
+                    lower=a / s * 1.05 + 1e-6,
+                    upper=1.0,
+                )
+            )
+        budget = 1.0
+        if sum(it.lower for it in items) > budget:
+            return  # infeasible draw: nothing to compare
+        ours = waterfill_shares(items, budget, price_floor=price)
+        ref = reference_waterfill(items, budget, price_floor=price)
+        assert ours is not None
+        if ref is None:
+            return  # SLSQP occasionally fails to converge; skip the draw
+        shares, _ = ours
+
+        def objective(phis):
+            return sum(
+                it.response_cost(phi) + price * phi
+                for it, phi in zip(items, phis)
+            )
+
+        # Our closed form must be at least as good as scipy's solution.
+        assert objective(shares) <= objective(ref) * (1 + 1e-4) + 1e-9

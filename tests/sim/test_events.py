@@ -1,0 +1,69 @@
+"""Tests for the event calendar."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.schedule(2.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(3.0, "c")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_ties_break_by_schedule_order(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancel_skips_event(self):
+        q = EventQueue()
+        handle = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(handle)
+        assert q.pop()[1] == "alive"
+        assert handle.cancelled
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        handle = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(handle)
+        assert len(q) == 1
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        handle = q.schedule(1.0, "dead")
+        q.schedule(2.0, "alive")
+        q.cancel(handle)
+        assert q.peek_time() == 2.0
+
+    def test_scheduling_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.schedule(4.0, "too-late")
+
+    def test_same_time_rescheduling_ok(self):
+        q = EventQueue()
+        q.schedule(5.0, "x")
+        q.pop()
+        q.schedule(5.0, "now-ish")  # exactly now is allowed
+        assert q.pop()[1] == "now-ish"

@@ -1,0 +1,185 @@
+"""Tests for the fluid weighted-sharing resource."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.gps import GpsResource, SharingMode
+
+
+def drive(events, until=float("inf"), limit=1_000_000):
+    for _ in range(limit):
+        nxt = events.peek_time()
+        if nxt is None or nxt > until:
+            return
+        _, payload = events.pop()
+        payload(events.now)
+    raise AssertionError("event loop did not drain")
+
+
+def make_resource(mode, weights, capacity=1.0):
+    events = EventQueue()
+    completions = []
+    resource = GpsResource(
+        name="r",
+        capacity=capacity,
+        weights=weights,
+        mode=mode,
+        events=events,
+        on_complete=lambda cid, payload, t: completions.append((cid, payload, t)),
+    )
+    return events, resource, completions
+
+
+class TestBasics:
+    def test_single_job_service_time(self):
+        events, resource, done = make_resource(
+            SharingMode.PARTITIONED, {0: 0.5}, capacity=2.0
+        )
+        resource.submit(0, work=1.0, payload="job")
+        drive(events)
+        # rate = 0.5 * 2 = 1.0 -> finishes at t=1.
+        assert done == [(0, "job", pytest.approx(1.0))]
+
+    def test_fcfs_within_class(self):
+        events, resource, done = make_resource(SharingMode.PARTITIONED, {0: 1.0})
+        resource.submit(0, work=1.0, payload="first")
+        resource.submit(0, work=1.0, payload="second")
+        drive(events)
+        assert [p for _, p, _ in done] == ["first", "second"]
+        assert done[1][2] == pytest.approx(2.0)
+
+    def test_partitioned_classes_independent(self):
+        events, resource, done = make_resource(
+            SharingMode.PARTITIONED, {0: 0.5, 1: 0.5}, capacity=2.0
+        )
+        resource.submit(0, work=1.0)
+        resource.submit(1, work=2.0)
+        drive(events)
+        # Both run at rate 1 regardless of each other.
+        times = {cid: t for cid, _, t in done}
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(2.0)
+
+    def test_gps_redistributes_idle_capacity(self):
+        events, resource, done = make_resource(
+            SharingMode.GPS, {0: 0.5, 1: 0.5}, capacity=2.0
+        )
+        resource.submit(0, work=2.0)
+        drive(events)
+        # Class 1 idle -> class 0 gets the full capacity 2.
+        assert done[0][2] == pytest.approx(1.0)
+
+    def test_gps_splits_when_both_active(self):
+        events, resource, done = make_resource(
+            SharingMode.GPS, {0: 0.5, 1: 0.5}, capacity=2.0
+        )
+        resource.submit(0, work=1.0)
+        resource.submit(1, work=1.0)
+        drive(events)
+        # Each runs at rate 1 until the simultaneous finish at t=1.
+        assert done[0][2] == pytest.approx(1.0)
+        assert done[1][2] == pytest.approx(1.0)
+
+    def test_gps_speeds_up_after_departure(self):
+        events, resource, done = make_resource(
+            SharingMode.GPS, {0: 0.5, 1: 0.5}, capacity=2.0
+        )
+        resource.submit(0, work=1.0)
+        resource.submit(1, work=2.0)
+        drive(events)
+        times = {cid: t for cid, _, t in done}
+        assert times[0] == pytest.approx(1.0)
+        # Class 1: 1 unit done by t=1 (rate 1), last unit at rate 2 -> t=1.5.
+        assert times[1] == pytest.approx(1.5)
+
+    def test_weighted_gps_split(self):
+        events, resource, done = make_resource(
+            SharingMode.GPS, {0: 0.75, 1: 0.25}, capacity=4.0
+        )
+        resource.submit(0, work=3.0)
+        resource.submit(1, work=3.0)
+        drive(events)
+        times = {cid: t for cid, _, t in done}
+        # Rates 3 and 1 while both busy; class 0 finishes at t=1, then
+        # class 1 runs at 4: remaining 2 units -> t = 1.5.
+        assert times[0] == pytest.approx(1.0)
+        assert times[1] == pytest.approx(1.5)
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self):
+        events, resource, _ = make_resource(SharingMode.PARTITIONED, {0: 1.0})
+        with pytest.raises(SimulationError):
+            resource.submit(7, work=1.0)
+
+    def test_non_positive_work_rejected(self):
+        events, resource, _ = make_resource(SharingMode.PARTITIONED, {0: 1.0})
+        with pytest.raises(SimulationError):
+            resource.submit(0, work=0.0)
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(SimulationError):
+            make_resource(SharingMode.PARTITIONED, {0: 0.0})
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            make_resource(SharingMode.PARTITIONED, {0: 1.0}, capacity=0.0)
+
+    def test_backlog_counts(self):
+        events, resource, _ = make_resource(SharingMode.PARTITIONED, {0: 1.0})
+        resource.submit(0, work=5.0)
+        resource.submit(0, work=5.0)
+        assert resource.backlog(0) == 2
+        assert resource.total_backlog() == 2
+
+
+class TestMm1Convergence:
+    def test_partitioned_single_class_matches_mm1(self):
+        """Poisson arrivals + exp work at fixed rate == M/M/1 mean sojourn."""
+        rng = np.random.default_rng(7)
+        events, resource, done = make_resource(
+            SharingMode.PARTITIONED, {0: 1.0}, capacity=1.0
+        )
+        lam, mu = 0.5, 1.0
+        horizon = 20_000.0
+        arrivals = []
+        t = 0.0
+        while t < horizon:
+            t += rng.exponential(1.0 / lam)
+            arrivals.append(t)
+        for at in arrivals:
+            events.schedule(
+                at,
+                lambda _t, a=at: resource.submit(0, rng.exponential(1.0 / mu), a),
+            )
+        drive(events, until=horizon)
+        waits = [t - payload for _, payload, t in done if payload > horizon * 0.1]
+        measured = float(np.mean(waits))
+        expected = 1.0 / (mu - lam)
+        assert measured == pytest.approx(expected, rel=0.08)
+
+    def test_work_conservation_gps_not_slower(self):
+        """GPS response times never exceed partitioned ones on average."""
+        means = {}
+        for mode in (SharingMode.PARTITIONED, SharingMode.GPS):
+            rng = np.random.default_rng(11)
+            events, resource, done = make_resource(
+                mode, {0: 0.5, 1: 0.5}, capacity=2.0
+            )
+            horizon = 10_000.0
+            for cid in (0, 1):
+                t = 0.0
+                while t < horizon:
+                    t += rng.exponential(1.0 / 0.6)
+                    events.schedule(
+                        t,
+                        lambda _t, c=cid, a=t: resource.submit(
+                            c, rng.exponential(1.0), a
+                        ),
+                    )
+            drive(events, until=horizon)
+            waits = [t - payload for _, payload, t in done]
+            means[mode] = float(np.mean(waits))
+        assert means[SharingMode.GPS] <= means[SharingMode.PARTITIONED] * 1.02

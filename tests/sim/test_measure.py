@@ -1,0 +1,99 @@
+"""Tests for streaming statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.measure import StreamingStats
+
+
+class TestStreamingStats:
+    def test_mean_and_variance_match_numpy(self):
+        values = [1.0, 2.0, 3.5, -1.0, 4.25]
+        stats = StreamingStats()
+        for v in values:
+            stats.add(v)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.stddev == pytest.approx(np.std(values, ddof=1))
+
+    def test_extrema(self):
+        stats = StreamingStats()
+        for v in (3.0, -2.0, 7.0):
+            stats.add(v)
+        assert stats.minimum == -2.0
+        assert stats.maximum == 7.0
+
+    def test_single_sample_variance_zero(self):
+        stats = StreamingStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+
+    def test_confidence_interval_contains_mean(self):
+        stats = StreamingStats()
+        for v in range(100):
+            stats.add(float(v % 10))
+        lo, hi = stats.confidence_interval(0.95)
+        assert lo <= stats.mean <= hi
+
+    def test_wider_interval_for_higher_confidence(self):
+        stats = StreamingStats()
+        for v in range(50):
+            stats.add(float(v))
+        lo90, hi90 = stats.confidence_interval(0.90)
+        lo99, hi99 = stats.confidence_interval(0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_unsupported_level_rejected(self):
+        stats = StreamingStats()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.confidence_interval(0.5)
+
+    def test_stderr_infinite_when_empty(self):
+        assert StreamingStats().stderr == math.inf
+
+    def test_merge_matches_single_pass(self):
+        left, right, combined = StreamingStats(), StreamingStats(), StreamingStats()
+        values = [1.0, 5.0, -2.0, 3.0, 8.0, 0.5]
+        for v in values[:3]:
+            left.add(v)
+            combined.add(v)
+        for v in values[3:]:
+            right.add(v)
+            combined.add(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.variance == pytest.approx(combined.variance)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        stats = StreamingStats()
+        stats.add(2.0)
+        stats.merge(StreamingStats())
+        assert stats.count == 1
+        empty = StreamingStats()
+        empty.merge(stats)
+        assert empty.mean == 2.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6),
+        min_size=2,
+        max_size=50,
+    )
+)
+def test_welford_matches_numpy(values):
+    stats = StreamingStats()
+    for v in values:
+        stats.add(v)
+    assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+    assert stats.variance == pytest.approx(
+        np.var(values, ddof=1), rel=1e-7, abs=1e-6
+    )

@@ -1,0 +1,129 @@
+"""Tests for the end-to-end datacenter simulator and epoch dynamics."""
+
+import math
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import SimulationError
+from repro.sim.epoch import EpochConfig, run_epoch_simulation
+from repro.sim.gps import SharingMode
+from repro.sim.simulator import DatacenterSimulator
+from repro.workload import small_system
+
+
+@pytest.fixture(scope="module")
+def solved():
+    system = small_system(seed=4, num_clients=6)
+    result = ResourceAllocator(SolverConfig(seed=1)).solve(system)
+    return system, result.allocation
+
+
+class TestDatacenterSimulator:
+    def test_partitioned_matches_analytics(self, solved):
+        system, allocation = solved
+        sim = DatacenterSimulator(
+            system, allocation, mode=SharingMode.PARTITIONED, seed=2
+        )
+        report = sim.run(duration=2500.0)
+        assert report.total_completed > 0
+        # QVAL invariant: measured means within 10% of eq. (1).
+        assert report.worst_relative_error() < 0.10
+
+    def test_gps_mode_is_faster(self, solved):
+        system, allocation = solved
+        part = DatacenterSimulator(
+            system, allocation, mode=SharingMode.PARTITIONED, seed=2
+        ).run(duration=1500.0)
+        gps = DatacenterSimulator(
+            system, allocation, mode=SharingMode.GPS, seed=2
+        ).run(duration=1500.0)
+        mean_part = sum(s.measured_mean for s in part.clients.values())
+        mean_gps = sum(s.measured_mean for s in gps.clients.values())
+        assert mean_gps <= mean_part
+
+    def test_every_served_client_measured(self, solved):
+        system, allocation = solved
+        report = DatacenterSimulator(system, allocation, seed=1).run(duration=500.0)
+        served = {
+            cid
+            for cid in system.client_ids()
+            if allocation.entries_of_client(cid)
+        }
+        assert set(report.clients) == served
+        for stats in report.clients.values():
+            assert stats.completed > 0
+
+    def test_deterministic_for_seed(self, solved):
+        system, allocation = solved
+        a = DatacenterSimulator(system, allocation, seed=5).run(duration=300.0)
+        b = DatacenterSimulator(system, allocation, seed=5).run(duration=300.0)
+        assert a.total_arrivals == b.total_arrivals
+        for cid in a.clients:
+            assert a.clients[cid].measured_mean == pytest.approx(
+                b.clients[cid].measured_mean
+            )
+
+    def test_arrival_counts_roughly_match_rates(self, solved):
+        system, allocation = solved
+        duration = 1000.0
+        report = DatacenterSimulator(system, allocation, seed=3).run(duration)
+        expected = sum(c.rate_predicted for c in system.clients) * duration
+        assert report.total_arrivals == pytest.approx(expected, rel=0.1)
+
+    def test_invalid_duration_rejected(self, solved):
+        system, allocation = solved
+        sim = DatacenterSimulator(system, allocation, seed=1)
+        with pytest.raises(SimulationError):
+            sim.run(duration=0.0)
+
+    def test_invalid_warmup_rejected(self, solved):
+        system, allocation = solved
+        with pytest.raises(SimulationError):
+            DatacenterSimulator(system, allocation, warmup_fraction=1.0)
+
+    def test_inconsistent_alpha_rejected(self, solved):
+        system, _ = solved
+        from repro.model.allocation import Allocation
+
+        broken = Allocation()
+        broken.assign_client(0, system.cluster_ids()[0])
+        server_id = system.cluster(system.cluster_ids()[0]).server_ids()[0]
+        broken.set_entry(0, server_id, 0.5, 0.4, 0.4)  # alpha sums to 0.5
+        with pytest.raises(SimulationError):
+            DatacenterSimulator(system, broken)
+
+
+class TestEpochSimulation:
+    def test_reallocation_no_worse_than_static(self):
+        system = small_system(seed=4, num_clients=6)
+        report = run_epoch_simulation(
+            system,
+            EpochConfig(num_epochs=3, drift=0.3, seed=7),
+            SolverConfig(seed=1),
+        )
+        assert len(report.reallocate_profits) == 3
+        assert len(report.static_profits) == 3
+        # Fresh decisions should not lose to the stale allocation overall.
+        assert report.total_reallocate >= report.total_static - 1e-6
+
+    def test_config_validation(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EpochConfig(num_epochs=0)
+        with pytest.raises(ConfigurationError):
+            EpochConfig(drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            EpochConfig(min_rate_factor=0.9, max_rate_factor=0.5)
+
+    def test_rates_stay_bounded(self):
+        system = small_system(seed=4, num_clients=5)
+        report = run_epoch_simulation(
+            system,
+            EpochConfig(num_epochs=2, drift=2.0, seed=1),
+            SolverConfig(seed=1, max_improvement_rounds=1, num_initial_solutions=1),
+        )
+        for profit in report.reallocate_profits:
+            assert math.isfinite(profit)

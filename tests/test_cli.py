@@ -1,0 +1,150 @@
+"""Smoke tests for the repro-cloud CLI (every subcommand runs)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_describe(self, capsys):
+        assert main(["describe", "--clients", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "clusters" in out
+
+    def test_solve(self, capsys):
+        assert main(["solve", "--clients", "6", "--seed", "1", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "profit" in out
+
+    def test_solve_fleet_view(self, capsys):
+        assert (
+            main(["solve", "--clients", "5", "--seed", "2", "--fleet"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "cluster 0" in out
+        assert "OFF" in out or "#" in out
+
+    def test_compare(self, capsys):
+        assert (
+            main(["compare", "--clients", "6", "--seed", "1", "--mc-trials", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "proposed heuristic" in out
+        assert "modified PS" in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--clients",
+                    "5",
+                    "--seed",
+                    "1",
+                    "--duration",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "analytical mean" in out
+
+    def test_simulate_gps_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--clients",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--duration",
+                    "40",
+                    "--mode",
+                    "gps",
+                ]
+            )
+            == 0
+        )
+        assert "mode=gps" in capsys.readouterr().out
+
+    def test_epochs(self, capsys):
+        assert (
+            main(
+                [
+                    "epochs",
+                    "--clients",
+                    "5",
+                    "--seed",
+                    "1",
+                    "--epochs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "re-allocate" in out
+
+    def test_experiment_scalability(self, capsys):
+        assert main(["experiment", "scalability"]) == 0
+        assert "solve seconds" in capsys.readouterr().out
+
+    def test_multitier(self, capsys):
+        assert main(["multitier", "--apps", "3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "apps served" in out
+        assert "end-to-end R" in out
+
+    def test_admission(self, capsys):
+        assert main(["admission", "--clients", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "admission control" in out
+
+    def test_predict(self, capsys):
+        assert (
+            main(
+                [
+                    "predict",
+                    "--clients",
+                    "5",
+                    "--seed",
+                    "3",
+                    "--factors",
+                    "0.7",
+                    "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trust prediction" in out
+
+    def test_epochs_pattern(self, capsys):
+        assert (
+            main(
+                [
+                    "epochs",
+                    "--clients",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--epochs",
+                    "2",
+                    "--pattern",
+                    "bursty",
+                ]
+            )
+            == 0
+        )
+        assert "re-allocate" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

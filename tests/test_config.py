@@ -1,0 +1,84 @@
+"""Tests for SolverConfig validation and the exception hierarchy."""
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleAllocationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnstableQueueError,
+    WorkloadError,
+)
+
+
+class TestSolverConfig:
+    def test_defaults_match_paper(self):
+        config = SolverConfig()
+        assert config.num_initial_solutions == 3  # section VI
+        assert config.alpha_granularity >= 1
+        assert config.stability_margin >= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_initial_solutions=0),
+            dict(alpha_granularity=0),
+            dict(max_improvement_rounds=-1),
+            dict(improvement_tolerance=-0.1),
+            dict(bandwidth_shadow_price=-1.0),
+            dict(capacity_price_factor=-0.5),
+            dict(min_share=0.0),
+            dict(min_share=1.0),
+            dict(stability_margin=0.99),
+            dict(num_workers=0),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(**kwargs)
+
+    def test_frozen(self):
+        config = SolverConfig()
+        with pytest.raises(AttributeError):
+            config.alpha_granularity = 99
+
+    def test_replace_produces_new_config(self):
+        from dataclasses import replace
+
+        base = SolverConfig(seed=1)
+        variant = replace(base, alpha_granularity=20)
+        assert base.alpha_granularity != 20
+        assert variant.alpha_granularity == 20
+        assert variant.seed == 1
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ModelError,
+            InfeasibleAllocationError,
+            UnstableQueueError,
+            SolverError,
+            WorkloadError,
+            SimulationError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        try:
+            raise SolverError("numerical trouble")
+        except ReproError as caught:
+            assert "numerical trouble" in str(caught)
+
+    def test_not_catching_builtins(self):
+        """Library errors must not swallow programming errors."""
+        assert not issubclass(KeyError, ReproError)
+        assert not issubclass(ReproError, (KeyError, ValueError))

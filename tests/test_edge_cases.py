@@ -1,0 +1,139 @@
+"""Last-mile edge cases across modules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.dispersion import adjust_dispersion_rates
+from repro.core.state import WorkingState
+from repro.io import allocation_from_dict, allocation_to_dict
+from repro.model.allocation import Allocation
+from repro.multitier import generate_multitier_system
+from repro.optim.kkt import DispersionBranch, optimal_dispersion
+from repro.analysis.reporting import rows_to_csv
+
+
+class TestSingleEntityLimits:
+    def test_single_client_single_server(self, one_server_system, solver_config):
+        result = ResourceAllocator(solver_config).solve(one_server_system)
+        assert result.breakdown.feasible
+        assert result.allocation.total_alpha(0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_single_cluster_disables_reassignment_gracefully(self):
+        from repro.workload.generator import WorkloadConfig, generate_system
+
+        system = generate_system(
+            num_clients=4,
+            seed=2,
+            config=WorkloadConfig(num_clusters=1, servers_per_cluster=4),
+        )
+        result = ResourceAllocator(SolverConfig(seed=0)).solve(system)
+        assert result.breakdown.feasible
+
+    def test_granularity_one_is_all_or_nothing(self, two_cluster_system):
+        config = SolverConfig(seed=0, alpha_granularity=1)
+        result = ResourceAllocator(config).solve(two_cluster_system)
+        assert result.breakdown.feasible
+        for cid in two_cluster_system.client_ids():
+            entries = result.allocation.entries_of_client(cid)
+            assert entries
+            # With G=1 the constructor places whole clients; later moves
+            # may split, but traffic still sums to one.
+            assert result.allocation.total_alpha(cid) == pytest.approx(
+                1.0, abs=1e-6
+            )
+
+
+class TestDispersionEdges:
+    def test_all_zero_rate_branches_infeasible(self):
+        branches = [DispersionBranch(0.0, 0.0), DispersionBranch(0.0, 1.0)]
+        assert optimal_dispersion(branches, arrival_rate=1.0) is None
+
+    def test_single_usable_branch_takes_everything(self):
+        branches = [DispersionBranch(5.0, 5.0), DispersionBranch(0.0, 1.0)]
+        alphas = optimal_dispersion(branches, arrival_rate=1.0)
+        assert alphas is not None
+        assert alphas[0] == pytest.approx(1.0)
+        assert alphas[1] == 0.0
+
+    def test_adjust_skips_unassigned_client(self, two_cluster_system, solver_config):
+        state = WorkingState(two_cluster_system)
+        assert adjust_dispersion_rates(state, 0, solver_config) == 0.0
+
+
+class TestSerializationEdges:
+    def test_assignment_without_entries_round_trips(self):
+        allocation = Allocation()
+        allocation.assign_client(3, 1)
+        clone = allocation_from_dict(allocation_to_dict(allocation))
+        assert clone.is_assigned(3)
+        assert clone.entries_of_client(3) == {}
+
+    def test_empty_allocation_round_trips(self):
+        clone = allocation_from_dict(allocation_to_dict(Allocation()))
+        assert clone == Allocation()
+
+
+class TestMultitierEdges:
+    def test_fixed_tier_count(self):
+        system = generate_multitier_system(
+            num_applications=3, seed=1, min_tiers=2, max_tiers=2
+        )
+        assert all(app.num_tiers == 2 for app in system.applications)
+
+    def test_single_application(self):
+        from repro.multitier import MultiTierAllocator
+
+        system = generate_multitier_system(num_applications=1, seed=4)
+        result = MultiTierAllocator(SolverConfig(seed=1)).solve(system)
+        assert result.breakdown.feasible
+
+
+class TestReportingEdges:
+    def test_csv_mixed_types(self):
+        csv = rows_to_csv(["a", "b"], [("x", 1.5), (2, "y")])
+        lines = csv.splitlines()
+        assert lines[1] == "x,1.500000"
+        assert lines[2] == "2,y"
+
+
+class TestAllocatorDegenerateEconomies:
+    def test_free_servers_everything_served_fast(self, sku, gold_class):
+        """Zero-cost hardware: the allocator should serve and profit."""
+        from dataclasses import replace as dc_replace
+
+        from repro.model.client import Client
+        from repro.model.cluster import Cluster
+        from repro.model.datacenter import CloudSystem
+        from repro.model.server import Server
+
+        free_sku = dc_replace(sku, power_fixed=0.0, power_per_util=0.0)
+        system = CloudSystem(
+            clusters=[
+                Cluster(
+                    cluster_id=0,
+                    servers=[
+                        Server(server_id=i, cluster_id=0, server_class=free_sku)
+                        for i in range(3)
+                    ],
+                )
+            ],
+            clients=[
+                Client(
+                    client_id=i,
+                    utility_class=gold_class,
+                    rate_agreed=1.0,
+                    t_proc=0.5,
+                    t_comm=0.5,
+                    storage_req=0.5,
+                )
+                for i in range(3)
+            ],
+        )
+        result = ResourceAllocator(SolverConfig(seed=0)).solve(system)
+        assert result.breakdown.feasible
+        assert result.breakdown.total_cost == 0.0
+        assert result.profit > 0

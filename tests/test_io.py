@@ -1,0 +1,148 @@
+"""Tests for JSON serialization of systems and allocations."""
+
+import json
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.io import (
+    SerializationError,
+    allocation_from_dict,
+    allocation_to_dict,
+    load_allocation,
+    load_system,
+    save_allocation,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+    utility_from_dict,
+    utility_to_dict,
+)
+from repro.model.profit import evaluate_profit
+from repro.model.utility import (
+    ClippedLinearUtility,
+    LinearUtility,
+    PiecewiseLinearUtility,
+    StepUtility,
+)
+from repro.workload import generate_system
+from repro.workload.generator import WorkloadConfig
+
+
+class TestUtilityCodecs:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            LinearUtility(3.0, 0.5),
+            ClippedLinearUtility(2.0, 0.7),
+            PiecewiseLinearUtility(points=((0.0, 4.0), (1.0, 2.0), (3.0, 0.0))),
+            StepUtility(levels=((0.5, 3.0), (1.0, 1.0)), fallback=0.25),
+        ],
+    )
+    def test_round_trip(self, fn):
+        doc = utility_to_dict(fn)
+        clone = utility_from_dict(doc)
+        assert type(clone) is type(fn)
+        for r in (0.0, 0.4, 1.0, 2.5, 10.0):
+            assert clone.value(r) == pytest.approx(fn.value(r))
+
+    def test_json_serializable(self):
+        doc = utility_to_dict(StepUtility(levels=((1.0, 2.0),)))
+        json.dumps(doc)  # must not raise
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError):
+            utility_from_dict({"type": "mystery"})
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            utility_from_dict({})
+
+
+class TestSystemRoundTrip:
+    def make(self):
+        return generate_system(
+            num_clients=8,
+            seed=3,
+            config=WorkloadConfig(background_load_fraction=0.3),
+        )
+
+    def test_structure_preserved(self):
+        system = self.make()
+        clone = system_from_dict(system_to_dict(system))
+        assert clone.num_clusters == system.num_clusters
+        assert clone.num_servers == system.num_servers
+        assert clone.num_clients == system.num_clients
+        assert clone.name == system.name
+
+    def test_parameters_preserved(self):
+        system = self.make()
+        clone = system_from_dict(system_to_dict(system))
+        for original, copy in zip(system.clients, clone.clients):
+            assert copy.rate_agreed == pytest.approx(original.rate_agreed)
+            assert copy.rate_predicted == pytest.approx(original.rate_predicted)
+            assert copy.t_proc == pytest.approx(original.t_proc)
+            assert copy.storage_req == pytest.approx(original.storage_req)
+        for original, copy in zip(system.servers(), clone.servers()):
+            assert copy.server_class.index == original.server_class.index
+            assert copy.background_processing == pytest.approx(
+                original.background_processing
+            )
+
+    def test_json_round_trip_is_lossless(self):
+        system = self.make()
+        text = json.dumps(system_to_dict(system))
+        clone = system_from_dict(json.loads(text))
+        assert system_to_dict(clone) == system_to_dict(system)
+
+    def test_solutions_transfer(self):
+        """An allocation scored on the clone earns the same profit."""
+        system = self.make()
+        result = ResourceAllocator(SolverConfig(seed=1)).solve(system)
+        clone = system_from_dict(system_to_dict(system))
+        original_profit = evaluate_profit(system, result.allocation).total_profit
+        clone_profit = evaluate_profit(clone, result.allocation).total_profit
+        assert clone_profit == pytest.approx(original_profit)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            system_from_dict({"format": "something-else"})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            system_from_dict({"format": "repro.cloud-system"})
+
+
+class TestAllocationRoundTrip:
+    def test_round_trip(self, small, solver_config):
+        result = ResourceAllocator(solver_config).solve(small)
+        doc = allocation_to_dict(result.allocation)
+        json.dumps(doc)
+        clone = allocation_from_dict(doc)
+        assert clone == result.allocation
+
+    def test_profit_preserved(self, small, solver_config):
+        result = ResourceAllocator(solver_config).solve(small)
+        clone = allocation_from_dict(allocation_to_dict(result.allocation))
+        assert evaluate_profit(small, clone).total_profit == pytest.approx(
+            result.profit
+        )
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            allocation_from_dict({"format": "nope"})
+
+
+class TestFileHelpers:
+    def test_system_file_round_trip(self, tmp_path, small):
+        path = str(tmp_path / "system.json")
+        save_system(small, path)
+        clone = load_system(path)
+        assert system_to_dict(clone) == system_to_dict(small)
+
+    def test_allocation_file_round_trip(self, tmp_path, small, solver_config):
+        result = ResourceAllocator(solver_config).solve(small)
+        path = str(tmp_path / "allocation.json")
+        save_allocation(result.allocation, path)
+        assert load_allocation(path) == result.allocation

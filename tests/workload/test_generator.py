@@ -1,0 +1,187 @@
+"""Tests for the section-VI workload generator.
+
+The published parameter ranges are asserted here; the generator is the
+experiment substrate, so a drift in any range silently changes every
+reproduced figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.model.utility import ClippedLinearUtility, LinearUtility, StepUtility
+from repro.workload.generator import WorkloadConfig, generate_system
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    return generate_system(num_clients=200, seed=123)
+
+
+class TestPaperParameters:
+    def test_topology_counts(self, big_instance):
+        assert big_instance.num_clusters == 5
+        sku_indices = {s.server_class.index for s in big_instance.servers()}
+        assert sku_indices <= set(range(10))
+        class_indices = {c.utility_class.index for c in big_instance.clients}
+        assert class_indices <= set(range(5))
+
+    def test_arrival_rates_in_range(self, big_instance):
+        for client in big_instance.clients:
+            assert 0.5 <= client.rate_agreed <= 4.5
+
+    def test_execution_times_in_range(self, big_instance):
+        for client in big_instance.clients:
+            assert 0.4 <= client.t_proc <= 1.0
+            assert 0.4 <= client.t_comm <= 1.0
+
+    def test_storage_requirement_in_range(self, big_instance):
+        for client in big_instance.clients:
+            assert 0.2 <= client.storage_req <= 2.0
+
+    def test_server_capacities_in_range(self, big_instance):
+        for server in big_instance.servers():
+            assert 2.0 <= server.cap_processing <= 6.0
+            assert 2.0 <= server.cap_bandwidth <= 6.0
+            assert 2.0 <= server.cap_storage <= 6.0
+
+    def test_power_costs_in_range(self, big_instance):
+        for server in big_instance.servers():
+            assert 1.0 <= server.server_class.power_fixed <= 3.0
+            assert 0.5 <= server.server_class.power_per_util <= 1.5
+
+    def test_utility_slopes_in_range(self, big_instance):
+        for client in big_instance.clients:
+            assert 0.4 <= client.utility_slope <= 1.0
+
+    def test_default_utility_form_is_clipped(self, big_instance):
+        for client in big_instance.clients:
+            assert isinstance(client.utility_class.function, ClippedLinearUtility)
+
+
+class TestDeterminismAndSizing:
+    def test_same_seed_same_instance(self):
+        a = generate_system(num_clients=15, seed=9)
+        b = generate_system(num_clients=15, seed=9)
+        assert [c.rate_agreed for c in a.clients] == [
+            c.rate_agreed for c in b.clients
+        ]
+        assert [s.server_class.index for s in a.servers()] == [
+            s.server_class.index for s in b.servers()
+        ]
+
+    def test_different_seed_differs(self):
+        a = generate_system(num_clients=15, seed=9)
+        b = generate_system(num_clients=15, seed=10)
+        assert [c.rate_agreed for c in a.clients] != [
+            c.rate_agreed for c in b.clients
+        ]
+
+    def test_auto_sizing_scales_with_clients(self):
+        small = generate_system(num_clients=10, seed=0)
+        large = generate_system(num_clients=100, seed=0)
+        assert large.num_servers > small.num_servers
+
+    def test_explicit_servers_per_cluster(self):
+        system = generate_system(
+            num_clients=10,
+            seed=0,
+            config=WorkloadConfig(servers_per_cluster=3),
+        )
+        assert all(len(cluster) == 3 for cluster in system.clusters)
+
+    def test_predicted_rate_factor(self):
+        system = generate_system(
+            num_clients=10,
+            seed=0,
+            config=WorkloadConfig(predicted_rate_factor=0.8),
+        )
+        for client in system.clients:
+            assert client.rate_predicted == pytest.approx(0.8 * client.rate_agreed)
+
+
+class TestUtilityForms:
+    def test_linear_form(self):
+        system = generate_system(
+            num_clients=5, seed=0, config=WorkloadConfig(utility_form="linear")
+        )
+        assert all(
+            isinstance(c.utility_class.function, LinearUtility)
+            for c in system.clients
+        )
+
+    def test_step_form(self):
+        system = generate_system(
+            num_clients=5, seed=0, config=WorkloadConfig(utility_form="step")
+        )
+        assert all(
+            isinstance(c.utility_class.function, StepUtility)
+            for c in system.clients
+        )
+
+
+class TestBackgroundLoad:
+    def test_disabled_by_default(self):
+        system = generate_system(num_clients=5, seed=0)
+        assert not any(s.has_background_load for s in system.servers())
+
+    def test_enabled_fraction(self):
+        system = generate_system(
+            num_clients=20,
+            seed=0,
+            config=WorkloadConfig(background_load_fraction=1.0),
+        )
+        assert all(s.has_background_load for s in system.servers())
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_clusters=0),
+            dict(num_server_classes=0),
+            dict(num_utility_classes=0),
+            dict(servers_per_cluster=0),
+            dict(predicted_rate_factor=0.0),
+            dict(predicted_rate_factor=1.5),
+            dict(utility_form="bogus"),
+            dict(background_load_fraction=1.5),
+            dict(rate_range=(-1.0, 2.0)),
+            dict(rate_range=(3.0, 2.0)),
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(**kwargs)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_system(num_clients=0, seed=0)
+
+
+class TestScenarios:
+    def test_tiny_is_enumerable(self):
+        from repro.workload import tiny_system
+
+        system = tiny_system(seed=1)
+        assert system.num_clients == 3
+        assert system.num_clusters == 2
+
+    def test_consolidation_is_overprovisioned(self):
+        from repro.workload import consolidation_scenario
+
+        system = consolidation_scenario()
+        assert system.num_servers >= 3 * system.num_clients
+
+    def test_tiered_sla_has_three_tiers(self):
+        from repro.workload import tiered_sla_scenario
+
+        system = tiered_sla_scenario(num_clients=9)
+        names = {c.utility_class.name for c in system.clients}
+        assert names == {"gold", "silver", "bronze"}
+
+    def test_paper_scenario_label(self):
+        from repro.workload import paper_scenario
+
+        system = paper_scenario(num_clients=12, seed=3)
+        assert "12" in system.name

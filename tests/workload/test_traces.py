@@ -1,0 +1,91 @@
+"""Tests for the arrival-rate trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.traces import (
+    bursty_factors,
+    diurnal_factors,
+    make_factors,
+    random_walk_factors,
+)
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [random_walk_factors, diurnal_factors, bursty_factors],
+)
+class TestCommonProperties:
+    def test_shape(self, generator):
+        rng = np.random.default_rng(0)
+        factors = generator(12, 5, rng)
+        assert factors.shape == (12, 5)
+
+    def test_bounds(self, generator):
+        rng = np.random.default_rng(1)
+        factors = generator(50, 8, rng)
+        assert factors.min() >= 0.1 - 1e-12
+        assert factors.max() <= 1.0 + 1e-12
+
+    def test_deterministic_for_seed(self, generator):
+        a = generator(10, 4, np.random.default_rng(7))
+        b = generator(10, 4, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_rejects_empty(self, generator):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            generator(0, 5, rng)
+        with pytest.raises(WorkloadError):
+            generator(5, 0, rng)
+
+
+class TestDiurnal:
+    def test_oscillates_with_period(self):
+        rng = np.random.default_rng(3)
+        factors = diurnal_factors(32, 1, rng, period=8, amplitude=0.35)
+        series = factors[:, 0]
+        # Peaks and troughs differ substantially over a cycle.
+        assert series.max() - series.min() > 0.3
+
+    def test_phase_jitter_decorrelates_clients(self):
+        rng = np.random.default_rng(4)
+        factors = diurnal_factors(64, 2, rng, period=8)
+        correlation = np.corrcoef(factors[:, 0], factors[:, 1])[0, 1]
+        assert abs(correlation) < 0.999  # not in perfect lockstep
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(WorkloadError):
+            diurnal_factors(4, 2, np.random.default_rng(0), period=0)
+
+
+class TestBursty:
+    def test_bursts_occur(self):
+        rng = np.random.default_rng(5)
+        factors = bursty_factors(
+            200, 10, rng, baseline=0.4, burst_probability=0.2, burst_level=1.0
+        )
+        assert factors.max() > 0.9  # at least one spike over 200 epochs
+
+    def test_baseline_dominates(self):
+        rng = np.random.default_rng(6)
+        factors = bursty_factors(
+            200, 10, rng, baseline=0.4, burst_probability=0.1
+        )
+        assert 0.3 < np.median(factors) < 0.5
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(WorkloadError):
+            bursty_factors(5, 2, np.random.default_rng(0), burst_probability=1.5)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("pattern", ["random_walk", "diurnal", "bursty"])
+    def test_known_patterns(self, pattern):
+        factors = make_factors(pattern, 6, 3, np.random.default_rng(0))
+        assert factors.shape == (6, 3)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_factors("sawtooth", 6, 3, np.random.default_rng(0))
