@@ -1,0 +1,225 @@
+"""Hot-path benchmarks: vectorized + incremental engine vs scalar baseline.
+
+Times the three kernels the perf work targeted, at three instance sizes:
+
+* **curve construction** — eq.-(16) per-server profit curves for one
+  ``Assign_Distribute`` call: memoized scalar :func:`_server_curves`
+  loop vs :func:`batched_server_curves`;
+* **dp combine** — the grid DP over those curves:
+  :func:`combine_server_curves_scalar` vs the NumPy
+  :func:`combine_server_curves`;
+* **local search pass** — one full :func:`reassignment_pass` over a
+  random allocation: all-scalar config (full re-score per move) vs the
+  production config (vectorized kernels + ``DeltaScorer``).
+
+Run as a script to (re)generate ``BENCH_hotpaths.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py
+
+``benchmarks/check_regression.py`` re-runs the same measurements and
+compares against the committed JSON.  Also collectable by pytest (one
+smoke test) so the file cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script usage without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines.assignment import (  # noqa: E402
+    build_allocation_for_assignment,
+    random_assignment,
+)
+from repro.config import SolverConfig  # noqa: E402
+from repro.core.assign import _server_curves, batched_server_curves  # noqa: E402
+from repro.core.delta import DeltaScorer  # noqa: E402
+from repro.core.local_search import reassignment_pass  # noqa: E402
+from repro.core.scoring import score  # noqa: E402
+from repro.core.state import WorkingState  # noqa: E402
+from repro.optim.dp import (  # noqa: E402
+    combine_server_curves,
+    combine_server_curves_scalar,
+)
+from repro.workload.generator import generate_system  # noqa: E402
+
+SIZES = (60, 140, 240)
+SEED = 7
+OUTPUT_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+
+SCALAR_CONFIG = SolverConfig(use_vectorized_kernels=False, use_delta_scoring=False)
+FAST_CONFIG = SolverConfig()
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _make_state(num_clients: int, config: SolverConfig) -> WorkingState:
+    system = generate_system(num_clients=num_clients, seed=SEED)
+    rng = np.random.default_rng(SEED)
+    assignment = random_assignment(system, rng)
+    return build_allocation_for_assignment(system, assignment, config)
+
+
+def _scalar_curves(state: WorkingState, client, server_ids, config) -> List:
+    """The production scalar path's memoized curve loop, isolated."""
+    cache: Dict[Tuple, object] = {}
+    curves = []
+    for sid in server_ids:
+        server = state.system.server(sid)
+        key = (
+            server.server_class.index,
+            state.free_processing(sid),
+            state.free_bandwidth(sid),
+            state.free_storage(sid) >= client.storage_req,
+            state.server_is_active(sid),
+        )
+        if key not in cache:
+            cache[key] = _server_curves(state, client, sid, config)
+        curves.append(cache[key][0])
+    return curves
+
+
+def bench_curve_construction(num_clients: int, repeats: int = 5) -> Dict[str, float]:
+    state = _make_state(num_clients, SCALAR_CONFIG)
+    system = state.system
+    cluster = system.cluster(system.cluster_ids()[0])
+    server_ids = [s.server_id for s in cluster]
+    clients = [system.client(cid) for cid in system.client_ids()[:20]]
+
+    def scalar() -> None:
+        for client in clients:
+            _scalar_curves(state, client, server_ids, SCALAR_CONFIG)
+
+    def vectorized() -> None:
+        for client in clients:
+            batched_server_curves(state, client, server_ids, FAST_CONFIG)
+
+    scalar_s = _best_of(scalar, repeats)
+    vectorized_s = _best_of(vectorized, repeats)
+    return {
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup": scalar_s / vectorized_s,
+    }
+
+
+def bench_dp_combine(num_clients: int, repeats: int = 5) -> Dict[str, float]:
+    state = _make_state(num_clients, SCALAR_CONFIG)
+    system = state.system
+    cluster = system.cluster(system.cluster_ids()[0])
+    server_ids = [s.server_id for s in cluster]
+    client = system.client(system.client_ids()[0])
+    rows, values, _, _ = batched_server_curves(
+        state, client, server_ids, FAST_CONFIG
+    )
+    granularity = FAST_CONFIG.alpha_granularity
+    array_curves = [values[row] for row in rows]
+    list_curves = [list(curve) for curve in array_curves]
+
+    def scalar() -> None:
+        for _ in range(50):
+            combine_server_curves_scalar(list_curves, granularity)
+
+    def vectorized() -> None:
+        for _ in range(50):
+            combine_server_curves(array_curves, granularity)
+
+    scalar_s = _best_of(scalar, repeats)
+    vectorized_s = _best_of(vectorized, repeats)
+    return {
+        "scalar_s": scalar_s,
+        "vectorized_s": vectorized_s,
+        "speedup": scalar_s / vectorized_s,
+    }
+
+
+def bench_local_search_pass(num_clients: int, repeats: int = 3) -> Dict[str, float]:
+    # Both paths start from the identical allocation and RNG stream; only
+    # the pass itself is timed (state construction happens outside).
+    base = _make_state(num_clients, SCALAR_CONFIG)
+    system = base.system
+    allocation = base.snapshot()
+
+    def run_pass(config: SolverConfig, attach_scorer: bool):
+        state = WorkingState(system, allocation.copy())
+        if attach_scorer:
+            DeltaScorer(state)
+        rng = np.random.default_rng(123)
+        started = time.perf_counter()
+        reassignment_pass(state, config, rng)
+        return time.perf_counter() - started, state
+
+    scalar_s = min(run_pass(SCALAR_CONFIG, False)[0] for _ in range(repeats))
+    fast_s = min(run_pass(FAST_CONFIG, True)[0] for _ in range(repeats))
+
+    # Equivalence spot-check: both paths must produce the same profit.
+    _, state_a = run_pass(SCALAR_CONFIG, False)
+    _, state_b = run_pass(FAST_CONFIG, True)
+    profit_a = score(state_a.system, state_a.allocation)
+    profit_b = score(state_b.system, state_b.allocation)
+    if abs(profit_a - profit_b) > 1e-9:
+        raise AssertionError(
+            f"scalar/fast local-search divergence: {profit_a} vs {profit_b}"
+        )
+
+    return {
+        "scalar_s": scalar_s,
+        "fast_s": fast_s,
+        "speedup": scalar_s / fast_s,
+    }
+
+
+def run_benchmarks(sizes=SIZES) -> Dict:
+    results: Dict[str, Dict[str, Dict[str, float]]] = {
+        "curve_construction": {},
+        "dp_combine": {},
+        "local_search_pass": {},
+    }
+    for n in sizes:
+        results["curve_construction"][str(n)] = bench_curve_construction(n)
+        results["dp_combine"][str(n)] = bench_dp_combine(n)
+        results["local_search_pass"][str(n)] = bench_local_search_pass(n)
+    return {
+        "generated_by": "benchmarks/bench_hotpaths.py",
+        "seed": SEED,
+        "sizes": list(sizes),
+        "scalar_config": "SolverConfig(use_vectorized_kernels=False, use_delta_scoring=False)",
+        "fast_config": "SolverConfig() (defaults)",
+        "results": results,
+    }
+
+
+def test_hotpath_benchmarks_smoke() -> None:
+    """Keep the harness importable/runnable under the bench suite."""
+    report = run_benchmarks(sizes=(20,))
+    pass_result = report["results"]["local_search_pass"]["20"]
+    assert pass_result["scalar_s"] > 0.0 and pass_result["fast_s"] > 0.0
+
+
+def main() -> None:
+    report = run_benchmarks()
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT_PATH}")
+    for section, per_size in report["results"].items():
+        for n, row in per_size.items():
+            print(f"{section:>20} n={n:>4}: speedup {row['speedup']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

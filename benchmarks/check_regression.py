@@ -1,0 +1,89 @@
+"""Guard the hot paths: fail when they get materially slower.
+
+Re-runs ``benchmarks/bench_hotpaths.py`` and compares the *fast-path*
+timings against the committed ``BENCH_hotpaths.json`` baseline.  Exits
+non-zero when any fast-path timing regressed by more than
+``THRESHOLD`` (default 25%).
+
+Absolute timings move with the host, so CI runs this as a non-blocking
+step — it flags suspicious slowdowns for a human to look at rather than
+gating merges on machine luck::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_hotpaths import OUTPUT_PATH, run_benchmarks  # noqa: E402
+
+#: Keys holding the measured-code timing per benchmark section.
+FAST_KEYS = {
+    "curve_construction": "vectorized_s",
+    "dp_combine": "vectorized_s",
+    "local_search_pass": "fast_s",
+}
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list:
+    regressions = []
+    for section, fast_key in FAST_KEYS.items():
+        base_section = baseline["results"].get(section, {})
+        for size, row in current["results"].get(section, {}).items():
+            base_row = base_section.get(size)
+            if base_row is None:
+                continue
+            base_s = base_row[fast_key]
+            now_s = row[fast_key]
+            if base_s > 0 and now_s > base_s * (1.0 + threshold):
+                regressions.append(
+                    f"{section} n={size}: {base_s:.4f}s -> {now_s:.4f}s "
+                    f"(+{(now_s / base_s - 1.0) * 100.0:.0f}%)"
+                )
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=OUTPUT_PATH,
+        help="baseline JSON to compare against (default BENCH_hotpaths.json)",
+    )
+    args = parser.parse_args()
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run bench_hotpaths.py first")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    current = run_benchmarks()
+
+    regressions = compare(baseline, current, args.threshold)
+    if regressions:
+        print("hot-path regressions beyond threshold:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"hot paths within {args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,23 @@ class SolverConfig:
             results are identical.
         num_workers: pool size when ``parallel_clusters`` is set; ``None``
             means one worker per cluster.
+        use_vectorized_kernels: compute the eq.-(16) profit curves and the
+            traffic-split DP with the NumPy kernels
+            (:func:`repro.core.assign.batched_server_curves`,
+            :func:`repro.optim.dp.combine_server_curves`) instead of the
+            scalar reference loops.  Pure speed knob: the kernels evaluate
+            the same IEEE-754 expressions element-wise, so results are
+            bit-identical (property-tested).
+        use_delta_scoring: attach a
+            :class:`~repro.core.delta.DeltaScorer` to the solver's working
+            state so accept-if-better gates re-score only the clients and
+            servers a move touched, instead of re-evaluating the whole
+            datacenter.  Pure speed knob; the delta path is held to the
+            exact evaluator within 1e-9 (see ``validate_delta_scoring``).
+        validate_delta_scoring: debug flag — on every incremental profit
+            query, recompute the full :func:`repro.model.profit.evaluate_profit`
+            score and raise if the two disagree beyond 1e-9.  Slow;
+            intended for tests and for diagnosing scorer drift.
     """
 
     num_initial_solutions: int = 3
@@ -73,6 +90,9 @@ class SolverConfig:
     seed: Optional[int] = None
     parallel_clusters: bool = False
     num_workers: Optional[int] = None
+    use_vectorized_kernels: bool = True
+    use_delta_scoring: bool = True
+    validate_delta_scoring: bool = False
 
     def __post_init__(self) -> None:
         if self.num_initial_solutions < 1:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.config import SolverConfig
 from repro.core.assign import apply_placement, best_placement
+from repro.core.delta import DeltaScorer
 from repro.core.dispersion import adjust_dispersion_rates
 from repro.core.initial import build_initial_solution
 from repro.core.local_search import reassignment_pass
@@ -167,6 +168,10 @@ class ResourceAllocator:
         initial_profit: float,
     ) -> AllocationResult:
         state = WorkingState(system, allocation)
+        if self.config.use_delta_scoring:
+            # Accept-if-better gates across every move module then cost
+            # O(touched) instead of a full re-evaluation (see core.delta).
+            DeltaScorer(state, validate=self.config.validate_delta_scoring)
         self._place_stragglers(state)
         blocked_for_shutdown: Set[int] = set()
         history: List[float] = []

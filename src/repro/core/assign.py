@@ -20,18 +20,37 @@ Following the paper:
 * per-server-class memoization: servers of the same class with identical
   free capacity and activity (e.g. all still-empty servers of one SKU)
   share one curve evaluation.
+
+Two curve kernels implement the same eq.-(16) arithmetic:
+
+* :func:`_server_curves` — the scalar reference: one server, one Python
+  loop over the grid;
+* :func:`batched_server_curves` — the production kernel: all memo-unique
+  servers of a cluster times all ``G`` grid points in single NumPy
+  expressions.  Every element goes through the identical sequence of
+  IEEE-754 operations, so the two kernels agree bit-for-bit
+  (property-tested in ``tests/core/test_vectorized.py``).
+
+``SolverConfig.use_vectorized_kernels`` selects the kernel (and the
+matching array vs. scalar DP).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, List, Optional, Tuple
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.config import SolverConfig
 from repro.core.state import WorkingState
 from repro.model.client import Client
-from repro.optim.dp import NEG_INF, combine_server_curves
+from repro.optim.dp import (
+    NEG_INF,
+    combine_server_curves,
+    combine_server_curves_scalar,
+)
 
 #: (alpha, phi_p, phi_b) chosen for one server.
 EntryTriple = Tuple[float, float, float]
@@ -130,6 +149,151 @@ def _server_curves(
     return values, shares
 
 
+def batched_server_curves(
+    state: WorkingState,
+    client: Client,
+    server_ids: Sequence[int],
+    config: SolverConfig,
+) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Eq.-(16) curves for many servers at once, deduped by memo key.
+
+    Returns ``(rows, values, phi_p, phi_b)`` where ``rows[i]`` indexes the
+    matrix row holding the curve of ``server_ids[i]`` (servers sharing a
+    (class, free capacity, storage-fit, activity) signature share a row),
+    ``values`` is the ``(unique, G + 1)`` profit matrix (``-inf`` marks
+    infeasible points, column 0 is the no-traffic point) and the ``phi``
+    matrices hold the matching share choices.
+    """
+    granularity = config.alpha_granularity
+
+    # One pass over the servers builds both the memo keys and the exemplar
+    # parameter columns, reading the raw aggregate dicts and the
+    # pre-resolved ServerStatics directly — the free_*/is_active arithmetic
+    # is byte-for-byte the scalar kernel's, just without per-call method
+    # and property dispatch (this loop dominated the profile otherwise).
+    statics = state.server_statics
+    used_p_map = state._used_p
+    used_b_map = state._used_b
+    used_s_map = state._used_storage
+    active_counts = state._active_entries
+    storage_req = client.storage_req
+    t_proc = client.t_proc
+    t_comm = client.t_comm
+    factor = config.capacity_price_factor
+    shadow = config.bandwidth_shadow_price
+
+    key_to_row: Dict[Tuple, int] = {}
+    rows: List[int] = []
+    params: List[Tuple[float, ...]] = []
+    any_usable = False
+    for sid in server_ids:
+        st = statics[sid]
+        fp = 1.0 - st.background_processing - used_p_map[sid]
+        if fp < 0.0:
+            fp = 0.0
+        fb = 1.0 - st.background_bandwidth - used_b_map[sid]
+        if fb < 0.0:
+            fb = 0.0
+        fs = st.free_storage_base - used_s_map[sid]
+        if fs < 0.0:
+            fs = 0.0
+        storage_ok = fs >= storage_req
+        is_active = st.has_background_load or active_counts[sid] > 0
+        key = (st.class_index, fp, fb, storage_ok, is_active)
+        row = key_to_row.get(key)
+        if row is None:
+            row = len(params)
+            key_to_row[key] = row
+            amortized = factor * st.power_fixed
+            params.append(
+                (
+                    1.0 if storage_ok else 0.0,
+                    st.cap_processing / t_proc,
+                    st.cap_bandwidth / t_comm,
+                    fp,
+                    fb,
+                    st.power_per_util + amortized,
+                    shadow + amortized,
+                    st.power_per_util,
+                    st.power_fixed,
+                    1.0 if is_active else 0.0,
+                )
+            )
+            any_usable = any_usable or storage_ok
+        rows.append(row)
+
+    unique = len(params)
+    values = np.full((unique, granularity + 1), NEG_INF)
+    values[:, 0] = 0.0
+    phi_p_out = np.zeros((unique, granularity + 1))
+    phi_b_out = np.zeros((unique, granularity + 1))
+
+    if not any_usable:
+        return rows, values, phi_p_out, phi_b_out
+    cols = np.array(params, dtype=np.float64).T
+    usable = cols[0] != 0.0
+    s_p = cols[1]
+    s_b = cols[2]
+    free_p = cols[3]
+    free_b = cols[4]
+    price_p = cols[5]
+    price_b = cols[6]
+    power_per_util = cols[7]
+    power_fixed = cols[8]
+    active = cols[9] != 0.0
+
+    linear = client.utility_class.linear_approximation()
+    weight_base = client.rate_agreed * linear.slope
+
+    grid = np.arange(1, granularity + 1)
+    alpha = grid / granularity  # (G,)
+    arrival = alpha * client.rate_predicted
+    weight = weight_base * alpha
+    s_p_col = s_p[:, None]
+    s_b_col = s_b[:, None]
+    lower_p = arrival[None, :] / s_p_col * config.stability_margin + config.min_share
+    lower_b = arrival[None, :] / s_b_col * config.stability_margin + config.min_share
+    feasible = (lower_p <= free_p[:, None]) & (lower_b <= free_b[:, None])
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        if weight_base <= 0.0:
+            # Scalar kernel: non-positive weight pins the share at its
+            # stability lower bound.
+            phi_p = lower_p
+            phi_b = lower_b
+        else:
+            # price == 0 rows degrade gracefully: sqrt(w*s/0) = inf, and
+            # the upper clip then returns the free capacity — exactly the
+            # scalar kernel's "zero price takes everything" branch.
+            phi_p = np.minimum(
+                np.maximum(
+                    (arrival[None, :] + np.sqrt(weight[None, :] * s_p_col / price_p[:, None]))
+                    / s_p_col,
+                    lower_p,
+                ),
+                free_p[:, None],
+            )
+            phi_b = np.minimum(
+                np.maximum(
+                    (arrival[None, :] + np.sqrt(weight[None, :] * s_b_col / price_b[:, None]))
+                    / s_b_col,
+                    lower_b,
+                ),
+                free_b[:, None],
+            )
+        head_p = s_p_col * phi_p - arrival[None, :]
+        head_b = s_b_col * phi_b - arrival[None, :]
+        ok = usable[:, None] & feasible & (head_p > 0.0) & (head_b > 0.0)
+        response_cost = alpha[None, :] * (1.0 / head_p + 1.0 / head_b)
+        value = -weight_base * response_cost - power_per_util[:, None] * phi_p
+        value = np.where(active[:, None], value, value - power_fixed[:, None])
+
+    values[:, 1:] = np.where(ok, value, NEG_INF)
+    phi_p_out[:, 1:] = np.where(ok, phi_p, 0.0)
+    phi_b_out[:, 1:] = np.where(ok, phi_b, 0.0)
+    return rows, values, phi_p_out, phi_b_out
+
+
 def assign_distribute(
     state: WorkingState,
     client: Client,
@@ -148,17 +312,33 @@ def assign_distribute(
     if not cluster.servers:
         return None
     excluded = excluded_server_ids or frozenset()
+    eligible = [s.server_id for s in cluster if s.server_id not in excluded]
+    if not eligible:
+        return None
 
+    if config.use_vectorized_kernels:
+        return _assign_distribute_vectorized(
+            state, client, cluster_id, eligible, config
+        )
+    return _assign_distribute_scalar(state, client, cluster_id, eligible, config)
+
+
+def _assign_distribute_scalar(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    eligible: Sequence[int],
+    config: SolverConfig,
+) -> Optional[CandidatePlacement]:
+    """Reference path: per-server scalar curves + pure-Python DP."""
     # Memoize curves per (class, capacity signature): interchangeable
     # servers — typically the still-empty ones of a SKU — share one solve.
     cache: Dict[Tuple, Tuple[List[float], List[Tuple[float, float]]]] = {}
     curves: List[List[float]] = []
     share_tables: List[List[Tuple[float, float]]] = []
     server_ids: List[int] = []
-    for server in cluster:
-        sid = server.server_id
-        if sid in excluded:
-            continue
+    for sid in eligible:
+        server = state.system.server(sid)
         key = (
             server.server_class.index,
             state.free_processing(sid),
@@ -173,12 +353,9 @@ def assign_distribute(
         share_tables.append(shares)
         server_ids.append(sid)
 
-    total, units = combine_server_curves(curves, config.alpha_granularity)
+    total, units = combine_server_curves_scalar(curves, config.alpha_granularity)
     if total == NEG_INF:
         return None
-
-    linear = client.utility_class.linear_approximation()
-    estimated = client.rate_agreed * linear.base_value + total
 
     entries: Dict[int, EntryTriple] = {}
     for idx, g in enumerate(units):
@@ -187,8 +364,59 @@ def assign_distribute(
         alpha = g / config.alpha_granularity
         phi_p, phi_b = share_tables[idx][g]
         entries[server_ids[idx]] = (alpha, phi_p, phi_b)
+    return _finish_placement(client, cluster_id, total, entries)
+
+
+def _assign_distribute_vectorized(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    eligible: Sequence[int],
+    config: SolverConfig,
+) -> Optional[CandidatePlacement]:
+    """Production path: batched NumPy curves + array DP.
+
+    Servers whose whole positive-traffic curve is infeasible are pruned
+    before the DP — they could only ever take 0 grid units, so dropping
+    them is exact and shrinks the DP when a cluster is mostly full.
+    """
+    rows, values, phi_p, phi_b = batched_server_curves(
+        state, client, eligible, config
+    )
+    takes_traffic = values[:, 1:].max(axis=1) > NEG_INF
+    curves: List[np.ndarray] = []
+    server_ids: List[int] = []
+    server_rows: List[int] = []
+    for sid, row in zip(eligible, rows):
+        if takes_traffic[row]:
+            curves.append(values[row])
+            server_ids.append(sid)
+            server_rows.append(row)
+
+    total, units = combine_server_curves(curves, config.alpha_granularity)
+    if total == NEG_INF:
+        return None
+
+    entries: Dict[int, EntryTriple] = {}
+    for idx, g in enumerate(units):
+        if g == 0:
+            continue
+        alpha = g / config.alpha_granularity
+        row = server_rows[idx]
+        entries[server_ids[idx]] = (alpha, float(phi_p[row, g]), float(phi_b[row, g]))
+    return _finish_placement(client, cluster_id, total, entries)
+
+
+def _finish_placement(
+    client: Client,
+    cluster_id: int,
+    total: float,
+    entries: Dict[int, EntryTriple],
+) -> Optional[CandidatePlacement]:
     if not entries:
         return None
+    linear = client.utility_class.linear_approximation()
+    estimated = client.rate_agreed * linear.base_value + total
     return CandidatePlacement(
         client_id=client.client_id,
         cluster_id=cluster_id,
@@ -212,11 +440,81 @@ def best_placement(
     cluster_ids: Optional[List[int]] = None,
 ) -> Optional[CandidatePlacement]:
     """``Assign_Distribute`` across clusters: pick the most profitable one."""
+    kids = list(cluster_ids or state.system.cluster_ids())
+    if config.use_vectorized_kernels:
+        return _best_placement_vectorized(state, client, kids, config)
     candidates: List[CandidatePlacement] = []
-    for cluster_id in cluster_ids or state.system.cluster_ids():
+    for cluster_id in kids:
         placement = assign_distribute(state, client, cluster_id, config)
         if placement is not None:
             candidates.append(placement)
     if not candidates:
         return None
     return max(candidates, key=lambda p: p.estimated_profit)
+
+
+def _best_placement_vectorized(
+    state: WorkingState,
+    client: Client,
+    kids: List[int],
+    config: SolverConfig,
+) -> Optional[CandidatePlacement]:
+    """One batched curve evaluation across *all* candidate clusters.
+
+    Curves depend only on the (client, server signature) pair, never on
+    cluster identity, so the memo dedup is valid across clusters and one
+    NumPy evaluation amortizes the kernel-launch overhead that dominates
+    per-cluster calls on small arrays.  The per-cluster DP and the
+    first-maximum tie-break are unchanged, so this returns exactly what
+    the per-cluster loop would.
+    """
+    system = state.system
+    all_ids: List[int] = []
+    spans: List[Tuple[int, int, int]] = []
+    for kid in kids:
+        servers = system.cluster(kid).servers
+        if not servers:
+            continue
+        start = len(all_ids)
+        all_ids.extend(s.server_id for s in servers)
+        spans.append((kid, start, len(all_ids)))
+    if not all_ids:
+        return None
+
+    rows, values, phi_p, phi_b = batched_server_curves(
+        state, client, all_ids, config
+    )
+    takes_traffic = values[:, 1:].max(axis=1) > NEG_INF
+    granularity = config.alpha_granularity
+
+    best: Optional[CandidatePlacement] = None
+    for kid, start, end in spans:
+        curves: List[np.ndarray] = []
+        server_ids: List[int] = []
+        server_rows: List[int] = []
+        for i in range(start, end):
+            row = rows[i]
+            if takes_traffic[row]:
+                curves.append(values[row])
+                server_ids.append(all_ids[i])
+                server_rows.append(row)
+        total, units = combine_server_curves(curves, granularity)
+        if total == NEG_INF:
+            continue
+        entries: Dict[int, EntryTriple] = {}
+        for idx, g in enumerate(units):
+            if g == 0:
+                continue
+            alpha = g / granularity
+            row = server_rows[idx]
+            entries[server_ids[idx]] = (
+                alpha,
+                float(phi_p[row, g]),
+                float(phi_b[row, g]),
+            )
+        placement = _finish_placement(client, kid, total, entries)
+        if placement is not None and (
+            best is None or placement.estimated_profit > best.estimated_profit
+        ):
+            best = placement
+    return best

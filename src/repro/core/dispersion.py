@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.config import SolverConfig
-from repro.core.scoring import score
+from repro.core.scoring import score_state
 from repro.core.state import WorkingState
 from repro.optim.kkt import DispersionBranch, optimal_dispersion
 
@@ -60,7 +60,7 @@ def adjust_dispersion_rates(
     if alphas is None:
         return 0.0
 
-    before = score(state.system, state.allocation)
+    before = score_state(state)
     previous: Dict[int, Tuple[float, float, float]] = {
         sid: (entries[sid].alpha, entries[sid].phi_p, entries[sid].phi_b)
         for sid in server_ids
@@ -72,7 +72,7 @@ def adjust_dispersion_rates(
             state.remove_entry(client_id, server_id)
         else:
             state.set_entry(client_id, server_id, alpha, phi_p, phi_b)
-    after = score(state.system, state.allocation)
+    after = score_state(state)
     if after < before - 1e-12:
         for server_id, (alpha, phi_p, phi_b) in previous.items():
             state.set_entry(client_id, server_id, alpha, phi_p, phi_b)

@@ -12,6 +12,14 @@ The same routine serves two masters:
 * standing alone it upgrades the random assignments of the Monte Carlo
   reference (:mod:`repro.baselines.monte_carlo`) and of Figure 5's
   worst-initial-solution study.
+
+Hot-path engineering: a pass used to pay a *full* ``score`` before and
+after every client move plus an O(entries) snapshot per client.  Moves
+now run inside a :class:`~repro.core.state.WorkingState` transaction
+(O(touched) undo on rejection) and are gated by
+:func:`~repro.core.scoring.score_state`, which re-scores only the
+touched clients/servers when a :class:`~repro.core.delta.DeltaScorer` is
+attached.  The accept/reject decisions are unchanged.
 """
 
 from __future__ import annotations
@@ -22,8 +30,9 @@ import numpy as np
 
 from repro.config import SolverConfig
 from repro.core.assign import apply_placement, best_placement
+from repro.core.delta import DeltaScorer
 from repro.core.power import force_client_into_cluster
-from repro.core.scoring import score
+from repro.core.scoring import score_state
 from repro.core.state import WorkingState
 from repro.model.allocation import Allocation
 from repro.model.datacenter import CloudSystem
@@ -40,8 +49,8 @@ def reassignment_pass(
     total_delta = 0.0
     for client_id in order:
         client = state.system.client(client_id)
-        before = score(state.system, state.allocation)
-        snapshot = state.snapshot()
+        before = score_state(state)
+        state.begin_txn()
         state.unassign_client(client_id)
         placement = best_placement(state, client, config)
         if placement is not None:
@@ -52,22 +61,24 @@ def reassignment_pass(
             # still relocate.
             placed = False
             for cluster_id in state.system.cluster_ids():
-                checkpoint = state.snapshot()
+                state.begin_txn()
                 if (
                     force_client_into_cluster(state, client_id, cluster_id, config)
-                    and score(state.system, state.allocation) > before + 1e-12
+                    and score_state(state) > before + 1e-12
                 ):
+                    state.commit_txn()
                     placed = True
                     break
-                state.restore(checkpoint)
+                state.rollback_txn()
             if not placed:
-                state.restore(snapshot)
+                state.rollback_txn()
                 continue
-        after = score(state.system, state.allocation)
+        after = score_state(state)
         if after > before + 1e-12:
             total_delta += after - before
+            state.commit_txn()
         else:
-            state.restore(snapshot)
+            state.rollback_txn()
     return total_delta
 
 
@@ -82,6 +93,8 @@ def cluster_reassignment_search(
     config = config or SolverConfig()
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     state = WorkingState(system, allocation.copy())
+    if config.use_delta_scoring:
+        DeltaScorer(state, validate=config.validate_delta_scoring)
     for _ in range(max_passes):
         delta = reassignment_pass(state, config, rng)
         if delta <= config.improvement_tolerance:

@@ -32,7 +32,7 @@ from repro.config import SolverConfig
 from repro.core.assign import apply_placement, assign_distribute, _closed_form_share
 from repro.core.dispersion import adjust_dispersion_rates
 from repro.core.shares import adjust_resource_shares
-from repro.core.scoring import score
+from repro.core.scoring import score_state
 from repro.core.state import WorkingState
 from repro.optim.kkt import DispersionBranch, optimal_dispersion
 
@@ -191,7 +191,7 @@ def _try_activate(
     if expected_gain <= server.server_class.power_fixed:
         return 0.0
 
-    before = score(state.system, state.allocation)
+    before = score_state(state)
     snapshot = state.snapshot()
     for idx in sorted(chosen, key=lambda i: candidates[i].value, reverse=True):
         candidate = candidates[idx]
@@ -219,7 +219,7 @@ def _try_activate(
             candidate.client_id, server_id, candidate.fraction, phi_p, phi_b
         )
         adjust_dispersion_rates(state, candidate.client_id, config)
-    after = score(state.system, state.allocation)
+    after = score_state(state)
     if after <= before + 1e-12:
         state.restore(snapshot)
         return 0.0
@@ -504,7 +504,7 @@ def turn_off_servers(
 
     total_delta = 0.0
     for victim in candidates:
-        before = score(state.system, state.allocation)
+        before = score_state(state)
         snapshot = state.snapshot()
         hosted = sorted(state.allocation.clients_on_server(victim))
         success = all(
@@ -518,7 +518,7 @@ def turn_off_servers(
             }
             for sid in sorted(touched):
                 adjust_resource_shares(state, sid, config)
-        after = score(state.system, state.allocation)
+        after = score_state(state)
         if success and after > before + 1e-12:
             total_delta += after - before
         else:

@@ -6,15 +6,24 @@ violation (share budgets, storage, stability, traffic sums) scores
 ``-inf``.  Unserved clients are allowed — they simply earn nothing — so
 the search can pass through partially-assigned states, but it can never
 "improve" into a state that cheats a capacity constraint.
+
+Hot paths go through :func:`score_state` instead: when the working state
+has a :class:`~repro.core.delta.DeltaScorer` attached the gate costs
+``O(touched)``; otherwise it falls back to the full evaluation, so every
+move module works with or without the incremental engine.
 """
 
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from repro.model.allocation import Allocation
 from repro.model.datacenter import CloudSystem
 from repro.model.profit import evaluate_profit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state import WorkingState
 
 
 def score(system: CloudSystem, allocation: Allocation) -> float:
@@ -23,3 +32,11 @@ def score(system: CloudSystem, allocation: Allocation) -> float:
     if breakdown.violations:
         return -math.inf
     return breakdown.total_profit
+
+
+def score_state(state: "WorkingState") -> float:
+    """:func:`score` of a working state, incrementally when possible."""
+    scorer = state.scorer
+    if scorer is not None:
+        return scorer.profit()
+    return score(state.system, state.allocation)

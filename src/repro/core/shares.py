@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import SolverConfig
-from repro.core.scoring import score
+from repro.core.scoring import score_state
 from repro.core.state import WorkingState
 from repro.optim.kkt import ShareProblemItem, waterfill_shares
 
@@ -102,7 +102,7 @@ def adjust_resource_shares(
     shares_p, _ = solved_p
     shares_b, _ = solved_b
 
-    before = score(state.system, state.allocation)
+    before = score_state(state)
     previous: Dict[int, Tuple[float, float]] = {}
     for idx, client_id in enumerate(client_ids):
         entry = state.allocation.entry(client_id, server_id)
@@ -111,7 +111,7 @@ def adjust_resource_shares(
         state.set_entry(
             client_id, server_id, entry.alpha, shares_p[idx], shares_b[idx]
         )
-    after = score(state.system, state.allocation)
+    after = score_state(state)
     if after < before - 1e-12:
         for client_id, (phi_p, phi_b) in previous.items():
             entry = state.allocation.entry(client_id, server_id)

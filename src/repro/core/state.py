@@ -12,15 +12,68 @@ Conventions enforced here:
   storage";
 * storage is reserved once per (client, server) pair regardless of alpha,
   per the paper's constraint (8).
+
+Two optional facilities support the incremental hot-path engine:
+
+* **transactions** — ``begin_txn`` starts recording an undo log of every
+  entry/cluster mutation; ``rollback_txn`` replays it backwards, undoing
+  a rejected move in O(mutations) instead of the O(entries) cost of a
+  full ``snapshot``/``restore`` round-trip.  Transactions nest:
+  committing an inner transaction folds its log into the enclosing one,
+  so an outer rollback still undoes inner committed work.
+* **scorer attachment** — a :class:`~repro.core.delta.DeltaScorer` may
+  register itself via :meth:`attach_scorer`; every mutation then marks
+  the touched client/server dirty so profit queries re-score only what
+  changed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import ModelError
-from repro.model.allocation import Allocation
+from repro.model.allocation import Allocation, ServerAllocation
 from repro.model.datacenter import CloudSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.delta import DeltaScorer
+
+#: Undo-log record: ("entry", client_id, server_id, previous_entry_or_None)
+#: or ("cluster", client_id, previous_cluster_or_None).
+_UndoOp = Tuple
+
+
+def _entry_counts_active(entry: ServerAllocation) -> bool:
+    """Same predicate as ``Allocation.server_is_used``, per entry."""
+    return entry.alpha > 0.0 or entry.phi_p > 0.0 or entry.phi_b > 0.0
+
+
+class ServerStatics:
+    """Per-server constants, pre-resolved once so the hot kernels avoid
+    repeated property chains (``server.server_class.power_fixed`` etc.)."""
+
+    __slots__ = (
+        "class_index",
+        "cap_processing",
+        "cap_bandwidth",
+        "power_fixed",
+        "power_per_util",
+        "background_processing",
+        "background_bandwidth",
+        "free_storage_base",
+        "has_background_load",
+    )
+
+    def __init__(self, server) -> None:
+        self.class_index = server.server_class.index
+        self.cap_processing = server.cap_processing
+        self.cap_bandwidth = server.cap_bandwidth
+        self.power_fixed = server.server_class.power_fixed
+        self.power_per_util = server.server_class.power_per_util
+        self.background_processing = server.background_processing
+        self.background_bandwidth = server.background_bandwidth
+        self.free_storage_base = server.free_storage
+        self.has_background_load = server.has_background_load
 
 
 class WorkingState:
@@ -34,16 +87,42 @@ class WorkingState:
         self._used_p: Dict[int, float] = {}
         self._used_b: Dict[int, float] = {}
         self._used_storage: Dict[int, float] = {}
+        self._active_entries: Dict[int, int] = {}
+        self._scorer: Optional["DeltaScorer"] = None
+        self._txn_stack: List[List[_UndoOp]] = []
+        self.server_statics: Dict[int, ServerStatics] = {
+            s.server_id: ServerStatics(s) for s in system.servers()
+        }
         self._recompute_aggregates()
 
     def _recompute_aggregates(self) -> None:
         self._used_p = {s.server_id: 0.0 for s in self.system.servers()}
         self._used_b = dict(self._used_p)
         self._used_storage = dict(self._used_p)
+        self._active_entries = {sid: 0 for sid in self._used_p}
         for client_id, server_id, entry in self.allocation.iter_entries():
             self._used_p[server_id] += entry.phi_p
             self._used_b[server_id] += entry.phi_b
             self._used_storage[server_id] += self.system.client(client_id).storage_req
+            if _entry_counts_active(entry):
+                self._active_entries[server_id] += 1
+
+    # -- scorer attachment --------------------------------------------------
+
+    @property
+    def scorer(self) -> Optional["DeltaScorer"]:
+        """The attached incremental scorer, if any."""
+        return self._scorer
+
+    def attach_scorer(self, scorer: Optional["DeltaScorer"]) -> None:
+        """Register (or detach, with ``None``) an incremental scorer."""
+        self._scorer = scorer
+
+    def _mark(self, client_id: int, server_id: Optional[int] = None) -> None:
+        if self._scorer is not None:
+            self._scorer.mark_client(client_id)
+            if server_id is not None:
+                self._scorer.mark_server(server_id)
 
     # -- capacity queries ---------------------------------------------------
 
@@ -69,11 +148,18 @@ class WorkingState:
     def used_bandwidth(self, server_id: int) -> float:
         return self._used_b[server_id]
 
+    def used_storage(self, server_id: int) -> float:
+        return self._used_storage[server_id]
+
     def server_is_active(self, server_id: int) -> bool:
-        """ON per constraint (3): carries cloud traffic or background load."""
-        if self.system.server(server_id).has_background_load:
+        """ON per constraint (3): carries cloud traffic or background load.
+
+        O(1): background load is static and the count of traffic-carrying
+        entries is maintained incrementally by the mutators below.
+        """
+        if self.server_statics[server_id].has_background_load:
             return True
-        return self.allocation.server_is_used(server_id)
+        return self._active_entries[server_id] > 0
 
     def active_server_ids(self, cluster_id: Optional[int] = None) -> Set[int]:
         servers: Iterable = (
@@ -97,7 +183,10 @@ class WorkingState:
         previous = self.allocation.cluster_of.get(client_id)
         if previous is not None and previous != cluster_id:
             self.clear_client(client_id)
+        if self._txn_stack:
+            self._txn_stack[-1].append(("cluster", client_id, previous))
         self.allocation.assign_client(client_id, cluster_id)
+        self._mark(client_id)
 
     def set_entry(
         self,
@@ -116,24 +205,37 @@ class WorkingState:
             self.remove_entry(client_id, server_id)
             return
         old = self.allocation.entry(client_id, server_id)
+        if self._txn_stack:
+            self._txn_stack[-1].append(
+                ("entry", client_id, server_id, old.copy() if old else None)
+            )
         storage = self.system.client(client_id).storage_req
         if old is not None:
             self._used_p[server_id] -= old.phi_p
             self._used_b[server_id] -= old.phi_b
             self._used_storage[server_id] -= storage
+            if _entry_counts_active(old):
+                self._active_entries[server_id] -= 1
         self.allocation.set_entry(client_id, server_id, alpha, phi_p, phi_b)
         self._used_p[server_id] += phi_p
         self._used_b[server_id] += phi_b
         self._used_storage[server_id] += storage
+        self._active_entries[server_id] += 1
+        self._mark(client_id, server_id)
 
     def remove_entry(self, client_id: int, server_id: int) -> None:
         old = self.allocation.entry(client_id, server_id)
         if old is None:
             return
+        if self._txn_stack:
+            self._txn_stack[-1].append(("entry", client_id, server_id, old.copy()))
         self._used_p[server_id] -= old.phi_p
         self._used_b[server_id] -= old.phi_b
         self._used_storage[server_id] -= self.system.client(client_id).storage_req
+        if _entry_counts_active(old):
+            self._active_entries[server_id] -= 1
         self.allocation.remove_entry(client_id, server_id)
+        self._mark(client_id, server_id)
 
     def clear_client(self, client_id: int) -> None:
         for server_id in list(self.allocation.entries_of_client(client_id)):
@@ -141,7 +243,77 @@ class WorkingState:
 
     def unassign_client(self, client_id: int) -> None:
         self.clear_client(client_id)
+        previous = self.allocation.cluster_of.get(client_id)
+        if self._txn_stack:
+            self._txn_stack[-1].append(("cluster", client_id, previous))
         self.allocation.unassign_client(client_id)
+        self._mark(client_id)
+
+    # -- transactions -----------------------------------------------------------
+
+    def begin_txn(self) -> None:
+        """Start recording an undo log; pair with commit_txn/rollback_txn."""
+        self._txn_stack.append([])
+
+    def commit_txn(self) -> None:
+        """Keep the recorded mutations.
+
+        Inside a nested transaction the log is folded into the enclosing
+        frame, so a later outer rollback still undoes this work.
+        """
+        if not self._txn_stack:
+            raise ModelError("commit_txn without a matching begin_txn")
+        ops = self._txn_stack.pop()
+        if self._txn_stack:
+            self._txn_stack[-1].extend(ops)
+
+    def rollback_txn(self) -> None:
+        """Undo every mutation recorded since the matching begin_txn."""
+        if not self._txn_stack:
+            raise ModelError("rollback_txn without a matching begin_txn")
+        ops = self._txn_stack.pop()
+        for op in reversed(ops):
+            if op[0] == "entry":
+                _, client_id, server_id, old = op
+                self._write_entry(client_id, server_id, old)
+            else:
+                _, client_id, previous = op
+                if previous is None:
+                    self.allocation.cluster_of.pop(client_id, None)
+                else:
+                    self.allocation.cluster_of[client_id] = previous
+                self._mark(client_id)
+
+    def in_txn(self) -> bool:
+        return bool(self._txn_stack)
+
+    def _write_entry(
+        self,
+        client_id: int,
+        server_id: int,
+        entry: Optional[ServerAllocation],
+    ) -> None:
+        """Force one entry to a recorded value (rollback path; not logged)."""
+        old = self.allocation.entry(client_id, server_id)
+        storage = self.system.client(client_id).storage_req
+        if old is not None:
+            self._used_p[server_id] -= old.phi_p
+            self._used_b[server_id] -= old.phi_b
+            self._used_storage[server_id] -= storage
+            if _entry_counts_active(old):
+                self._active_entries[server_id] -= 1
+        if entry is None:
+            self.allocation.remove_entry(client_id, server_id)
+        else:
+            self.allocation.set_entry(
+                client_id, server_id, entry.alpha, entry.phi_p, entry.phi_b
+            )
+            self._used_p[server_id] += entry.phi_p
+            self._used_b[server_id] += entry.phi_b
+            self._used_storage[server_id] += storage
+            if _entry_counts_active(entry):
+                self._active_entries[server_id] += 1
+        self._mark(client_id, server_id)
 
     # -- snapshots --------------------------------------------------------------
 
@@ -151,15 +323,23 @@ class WorkingState:
 
     def restore(self, snapshot: Allocation) -> None:
         """Replace the allocation with a snapshot and rebuild aggregates."""
+        if self._txn_stack:
+            raise ModelError(
+                "restore() during an open transaction would corrupt the undo "
+                "log; rollback_txn/commit_txn first"
+            )
         self.allocation = snapshot.copy()
         self._recompute_aggregates()
+        if self._scorer is not None:
+            self._scorer.mark_all()
 
     def check_consistency(self) -> None:
         """Assert the cached aggregates match a full recount (tests only)."""
-        used_p, used_b, used_m = (
+        used_p, used_b, used_m, active = (
             dict(self._used_p),
             dict(self._used_b),
             dict(self._used_storage),
+            dict(self._active_entries),
         )
         self._recompute_aggregates()
         for sid in used_p:
@@ -167,5 +347,6 @@ class WorkingState:
                 abs(used_p[sid] - self._used_p[sid]) > 1e-9
                 or abs(used_b[sid] - self._used_b[sid]) > 1e-9
                 or abs(used_m[sid] - self._used_storage[sid]) > 1e-9
+                or active[sid] != self._active_entries[sid]
             ):
                 raise ModelError(f"aggregate drift detected on server {sid}")

@@ -23,7 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.model.allocation import Allocation
+from repro.model.allocation import Allocation, ServerAllocation
+from repro.model.client import Client
 from repro.model.datacenter import CloudSystem
 from repro.model.validation import Violation, find_violations
 
@@ -42,6 +43,42 @@ def mm1_response_time(service_rate: float, arrival_rate: float) -> float:
     return 1.0 / (service_rate - arrival_rate)
 
 
+def response_time_of_entries(
+    system: CloudSystem,
+    client: Client,
+    entries: Dict[int, ServerAllocation],
+    arrival_rate: float,
+) -> float:
+    """Eq. (1) on a pre-fetched ``server_id -> entry`` mapping.
+
+    Shared kernel of :func:`client_response_time`, :func:`evaluate_profit`
+    and the incremental :class:`~repro.core.delta.DeltaScorer`, so all
+    three agree bit-for-bit.  The two M/M/1 sojourn times are inlined
+    (rather than calling :func:`mm1_response_time` per queue) because this
+    sits in the innermost loop of every accept-if-better gate.
+    """
+    if not entries:
+        return math.inf
+    total = 0.0
+    total_alpha = 0.0
+    for server_id, entry in entries.items():
+        alpha = entry.alpha
+        if alpha <= 0.0:
+            continue
+        server = system.server(server_id)
+        branch_arrivals = alpha * arrival_rate
+        mu_p = entry.phi_p * server.cap_processing / client.t_proc
+        mu_b = entry.phi_b * server.cap_bandwidth / client.t_comm
+        if mu_p <= branch_arrivals or mu_b <= branch_arrivals:
+            return math.inf
+        sojourn = 1.0 / (mu_p - branch_arrivals) + 1.0 / (mu_b - branch_arrivals)
+        total += alpha * sojourn
+        total_alpha += alpha
+    if total_alpha <= 0.0:
+        return math.inf
+    return total
+
+
 def client_response_time(
     system: CloudSystem,
     allocation: Allocation,
@@ -57,28 +94,11 @@ def client_response_time(
     """
     client = system.client(client_id)
     arrival_rate = client.rate_predicted if rate is None else rate
-    entries = allocation.entries_of_client(client_id)
-    if not entries:
-        return math.inf
-    total = 0.0
-    total_alpha = 0.0
-    for server_id, entry in entries.items():
-        if entry.alpha <= 0.0:
-            continue
-        server = system.server(server_id)
-        branch_arrivals = entry.alpha * arrival_rate
-        mu_p = entry.phi_p * server.cap_processing / client.t_proc
-        mu_b = entry.phi_b * server.cap_bandwidth / client.t_comm
-        sojourn = mm1_response_time(mu_p, branch_arrivals) + mm1_response_time(
-            mu_b, branch_arrivals
-        )
-        if math.isinf(sojourn):
-            return math.inf
-        total += entry.alpha * sojourn
-        total_alpha += entry.alpha
-    if total_alpha <= 0.0:
-        return math.inf
-    return total
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    return response_time_of_entries(
+        system, client, allocation.entries_of_client(client_id), arrival_rate
+    )
 
 
 @dataclass(frozen=True)
@@ -158,8 +178,15 @@ def evaluate_profit(
     client_outcomes: Dict[int, ClientOutcome] = {}
     for client in system.clients:
         cid = client.client_id
-        served = bool(allocation.entries_of_client(cid)) and allocation.total_alpha(cid) > 0.0
-        response = client_response_time(system, allocation, cid) if served else math.inf
+        # One entries fetch per client; every term below reuses it.
+        entries = allocation.entries_of_client(cid)
+        total_alpha = sum(entry.alpha for entry in entries.values())
+        served = bool(entries) and total_alpha > 0.0
+        response = (
+            response_time_of_entries(system, client, entries, client.rate_predicted)
+            if served
+            else math.inf
+        )
         utility_value = client.utility_class.function.value(response)
         revenue = client.rate_agreed * utility_value
         if math.isinf(response) and math.isinf(utility_value):

@@ -7,7 +7,17 @@ dynamic program that picks one grid point per server such that the chosen
 traffic portions sum to exactly 1 (``sum_j alpha_ij = 1``) and the total
 profit is maximal — a bounded-knapsack-style DP in ``O(J * G^2)``.
 
-The DP is exact for the discretized problem; :func:`brute_force_combination`
+Two interchangeable implementations are provided:
+
+* :func:`combine_server_curves` — the production kernel: the inner
+  ``O(G^2)`` recurrence is evaluated as a NumPy rolling-maximum (one
+  ``(G+1) x (G+1)`` max-plus step per server), with ``argmax`` matching
+  the scalar tie-break (smallest unit count wins);
+* :func:`combine_server_curves_scalar` — the original pure-Python loop,
+  kept as the reference oracle for tests and as the measured baseline in
+  ``benchmarks/bench_hotpaths.py``.
+
+Both are exact for the discretized problem; :func:`brute_force_combination`
 provides an exponential reference used by the test suite.
 """
 
@@ -15,9 +25,34 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import SolverError
 
 NEG_INF = float("-inf")
+
+
+def _check_inputs(curves: Sequence[Sequence[float]], granularity: int) -> None:
+    if granularity < 1:
+        raise SolverError(f"granularity must be >= 1, got {granularity}")
+    for j, curve in enumerate(curves):
+        if len(curve) != granularity + 1:
+            raise SolverError(
+                f"curve {j} has {len(curve)} points, expected {granularity + 1}"
+            )
+
+
+def _reconstruct(
+    choices: Sequence[Sequence[int]], granularity: int
+) -> List[int]:
+    units = [0] * len(choices)
+    remaining = granularity
+    for j in range(len(choices) - 1, -1, -1):
+        units[j] = int(choices[j][remaining])
+        remaining -= units[j]
+    if remaining != 0:
+        raise SolverError("DP reconstruction failed to consume all grid units")
+    return units
 
 
 def combine_server_curves(
@@ -38,13 +73,41 @@ def combine_server_curves(
         of server ``j``.  ``best_total`` is ``-inf`` when no combination is
         feasible.
     """
-    if granularity < 1:
-        raise SolverError(f"granularity must be >= 1, got {granularity}")
+    _check_inputs(curves, granularity)
+    if not curves:
+        return NEG_INF, []
+
+    size = granularity + 1
+    # prior[u, k] view such that prior[u, k] = best[u - k] for k <= u.
+    idx = np.arange(size)
+    offsets = idx[:, None] - idx[None, :]
+    valid = offsets >= 0
+    offsets = np.where(valid, offsets, 0)
+
+    best = np.full(size, NEG_INF)
+    best[0] = 0.0
+    choices = np.empty((len(curves), size), dtype=np.intp)
     for j, curve in enumerate(curves):
-        if len(curve) != granularity + 1:
-            raise SolverError(
-                f"curve {j} has {len(curve)} points, expected {granularity + 1}"
-            )
+        values = np.asarray(curve, dtype=np.float64)
+        # candidate[u, k] = best[u - k] + curve[k]; -inf marks infeasible.
+        candidate = np.where(valid, best[offsets], NEG_INF) + values[None, :]
+        # argmax returns the first maximal k — same tie-break as the scalar
+        # loop's strict-improvement scan, and 0 for all-infeasible rows.
+        choices[j] = np.argmax(candidate, axis=1)
+        best = np.max(candidate, axis=1)
+
+    total = float(best[granularity])
+    if total == NEG_INF:
+        return NEG_INF, [0] * len(curves)
+    return total, _reconstruct(choices, granularity)
+
+
+def combine_server_curves_scalar(
+    curves: Sequence[Sequence[float]],
+    granularity: int,
+) -> Tuple[float, List[int]]:
+    """Pure-Python reference implementation of :func:`combine_server_curves`."""
+    _check_inputs(curves, granularity)
     if not curves:
         return NEG_INF, []
 
@@ -77,15 +140,7 @@ def combine_server_curves(
     total = best[granularity]
     if total == NEG_INF:
         return NEG_INF, [0] * len(curves)
-
-    units = [0] * len(curves)
-    remaining = granularity
-    for j in range(len(curves) - 1, -1, -1):
-        units[j] = choices[j][remaining]
-        remaining -= units[j]
-    if remaining != 0:
-        raise SolverError("DP reconstruction failed to consume all grid units")
-    return total, units
+    return total, _reconstruct(choices, granularity)
 
 
 def brute_force_combination(

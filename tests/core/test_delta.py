@@ -1,0 +1,224 @@
+"""Incremental scoring (DeltaScorer) and WorkingState transactions.
+
+The contract under test: with a scorer attached, ``score_state`` returns
+*exactly* what a from-scratch ``score`` would (within 1e-9, including the
+-inf hard-violation cases), across arbitrary mutation/rollback sequences
+and across full solver runs — while never calling the full evaluator on
+the hot path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.assignment import (
+    build_allocation_for_assignment,
+    random_assignment,
+)
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.delta import DeltaScorer
+from repro.core.local_search import reassignment_pass
+from repro.core.scoring import score, score_state
+from repro.core.state import WorkingState
+from repro.exceptions import ModelError
+from repro.workload import generate_system
+
+
+def _random_state(seed: int, num_clients: int = 10, config=None):
+    config = config or SolverConfig()
+    system = generate_system(num_clients=num_clients, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    assignment = random_assignment(system, rng)
+    return build_allocation_for_assignment(system, assignment, config)
+
+
+def _assert_scorer_exact(state):
+    incremental = state.scorer.profit()
+    reference = score(state.system, state.allocation)
+    if math.isinf(reference):
+        assert math.isinf(incremental) and incremental < 0
+    else:
+        assert incremental == pytest.approx(reference, abs=1e-9)
+
+
+class TestDeltaScorerAgainstFullScore:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_after_random_mutations(self, seed):
+        state = _random_state(seed)
+        DeltaScorer(state)
+        system = state.system
+        rng = np.random.default_rng(seed)
+        client_ids = list(system.client_ids())
+        server_ids = [s.server_id for s in system.servers()]
+        _assert_scorer_exact(state)
+        for _ in range(40):
+            move = rng.integers(0, 4)
+            cid = int(rng.choice(client_ids))
+            if move == 0:
+                kid = int(rng.choice(list(system.cluster_ids())))
+                state.assign_client(cid, kid)
+            elif move == 1:
+                kid = state.allocation.cluster_of.get(cid)
+                if kid is None:
+                    continue
+                sid = int(rng.choice(
+                    [s.server_id for s in system.cluster(kid)]
+                ))
+                state.set_entry(
+                    cid,
+                    sid,
+                    float(rng.uniform(0.05, 1.0)),
+                    float(rng.uniform(0.01, 0.4)),
+                    float(rng.uniform(0.01, 0.4)),
+                )
+            elif move == 2:
+                sid = int(rng.choice(server_ids))
+                state.remove_entry(cid, sid)
+            else:
+                state.unassign_client(cid)
+            _assert_scorer_exact(state)
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_full_solver_run_with_validation(self, seed):
+        """End-to-end: the 1e-9 agreement assert is live on every query."""
+        system = generate_system(num_clients=12, seed=seed)
+        config = SolverConfig(
+            seed=seed,
+            num_initial_solutions=1,
+            max_improvement_rounds=3,
+            validate_delta_scoring=True,
+        )
+        result = ResourceAllocator(config).solve(system)
+        assert result.breakdown.feasible
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_solver_profit_identical_with_and_without_delta(self, seed):
+        system = generate_system(num_clients=12, seed=seed)
+        base = dict(seed=seed, num_initial_solutions=1, max_improvement_rounds=3)
+        fast = ResourceAllocator(SolverConfig(**base)).solve(system)
+        slow = ResourceAllocator(
+            SolverConfig(
+                **base, use_vectorized_kernels=False, use_delta_scoring=False
+            )
+        ).solve(system)
+        # Same caveat as above: accept decisions sitting exactly on the
+        # tolerance may flip, so compare achieved profit, not identity.
+        assert fast.profit == pytest.approx(slow.profit, abs=1e-6)
+        assert fast.breakdown.feasible == slow.breakdown.feasible
+
+    def test_reassignment_pass_agrees_with_scalar_scoring(self):
+        config = SolverConfig()
+        state_a = _random_state(3, num_clients=15, config=config)
+        state_b = WorkingState(state_a.system, state_a.snapshot())
+        DeltaScorer(state_b)
+        scalar_cfg = SolverConfig(
+            use_vectorized_kernels=False, use_delta_scoring=False
+        )
+        d_a = reassignment_pass(state_a, scalar_cfg, np.random.default_rng(9))
+        d_b = reassignment_pass(state_b, config, np.random.default_rng(9))
+        assert d_b == pytest.approx(d_a, abs=1e-6)
+        # Near-zero-delta moves may flip either way (the accept threshold
+        # is tighter than the 1e-9 incremental-agreement bound), so assert
+        # profit equivalence rather than allocation identity.
+        p_a = score(state_a.system, state_a.allocation)
+        p_b = score(state_b.system, state_b.allocation)
+        assert p_b == pytest.approx(p_a, abs=1e-6)
+
+
+class TestNoFullRescoreOnHotPath:
+    def test_reassignment_pass_never_calls_evaluate_profit(self, monkeypatch):
+        """Regression: a pass used to pay 2 full evaluations per client."""
+        state = _random_state(5, num_clients=12)
+        DeltaScorer(state)
+        calls = {"n": 0}
+        import repro.core.scoring as scoring_mod
+
+        original = scoring_mod.evaluate_profit
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(scoring_mod, "evaluate_profit", counting)
+        reassignment_pass(state, SolverConfig(), np.random.default_rng(1))
+        assert calls["n"] == 0
+
+    def test_scalar_config_still_uses_full_scoring(self, monkeypatch):
+        config = SolverConfig(use_vectorized_kernels=False, use_delta_scoring=False)
+        state = _random_state(5, num_clients=12, config=config)
+        calls = {"n": 0}
+        import repro.core.scoring as scoring_mod
+
+        original = scoring_mod.evaluate_profit
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(scoring_mod, "evaluate_profit", counting)
+        reassignment_pass(state, config, np.random.default_rng(1))
+        # At least one before/after evaluation pair per client.
+        assert calls["n"] >= len(list(state.system.client_ids()))
+
+
+class TestTransactions:
+    def test_rollback_restores_everything(self):
+        state = _random_state(7)
+        before = state.snapshot()
+        profit_before = score_state(state)
+        state.begin_txn()
+        cid = next(iter(state.system.client_ids()))
+        state.unassign_client(cid)
+        kid = list(state.system.cluster_ids())[0]
+        state.assign_client(cid, kid)
+        sid = state.system.cluster(kid).servers[0].server_id
+        state.set_entry(cid, sid, 1.0, 0.2, 0.2)
+        state.rollback_txn()
+        assert state.allocation == before
+        state.check_consistency()
+        assert score_state(state) == pytest.approx(profit_before, abs=1e-9)
+
+    def test_nested_commit_folds_into_outer_rollback(self):
+        state = _random_state(7)
+        DeltaScorer(state)
+        before = state.snapshot()
+        cid = next(iter(state.system.client_ids()))
+        state.begin_txn()
+        state.unassign_client(cid)
+        state.begin_txn()
+        kid = list(state.system.cluster_ids())[-1]
+        state.assign_client(cid, kid)
+        sid = state.system.cluster(kid).servers[0].server_id
+        state.set_entry(cid, sid, 1.0, 0.2, 0.2)
+        state.commit_txn()  # inner work survives...
+        state.rollback_txn()  # ...until the outer rollback undoes it all
+        assert state.allocation == before
+        state.check_consistency()
+        _assert_scorer_exact(state)
+
+    def test_commit_keeps_changes(self):
+        state = _random_state(7)
+        cid = next(iter(state.system.client_ids()))
+        state.begin_txn()
+        state.unassign_client(cid)
+        state.commit_txn()
+        assert state.allocation.cluster_of.get(cid) is None
+        assert not state.in_txn()
+        state.check_consistency()
+
+    def test_restore_inside_txn_rejected(self):
+        state = _random_state(7)
+        snap = state.snapshot()
+        state.begin_txn()
+        with pytest.raises(ModelError):
+            state.restore(snap)
+        state.rollback_txn()
+
+    def test_unbalanced_txn_calls_rejected(self):
+        state = _random_state(7)
+        with pytest.raises(ModelError):
+            state.commit_txn()
+        with pytest.raises(ModelError):
+            state.rollback_txn()

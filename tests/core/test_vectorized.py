@@ -1,0 +1,159 @@
+"""Vectorized kernels vs their scalar oracles.
+
+The production NumPy kernels (`batched_server_curves`, the array DP, the
+cross-cluster `best_placement`) are required to reproduce the scalar
+reference implementations *exactly* — same -inf structure, same shares,
+same tie-breaks — because the solver's accept-if-better decisions would
+otherwise diverge between the two configurations.  Together these checks
+cover several hundred random instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.assignment import (
+    build_allocation_for_assignment,
+    random_assignment,
+)
+from repro.config import SolverConfig
+from repro.core.assign import (
+    _server_curves,
+    assign_distribute,
+    batched_server_curves,
+    best_placement,
+)
+from repro.optim.dp import (
+    NEG_INF,
+    brute_force_combination,
+    combine_server_curves,
+    combine_server_curves_scalar,
+)
+from repro.workload import generate_system
+
+SCALAR = SolverConfig(use_vectorized_kernels=False, use_delta_scoring=False)
+VECTOR = SolverConfig()
+
+
+def _random_state(seed: int, num_clients: int = 10):
+    system = generate_system(num_clients=num_clients, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    assignment = random_assignment(system, rng)
+    return build_allocation_for_assignment(system, assignment, SCALAR)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_batched_curves_match_scalar_exactly(seed):
+    """Every (client, server) curve: identical values, -inf cells, shares."""
+    state = _random_state(seed)
+    system = state.system
+    for cid in system.client_ids():
+        client = system.client(cid)
+        for kid in system.cluster_ids():
+            server_ids = [s.server_id for s in system.cluster(kid)]
+            rows, values, phi_p, phi_b = batched_server_curves(
+                state, client, server_ids, VECTOR
+            )
+            for sid, row in zip(server_ids, rows):
+                ref_values, ref_shares = _server_curves(state, client, sid, SCALAR)
+                got = values[row]
+                assert list(got) == ref_values, (seed, cid, sid)
+                for g, (ref_p, ref_b) in enumerate(ref_shares):
+                    if ref_values[g] == NEG_INF:
+                        assert phi_p[row, g] == 0.0 and phi_b[row, g] == 0.0
+                    else:
+                        assert phi_p[row, g] == ref_p, (seed, cid, sid, g)
+                        assert phi_b[row, g] == ref_b, (seed, cid, sid, g)
+
+
+@pytest.mark.parametrize("seed", range(12, 18))
+def test_assign_distribute_paths_agree(seed):
+    """Vectorized and scalar Assign_Distribute pick identical placements."""
+    state = _random_state(seed)
+    system = state.system
+    for cid in system.client_ids():
+        client = system.client(cid)
+        for kid in system.cluster_ids():
+            a = assign_distribute(state, client, kid, VECTOR)
+            b = assign_distribute(state, client, kid, SCALAR)
+            if a is None or b is None:
+                assert a is None and b is None, (seed, cid, kid)
+                continue
+            assert a.cluster_id == b.cluster_id
+            assert a.estimated_profit == b.estimated_profit
+            assert a.entries == b.entries
+
+
+@pytest.mark.parametrize("seed", range(18, 24))
+def test_best_placement_paths_agree(seed):
+    """The cross-cluster batched path returns what the per-cluster loop would."""
+    state = _random_state(seed)
+    system = state.system
+    for cid in system.client_ids():
+        client = system.client(cid)
+        a = best_placement(state, client, VECTOR)
+        b = best_placement(state, client, SCALAR)
+        if a is None or b is None:
+            assert a is None and b is None, (seed, cid)
+            continue
+        assert a.cluster_id == b.cluster_id
+        assert a.estimated_profit == b.estimated_profit
+        assert a.entries == b.entries
+
+
+def _random_curves(data, num_servers, granularity):
+    curves = []
+    for _ in range(num_servers):
+        points = [0.0]
+        for _ in range(granularity):
+            if data.draw(st.booleans()):
+                points.append(
+                    data.draw(st.floats(min_value=-10.0, max_value=10.0))
+                )
+            else:
+                points.append(NEG_INF)
+        curves.append(points)
+    return curves
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    data=st.data(),
+    num_servers=st.integers(min_value=1, max_value=5),
+    granularity=st.integers(min_value=1, max_value=8),
+)
+def test_array_dp_matches_scalar_dp(data, num_servers, granularity):
+    """Same totals AND same unit vectors — the tie-breaks must agree too."""
+    curves = _random_curves(data, num_servers, granularity)
+    np_total, np_units = combine_server_curves(curves, granularity)
+    py_total, py_units = combine_server_curves_scalar(curves, granularity)
+    assert np_total == py_total or np_total == pytest.approx(py_total)
+    assert np_units == py_units
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    num_servers=st.integers(min_value=1, max_value=4),
+    granularity=st.integers(min_value=1, max_value=6),
+)
+def test_scalar_dp_matches_brute_force(data, num_servers, granularity):
+    """The retained scalar oracle itself stays exact."""
+    curves = _random_curves(data, num_servers, granularity)
+    dp_total, dp_units = combine_server_curves_scalar(curves, granularity)
+    bf_total, _ = brute_force_combination(curves, granularity)
+    if bf_total == NEG_INF:
+        assert dp_total == NEG_INF
+    else:
+        assert dp_total == pytest.approx(bf_total)
+        assert sum(dp_units) == granularity
+
+
+def test_dp_accepts_ndarray_rows():
+    """The production path feeds ndarray rows straight into the DP."""
+    curves = np.array([[0.0, -1.0, -2.0], [0.0, -0.5, NEG_INF]])
+    total, units = combine_server_curves([curves[0], curves[1]], 2)
+    ref_total, ref_units = combine_server_curves_scalar(
+        [list(curves[0]), list(curves[1])], 2
+    )
+    assert total == ref_total and units == ref_units
