@@ -1,0 +1,120 @@
+"""Experiment-engine benchmark: serial vs parallel figure-4 sweep.
+
+Times the same small figure-4 sweep through the
+:class:`~repro.analysis.runner.ExperimentEngine` at ``n_workers=1``
+(the serial oracle) and ``n_workers=4``, verifies the manifests are
+byte-identical (the engine's determinism contract), and records the wall
+times into ``BENCH_experiments.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_experiments.py
+
+The speedup is only meaningful on a multi-core machine — the JSON
+records ``cpu_count`` so readers can judge the number; on a single-core
+container the parallel run measures pure engine overhead.  Also
+collectable by pytest (one smoke test) so the harness cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script usage without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.experiments import (  # noqa: E402
+    ExperimentConfig,
+    run_figure4,
+)
+from repro.config import SolverConfig  # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_experiments.json"
+
+SWEEP = dict(
+    client_counts=(10, 14, 18, 22),
+    scenarios_per_point=3,
+    scenarios_at_largest=3,
+    mc_trials=10,
+    seed=2011,
+    solver=SolverConfig(seed=0, num_initial_solutions=2, max_improvement_rounds=5),
+)
+
+
+def _timed_sweep(n_workers: int, run_dir: str, **overrides):
+    config = ExperimentConfig(
+        n_workers=n_workers, run_dir=run_dir, **{**SWEEP, **overrides}
+    )
+    started = time.perf_counter()
+    result = run_figure4(config)
+    elapsed = time.perf_counter() - started
+    manifest = (Path(run_dir) / "manifest.json").read_bytes()
+    return elapsed, manifest, result
+
+
+def run_benchmark(**overrides) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_s, serial_manifest, result = _timed_sweep(
+            1, os.path.join(tmp, "serial"), **overrides
+        )
+        parallel_s, parallel_manifest, _ = _timed_sweep(
+            4, os.path.join(tmp, "parallel"), **overrides
+        )
+    if serial_manifest != parallel_manifest:
+        raise AssertionError(
+            "serial and 4-worker manifests differ — engine determinism broken"
+        )
+    if not result.coverage.complete:
+        raise AssertionError(f"sweep lost cells: {result.coverage}")
+    cells = result.coverage.total
+    return {
+        "generated_by": "benchmarks/bench_experiments.py",
+        "sweep": {
+            key: (list(value) if isinstance(value, tuple) else str(value))
+            for key, value in {**SWEEP, **overrides}.items()
+        },
+        "cells": cells,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": serial_s,
+        "parallel4_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "manifests_identical": True,
+    }
+
+
+def test_engine_benchmark_smoke() -> None:
+    """Tiny run: serial/parallel parity holds and the harness stays alive."""
+    report = run_benchmark(
+        client_counts=(5, 6),
+        scenarios_per_point=1,
+        scenarios_at_largest=1,
+        mc_trials=2,
+        solver=SolverConfig(
+            seed=0,
+            num_initial_solutions=1,
+            alpha_granularity=5,
+            max_improvement_rounds=1,
+        ),
+    )
+    assert report["manifests_identical"]
+    assert report["serial_wall_s"] > 0 and report["parallel4_wall_s"] > 0
+
+
+def main() -> None:
+    report = run_benchmark()
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {OUTPUT_PATH}")
+    print(
+        f"{report['cells']} cells on {report['cpu_count']} core(s): "
+        f"serial {report['serial_wall_s']:.1f}s, "
+        f"4 workers {report['parallel4_wall_s']:.1f}s "
+        f"({report['speedup']:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

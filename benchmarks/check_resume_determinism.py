@@ -1,0 +1,107 @@
+"""CI gate: a faulted, 2-worker, resumed sweep must equal a clean serial run.
+
+Scenario exercised end-to-end (tiny sizes, seconds of runtime):
+
+1. run a figure-4 sweep serially with no faults — the reference manifest;
+2. run the same sweep with 2 workers and one permanently injected fault —
+   must degrade to a coverage report (one failed cell), not a traceback;
+3. resume the faulted run dir with the fault cleared — must complete from
+   the checkpoints and produce a manifest byte-identical to (1) and an
+   identical rendered table.
+
+Exit status 0 on success, 1 with a diagnostic on any mismatch::
+
+    PYTHONPATH=src python benchmarks/check_resume_determinism.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script usage without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.experiments import (  # noqa: E402
+    ExperimentConfig,
+    figure4_cells,
+    run_figure4,
+)
+from repro.analysis.runner import ExperimentEngine  # noqa: E402
+from repro.config import SolverConfig  # noqa: E402
+
+SWEEP = dict(
+    client_counts=(5, 6, 8),
+    scenarios_per_point=2,
+    scenarios_at_largest=1,
+    mc_trials=3,
+    seed=2011,
+    solver=SolverConfig(
+        seed=0,
+        num_initial_solutions=1,
+        alpha_granularity=6,
+        max_improvement_rounds=2,
+    ),
+)
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        ref_dir = Path(tmp) / "reference"
+        reference = run_figure4(ExperimentConfig(run_dir=str(ref_dir), **SWEEP))
+        if not reference.coverage.complete:
+            return fail(f"reference sweep incomplete: {reference.coverage}")
+        ref_manifest = (ref_dir / "manifest.json").read_bytes()
+
+        faulted_dir = Path(tmp) / "faulted"
+        config = ExperimentConfig(run_dir=str(faulted_dir), **SWEEP)
+        victim = figure4_cells(config)[2]
+        faulted = run_figure4(
+            config,
+            engine=ExperimentEngine(
+                n_workers=2,
+                run_dir=str(faulted_dir),
+                max_retries=0,
+                fault_plan={victim.key: -1},
+            ),
+        )
+        if faulted.coverage.failed != 1:
+            return fail(
+                f"expected exactly one failed cell, got {faulted.coverage}"
+            )
+        if not faulted.rows:
+            return fail("faulted sweep produced no rows at all")
+
+        resumed = run_figure4(
+            config,
+            engine=ExperimentEngine(
+                n_workers=2, run_dir=str(faulted_dir), resume=True
+            ),
+        )
+        if not resumed.coverage.complete:
+            return fail(f"resumed sweep incomplete: {resumed.coverage}")
+        if resumed.coverage.resumed == 0:
+            return fail("resume re-ran every cell — checkpoints were ignored")
+        resumed_manifest = (faulted_dir / "manifest.json").read_bytes()
+        if resumed_manifest != ref_manifest:
+            return fail("resumed manifest differs from the clean serial run")
+        if resumed.to_table() != reference.to_table():
+            return fail("resumed table differs from the clean serial run")
+
+    print(
+        "OK: faulted 2-worker sweep degraded gracefully and resumed to a "
+        "manifest byte-identical with the clean serial run "
+        f"({reference.coverage.total} cells, {resumed.coverage.resumed} resumed)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,17 @@ the environment variable ``REPRO_FULL=1`` (or building the config by
 hand) restores the paper-sized runs: client counts up to 200, at least
 20 scenarios per point (5 at 200) and 10,000 Monte Carlo trials.
 EXPERIMENTS.md records which settings produced the committed numbers.
+
+Execution is delegated to the
+:class:`~repro.analysis.runner.ExperimentEngine`: each ``(num_clients,
+scenario)`` pair is an independent cell, so paper-sized sweeps shard
+across worker processes (``n_workers``), checkpoint to a ``run_dir``,
+resume after interruption, and synthesize figures from the surviving
+cells when individual cells fail (the result carries a
+:class:`~repro.analysis.runner.CoverageReport`).  Random streams derive
+from named ``SeedSequence`` spawn keys — see ALGORITHMS.md §11 — so
+figure-4 and figure-5 scenarios can never alias, for any pair of user
+seeds, and results are independent of worker count.
 """
 
 from __future__ import annotations
@@ -14,19 +25,21 @@ import math
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import bootstrap_mean_ci
 
 from repro.config import SolverConfig
-from repro.baselines.monte_carlo import MonteCarloSearch
-from repro.baselines.proportional_share import modified_proportional_share
-from repro.core.allocator import ResourceAllocator
-from repro.model.profit import evaluate_profit
-from repro.workload.generator import generate_system
+from repro.analysis.runner import (
+    CellSpec,
+    CoverageReport,
+    ExperimentEngine,
+    RunReport,
+)
 from repro.analysis.reporting import format_series_chart, format_table
+from repro.exceptions import ConfigurationError
 
 
 def full_scale_requested() -> bool:
@@ -36,11 +49,18 @@ def full_scale_requested() -> bool:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Sizes and seeds for the figure runners.
+    """Sizes, seeds and engine settings for the figure runners.
 
     Paper-scale values (used when ``full_scale()``):
     ``client_counts=(20, 50, 80, 110, 140, 170, 200)``, 20 scenarios per
     point (5 at 200), 10,000 Monte Carlo trials.
+
+    The engine fields mirror :class:`~repro.analysis.runner.ExperimentEngine`:
+    ``n_workers`` shards scenario cells across processes (1 = serial, the
+    differential oracle — results are bit-identical either way),
+    ``run_dir``/``resume`` checkpoint and resume a sweep,
+    ``cell_timeout`` bounds one cell's wall clock, and ``max_retries``
+    re-runs a crashed cell before recording it as a failure.
     """
 
     client_counts: Sequence[int] = (10, 20, 40)
@@ -49,6 +69,19 @@ class ExperimentConfig:
     mc_trials: int = 25
     seed: int = 2011
     solver: SolverConfig = field(default_factory=lambda: SolverConfig(seed=0))
+    n_workers: int = 1
+    run_dir: Optional[str] = None
+    resume: bool = False
+    cell_timeout: Optional[float] = None
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ConfigurationError("cell_timeout must be positive when given")
 
     @staticmethod
     def scaled_down() -> "ExperimentConfig":
@@ -76,6 +109,56 @@ class ExperimentConfig:
             return min(self.scenarios_per_point, self.scenarios_at_largest)
         return self.scenarios_per_point
 
+    def engine(self) -> ExperimentEngine:
+        return ExperimentEngine.from_experiment_config(self)
+
+
+def figure4_cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The independent work units of Figure 4, in submission order."""
+    return [
+        CellSpec(
+            experiment="fig4",
+            point_index=point_index,
+            num_clients=num_clients,
+            scenario_index=scenario_index,
+            root_seed=config.seed,
+            mc_trials=config.mc_trials,
+            solver=config.solver,
+        )
+        for point_index, num_clients in enumerate(config.client_counts)
+        for scenario_index in range(config.scenarios_for(num_clients))
+    ]
+
+
+def figure5_cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The independent work units of Figure 5, in submission order."""
+    return [
+        CellSpec(
+            experiment="fig5",
+            point_index=point_index,
+            num_clients=num_clients,
+            scenario_index=scenario_index,
+            root_seed=config.seed,
+            mc_trials=config.mc_trials,
+            solver=config.solver,
+        )
+        for point_index, num_clients in enumerate(config.client_counts)
+        for scenario_index in range(config.scenarios_for(num_clients))
+    ]
+
+
+def _payloads_by_point(
+    cells: Sequence[CellSpec], report: RunReport
+) -> Dict[int, List[dict]]:
+    """Surviving cell payloads grouped by client count (submission order)."""
+    grouped: Dict[int, List[dict]] = {}
+    for spec in cells:
+        grouped.setdefault(spec.num_clients, [])
+        payload = report.ok_payload(spec.key)
+        if payload is not None:
+            grouped[spec.num_clients].append(payload)
+    return grouped
+
 
 @dataclass
 class Figure4Row:
@@ -98,6 +181,7 @@ class Figure4Row:
 class Figure4Result:
     rows: List[Figure4Row] = field(default_factory=list)
     runtime_seconds: float = 0.0
+    coverage: Optional[CoverageReport] = None
 
     def to_table(self) -> str:
         return format_table(
@@ -137,38 +221,35 @@ class Figure4Result:
         )
 
 
-def run_figure4(config: Optional[ExperimentConfig] = None) -> Figure4Result:
+def run_figure4(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> Figure4Result:
     """Reproduce Figure 4: proposed vs modified PS vs Monte Carlo best.
 
     Per scenario, every method sees the identical instance; profits are
     normalized by the best profit any method found for that scenario
     (matching "all the profit is normalized by the best found profit").
+    Cells run through the experiment engine; the figure is synthesized
+    from whichever cells survive and ``result.coverage`` says what, if
+    anything, was lost.
     """
     config = config or ExperimentConfig.from_environment()
+    engine = engine or config.engine()
     started = time.perf_counter()
-    seed_source = np.random.default_rng(config.seed)
-    result = Figure4Result()
+    cells = figure4_cells(config)
+    report = engine.run(cells)
+    result = Figure4Result(coverage=report.coverage())
+    payloads = _payloads_by_point(cells, report)
     for num_clients in config.client_counts:
-        scenarios = config.scenarios_for(num_clients)
         norm_proposed: List[float] = []
         norm_ps: List[float] = []
-        for _ in range(scenarios):
-            scenario_seed = int(seed_source.integers(0, 2**31 - 1))
-            system = generate_system(num_clients=num_clients, seed=scenario_seed)
-            proposed = ResourceAllocator(config.solver).solve(system).profit
-            ps_profit = evaluate_profit(
-                system,
-                modified_proportional_share(system, config.solver),
-                require_all_served=False,
-            ).total_profit
-            mc = MonteCarloSearch(
-                num_trials=config.mc_trials, config=config.solver
-            ).run(system, seed=scenario_seed + 1)
-            best = max(proposed, mc.best_profit)
+        for payload in payloads[num_clients]:
+            best = max(payload["proposed"], payload["mc_best"])
             if best <= 0:
                 continue  # degenerate unprofitable draw; not normalizable
-            norm_proposed.append(proposed / best)
-            norm_ps.append(ps_profit / best)
+            norm_proposed.append(payload["proposed"] / best)
+            norm_ps.append(payload["modified_ps"] / best)
         if norm_proposed:
             proposed_summary = bootstrap_mean_ci(norm_proposed)
             ps_summary = bootstrap_mean_ci(norm_ps)
@@ -203,6 +284,7 @@ class Figure5Row:
 class Figure5Result:
     rows: List[Figure5Row] = field(default_factory=list)
     runtime_seconds: float = 0.0
+    coverage: Optional[CoverageReport] = None
 
     def to_table(self) -> str:
         return format_table(
@@ -241,36 +323,36 @@ class Figure5Result:
         )
 
 
-def run_figure5(config: Optional[ExperimentConfig] = None) -> Figure5Result:
+def run_figure5(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> Figure5Result:
     """Reproduce Figure 5: robustness of the local search to bad starts.
 
     Per scenario the Monte Carlo machinery records each random trial's
     profit before and after local search; across scenarios we keep the
     worst random start (before), that same trial after optimization, the
     worst of the proposed heuristic's runs, and normalize by best found.
+    Cells run through the experiment engine (see :func:`run_figure4`).
     """
     config = config or ExperimentConfig.from_environment()
+    engine = engine or config.engine()
     started = time.perf_counter()
-    seed_source = np.random.default_rng(config.seed + 1)
-    result = Figure5Result()
+    cells = figure5_cells(config)
+    report = engine.run(cells)
+    result = Figure5Result(coverage=report.coverage())
+    payloads = _payloads_by_point(cells, report)
     for num_clients in config.client_counts:
-        scenarios = config.scenarios_for(num_clients)
         worst_before: List[float] = []
         worst_after: List[float] = []
         worst_proposed: List[float] = []
-        for _ in range(scenarios):
-            scenario_seed = int(seed_source.integers(0, 2**31 - 1))
-            system = generate_system(num_clients=num_clients, seed=scenario_seed)
-            proposed = ResourceAllocator(config.solver).solve(system).profit
-            mc = MonteCarloSearch(
-                num_trials=config.mc_trials, config=config.solver
-            ).run(system, seed=scenario_seed + 1)
-            best = max(proposed, mc.best_profit)
+        for payload in payloads[num_clients]:
+            best = max(payload["proposed"], payload["mc_best"])
             if best <= 0:
                 continue
-            worst_before.append(mc.worst_initial_profit / best)
-            worst_after.append(mc.worst_initial_after_search / best)
-            worst_proposed.append(proposed / best)
+            worst_before.append(payload["worst_initial"] / best)
+            worst_after.append(payload["worst_initial_after"] / best)
+            worst_proposed.append(payload["proposed"] / best)
         if worst_before:
             result.rows.append(
                 Figure5Row(
@@ -294,28 +376,69 @@ class ScalabilityRow:
     profit: float
 
 
-def run_scalability(
+@dataclass
+class ScalabilityResult:
+    rows: List[ScalabilityRow] = field(default_factory=list)
+    coverage: Optional[CoverageReport] = None
+
+
+def scalability_cells(
+    client_counts: Sequence[int],
+    solver: SolverConfig,
+    seed: int,
+) -> List[CellSpec]:
+    return [
+        CellSpec(
+            experiment="scalability",
+            point_index=point_index,
+            num_clients=num_clients,
+            scenario_index=0,
+            root_seed=seed,
+            solver=solver,
+        )
+        for point_index, num_clients in enumerate(client_counts)
+    ]
+
+
+def run_scalability_report(
     client_counts: Sequence[int] = (10, 20, 40, 80),
     solver: Optional[SolverConfig] = None,
     seed: int = 7,
-) -> List[ScalabilityRow]:
+    engine: Optional[ExperimentEngine] = None,
+) -> ScalabilityResult:
     """Runtime scaling of the full heuristic with instance size.
 
     Backs the paper's complexity paragraph: the initial-solution cost is
     linear in the total number of servers and in the DP granularity.
+    Solve times are telemetry (machine-dependent), so they come from the
+    engine's per-cell telemetry rather than the deterministic payload.
     """
     solver = solver or SolverConfig(seed=0)
-    rows: List[ScalabilityRow] = []
-    for num_clients in client_counts:
-        system = generate_system(num_clients=num_clients, seed=seed)
-        started = time.perf_counter()
-        result = ResourceAllocator(solver).solve(system)
-        rows.append(
+    engine = engine or ExperimentEngine()
+    cells = scalability_cells(client_counts, solver, seed)
+    report = engine.run(cells)
+    result = ScalabilityResult(coverage=report.coverage())
+    for spec in cells:
+        record = report.records[spec.key]
+        if record["status"] != "ok":
+            continue
+        payload = record["payload"]
+        result.rows.append(
             ScalabilityRow(
-                num_clients=num_clients,
-                num_servers=system.num_servers,
-                solve_seconds=time.perf_counter() - started,
-                profit=result.profit,
+                num_clients=spec.num_clients,
+                num_servers=payload["num_servers"],
+                solve_seconds=record["telemetry"].get("solve_s", 0.0),
+                profit=payload["profit"],
             )
         )
-    return rows
+    return result
+
+
+def run_scalability(
+    client_counts: Sequence[int] = (10, 20, 40, 80),
+    solver: Optional[SolverConfig] = None,
+    seed: int = 7,
+    engine: Optional[ExperimentEngine] = None,
+) -> List[ScalabilityRow]:
+    """Row-list view of :func:`run_scalability_report` (back-compat)."""
+    return run_scalability_report(client_counts, solver, seed, engine).rows

@@ -129,6 +129,27 @@ def format_fleet(breakdown, system) -> str:
     return "\n".join(lines)
 
 
+def format_coverage(coverage) -> str:
+    """Render an engine :class:`~repro.analysis.runner.CoverageReport`.
+
+    One summary line, plus one indented line per lost cell so a partial
+    figure always says exactly which scenarios are missing and why.
+    """
+    parts = [f"coverage: {coverage.completed}/{coverage.total} cells"]
+    if coverage.failed:
+        parts.append(f"{coverage.failed} failed")
+    if coverage.resumed:
+        parts.append(f"{coverage.resumed} resumed from checkpoint")
+    lines = [", ".join(parts) + ("" if coverage.complete else " — PARTIAL RESULT")]
+    for failure in coverage.failures:
+        lines.append(
+            f"  FAILED {failure['key']}: {failure['type']}: "
+            f"{failure['message']} ({failure['attempts']} attempt"
+            f"{'s' if failure['attempts'] != 1 else ''})"
+        )
+    return "\n".join(lines)
+
+
 def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Minimal CSV export (values are numeric or simple strings)."""
     lines = [",".join(str(h) for h in headers)]

@@ -1,0 +1,690 @@
+"""Fault-tolerant parallel experiment engine.
+
+The paper's figures need dozens of independent solver runs (one per
+``(num_clients, scenario)`` **cell**), each internally deterministic.
+This module turns such a sweep into something that can run unattended on
+many cores and survive the failures a paper-sized run meets in practice:
+
+* **sharding** — cells are executed by a ``ProcessPoolExecutor``
+  (``n_workers > 1``) or inline (``n_workers == 1``, the default and the
+  differential oracle: both paths must produce bit-identical results);
+* **determinism** — every cell derives its random streams from a single
+  :class:`numpy.random.SeedSequence` tree keyed by *named* spawn keys
+  ``(experiment, point, scenario)``, so results do not depend on worker
+  count or completion order, and adjacent user seeds cannot alias
+  (see ALGORITHMS.md §11 for the tree);
+* **fault tolerance** — a cell that raises is retried up to
+  ``max_retries`` times and then recorded as a structured failure; a cell
+  that exceeds ``cell_timeout`` seconds is interrupted (SIGALRM) and
+  recorded likewise; a worker process that dies outright (segfault, OOM
+  kill) breaks only its pool — the engine restarts the pool and re-runs
+  the unfinished cells while it keeps making progress.  Figures are then
+  synthesized from the surviving cells together with an explicit
+  :class:`CoverageReport` instead of dying;
+* **checkpointing** — with a ``run_dir``, every finished cell is appended
+  to ``cells.jsonl`` as it completes, so an interrupted sweep resumes
+  from the completed cells (``resume=True``); previously *failed* cells
+  are re-run on resume.  A ``run.json`` fingerprint guards against
+  resuming a checkpoint that belongs to a different sweep;
+* **telemetry** — per-cell wall time, attempt count and peak RSS are
+  collected into ``telemetry.json``, while the deterministic results go
+  into ``manifest.json`` (sorted keys, stable float repr): two runs of
+  the same sweep produce byte-identical manifests regardless of worker
+  count, which is what the determinism tests assert.
+
+Run-directory layout::
+
+    run_dir/
+      run.json        sweep fingerprint (guards --resume)
+      cells.jsonl     one JSON record per finished cell, append-only
+      manifest.json   deterministic results + coverage (byte-stable)
+      telemetry.json  wall times, attempts, peak RSS (machine-dependent)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.monte_carlo import MonteCarloSearch
+from repro.baselines.proportional_share import modified_proportional_share
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import CellTimeoutError, ExperimentError, SolverError
+from repro.model.profit import evaluate_profit
+from repro.workload.generator import generate_system
+
+#: Top-level branch of the seeding tree, one per experiment family.  New
+#: experiments must claim a fresh index — never reuse or renumber.
+EXPERIMENT_KEYS: Dict[str, int] = {"fig4": 0, "fig5": 1, "scalability": 2}
+
+_CHECKPOINT_FILE = "cells.jsonl"
+_MANIFEST_FILE = "manifest.json"
+_TELEMETRY_FILE = "telemetry.json"
+_RUN_FILE = "run.json"
+
+
+# -- cell identity and seeding ------------------------------------------------
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of sweep work: a single scenario of a figure.
+
+    The spec is picklable and carries everything a worker needs; the cell
+    body must be a pure function of the spec (no ambient state), which is
+    what makes the engine's results independent of scheduling.
+    """
+
+    experiment: str
+    point_index: int
+    num_clients: int
+    scenario_index: int
+    root_seed: int
+    mc_trials: int = 0
+    solver: SolverConfig = field(default_factory=lambda: SolverConfig(seed=0))
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENT_KEYS:
+            raise ExperimentError(
+                f"unknown experiment {self.experiment!r}; "
+                f"known: {sorted(EXPERIMENT_KEYS)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used for checkpointing and manifests."""
+        return (
+            f"{self.experiment}/n{self.num_clients:04d}/"
+            f"s{self.scenario_index:03d}"
+        )
+
+
+def cell_seed_sequence(spec: CellSpec) -> np.random.SeedSequence:
+    """The cell's node in the seeding tree.
+
+    ``SeedSequence(root, spawn_key=(experiment, point, scenario))`` is the
+    named-child construction: two cells (or two experiments, or two
+    adjacent root seeds) can never share a stream, unlike the old
+    ``seed + k`` arithmetic this replaces.
+    """
+    return np.random.SeedSequence(
+        spec.root_seed,
+        spawn_key=(
+            EXPERIMENT_KEYS[spec.experiment],
+            spec.point_index,
+            spec.scenario_index,
+        ),
+    )
+
+
+def cell_stream_seeds(spec: CellSpec) -> Tuple[int, int]:
+    """(scenario_seed, monte_carlo_seed) for one cell, as plain ints.
+
+    The two children of the cell node seed instance generation and the
+    Monte Carlo reference search; they are materialized as uint64 words so
+    checkpoints and manifests can record them as JSON numbers.
+    """
+    scenario_child, mc_child = cell_seed_sequence(spec).spawn(2)
+    scenario_seed = int(scenario_child.generate_state(1, dtype=np.uint64)[0])
+    mc_seed = int(mc_child.generate_state(1, dtype=np.uint64)[0])
+    return scenario_seed, mc_seed
+
+
+# -- cell bodies --------------------------------------------------------------
+
+def _run_fig4_cell(spec: CellSpec) -> Tuple[dict, dict]:
+    """One Figure-4 scenario: proposed vs modified PS vs Monte Carlo."""
+    scenario_seed, mc_seed = cell_stream_seeds(spec)
+    system = generate_system(num_clients=spec.num_clients, seed=scenario_seed)
+    solved = ResourceAllocator(spec.solver).solve(system)
+    ps_profit = evaluate_profit(
+        system,
+        modified_proportional_share(system, spec.solver),
+        require_all_served=False,
+    ).total_profit
+    mc = MonteCarloSearch(num_trials=spec.mc_trials, config=spec.solver).run(
+        system, seed=mc_seed
+    )
+    payload = {
+        "scenario_seed": scenario_seed,
+        "mc_seed": mc_seed,
+        "proposed": solved.profit,
+        "modified_ps": ps_profit,
+        "mc_best": mc.best_profit,
+        "rounds": solved.rounds,
+        "profit_history": list(solved.profit_history),
+    }
+    return payload, {"solve_s": solved.runtime_seconds}
+
+
+def _run_fig5_cell(spec: CellSpec) -> Tuple[dict, dict]:
+    """One Figure-5 scenario: robustness of the search to bad starts."""
+    scenario_seed, mc_seed = cell_stream_seeds(spec)
+    system = generate_system(num_clients=spec.num_clients, seed=scenario_seed)
+    solved = ResourceAllocator(spec.solver).solve(system)
+    mc = MonteCarloSearch(num_trials=spec.mc_trials, config=spec.solver).run(
+        system, seed=mc_seed
+    )
+    payload = {
+        "scenario_seed": scenario_seed,
+        "mc_seed": mc_seed,
+        "proposed": solved.profit,
+        "mc_best": mc.best_profit,
+        "worst_initial": mc.worst_initial_profit,
+        "worst_initial_after": mc.worst_initial_after_search,
+        "rounds": solved.rounds,
+        "profit_history": list(solved.profit_history),
+    }
+    return payload, {"solve_s": solved.runtime_seconds}
+
+
+def _run_scalability_cell(spec: CellSpec) -> Tuple[dict, dict]:
+    """One scalability point: solve once, record size and (telemetry) time."""
+    scenario_seed, _ = cell_stream_seeds(spec)
+    system = generate_system(num_clients=spec.num_clients, seed=scenario_seed)
+    started = time.perf_counter()
+    solved = ResourceAllocator(spec.solver).solve(system)
+    solve_seconds = time.perf_counter() - started
+    payload = {
+        "scenario_seed": scenario_seed,
+        "num_servers": system.num_servers,
+        "profit": solved.profit,
+        "rounds": solved.rounds,
+        "profit_history": list(solved.profit_history),
+    }
+    return payload, {"solve_s": solve_seconds}
+
+
+_CELL_BODIES: Dict[str, Callable[[CellSpec], Tuple[dict, dict]]] = {
+    "fig4": _run_fig4_cell,
+    "fig5": _run_fig5_cell,
+    "scalability": _run_scalability_cell,
+}
+
+
+# -- worker-side execution ----------------------------------------------------
+
+def _peak_rss_kb() -> int:
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-unix fallback
+        return 0
+
+
+class _CellAlarm:
+    """SIGALRM-based per-cell wall-clock budget (unix main thread only)."""
+
+    def __init__(self, timeout_s: Optional[float]) -> None:
+        self.timeout_s = timeout_s
+        self._armed = False
+
+    def __enter__(self) -> "_CellAlarm":
+        if (
+            self.timeout_s is not None
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _on_alarm(signum, frame):
+                raise CellTimeoutError(
+                    f"cell exceeded its {self.timeout_s}s wall-clock budget"
+                )
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.timeout_s)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _execute_cell(
+    spec: CellSpec,
+    fault_plan: Optional[Dict[str, int]],
+    cell_timeout: Optional[float],
+    max_retries: int,
+) -> dict:
+    """Run one cell with bounded retry; always returns a record dict.
+
+    Runs in the worker process (or inline for the serial executor).  Every
+    outcome — success, exhausted retries, timeout — is reported as data;
+    the only exceptions that escape are interpreter-level crashes, which
+    the engine observes as a broken pool.
+    """
+    body = _CELL_BODIES[spec.experiment]
+    planned_faults = (fault_plan or {}).get(spec.key, 0)
+    attempts = 0
+    started = time.perf_counter()
+    error: Optional[dict] = None
+    payload: Optional[dict] = None
+    extra_telemetry: dict = {}
+    while attempts <= max_retries:
+        attempts += 1
+        try:
+            if planned_faults < 0 or attempts <= planned_faults:
+                raise SolverError(
+                    f"injected fault in {spec.key} (attempt {attempts})"
+                )
+            with _CellAlarm(cell_timeout):
+                payload, extra_telemetry = body(spec)
+            error = None
+            break
+        except Exception as exc:
+            error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "attempts": attempts,
+            }
+    telemetry = {
+        "wall_s": time.perf_counter() - started,
+        "attempts": attempts,
+        "peak_rss_kb": _peak_rss_kb(),
+        "pid": os.getpid(),
+    }
+    telemetry.update(extra_telemetry)
+    return {
+        "key": spec.key,
+        "experiment": spec.experiment,
+        "num_clients": spec.num_clients,
+        "scenario_index": spec.scenario_index,
+        "status": "ok" if error is None else "failed",
+        "payload": payload,
+        "error": error,
+        "telemetry": telemetry,
+    }
+
+
+def _crash_record(spec: CellSpec, restarts: int) -> dict:
+    """Failure record for a cell whose worker process died outright."""
+    return {
+        "key": spec.key,
+        "experiment": spec.experiment,
+        "num_clients": spec.num_clients,
+        "scenario_index": spec.scenario_index,
+        "status": "failed",
+        "payload": None,
+        "error": {
+            "type": "WorkerCrash",
+            "message": (
+                "worker process died before returning a result "
+                f"(pool restarted {restarts}x)"
+            ),
+            "attempts": restarts,
+        },
+        "telemetry": {"wall_s": 0.0, "attempts": restarts, "peak_rss_kb": 0},
+    }
+
+
+# -- coverage / report --------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How much of the sweep survived, and what was lost to which error."""
+
+    total: int
+    completed: int
+    failed: int
+    resumed: int
+    failures: Tuple[dict, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return self.failed == 0 and self.completed == self.total
+
+    def to_dict(self) -> dict:
+        """Deterministic portion (no resume mechanics) for the manifest."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "failed": self.failed,
+            "failed_keys": [f["key"] for f in self.failures],
+        }
+
+
+@dataclass
+class RunReport:
+    """Everything the engine learned about one sweep."""
+
+    records: Dict[str, dict]
+    resumed_keys: List[str] = field(default_factory=list)
+    run_dir: Optional[Path] = None
+    pool_restarts: int = 0
+
+    def ok_payload(self, key: str) -> Optional[dict]:
+        record = self.records.get(key)
+        if record is None or record["status"] != "ok":
+            return None
+        return record["payload"]
+
+    def coverage(self) -> CoverageReport:
+        failures = tuple(
+            {
+                "key": r["key"],
+                "type": r["error"]["type"],
+                "message": r["error"]["message"],
+                "attempts": r["error"]["attempts"],
+            }
+            for r in self.records.values()
+            if r["status"] == "failed"
+        )
+        completed = sum(
+            1 for r in self.records.values() if r["status"] == "ok"
+        )
+        return CoverageReport(
+            total=len(self.records),
+            completed=completed,
+            failed=len(failures),
+            resumed=len(self.resumed_keys),
+            failures=failures,
+        )
+
+    def manifest_dict(self) -> dict:
+        """Deterministic results only: byte-identical across worker counts.
+
+        Telemetry (wall times, RSS, pids) deliberately lives elsewhere —
+        see :meth:`telemetry_dict`.
+        """
+        cells = []
+        for key in sorted(self.records):
+            record = self.records[key]
+            cells.append(
+                {
+                    "key": key,
+                    "experiment": record["experiment"],
+                    "num_clients": record["num_clients"],
+                    "scenario_index": record["scenario_index"],
+                    "status": record["status"],
+                    "payload": record["payload"],
+                    "error": record["error"],
+                }
+            )
+        return {
+            "format": "repro.run-manifest",
+            "version": 1,
+            "coverage": self.coverage().to_dict(),
+            "cells": cells,
+        }
+
+    def manifest_bytes(self) -> bytes:
+        return (
+            json.dumps(self.manifest_dict(), indent=2, sort_keys=True) + "\n"
+        ).encode()
+
+    def telemetry_dict(self) -> dict:
+        per_cell = {
+            key: record["telemetry"] for key, record in self.records.items()
+        }
+        wall = [t["wall_s"] for t in per_cell.values()]
+        return {
+            "format": "repro.run-telemetry",
+            "version": 1,
+            "pool_restarts": self.pool_restarts,
+            "resumed_cells": len(self.resumed_keys),
+            "total_cell_wall_s": sum(wall),
+            "max_cell_wall_s": max(wall) if wall else 0.0,
+            "max_peak_rss_kb": max(
+                (t.get("peak_rss_kb", 0) for t in per_cell.values()), default=0
+            ),
+            "cells": {key: per_cell[key] for key in sorted(per_cell)},
+        }
+
+
+# -- the engine ---------------------------------------------------------------
+
+def _sweep_fingerprint(cells: Sequence[CellSpec]) -> str:
+    """Identity of a sweep: root seeds + cell keys + solver/MC settings."""
+    digest = hashlib.sha256()
+    for spec in sorted(cells, key=lambda s: s.key):
+        digest.update(
+            f"{spec.key}|{spec.root_seed}|{spec.mc_trials}|{spec.solver}".encode()
+        )
+    return digest.hexdigest()
+
+
+class ExperimentEngine:
+    """Shards cells across workers; survives failures; checkpoints.
+
+    ``n_workers == 1`` executes cells inline (no subprocess), which is the
+    default for tests and serves as the differential oracle — the parallel
+    path must reproduce its results bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        run_dir: Optional[str] = None,
+        resume: bool = False,
+        cell_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        fault_plan: Optional[Dict[str, int]] = None,
+        max_pool_restarts: int = 2,
+    ) -> None:
+        if n_workers < 1:
+            raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+        if max_retries < 0:
+            raise ExperimentError(f"max_retries must be >= 0, got {max_retries}")
+        if cell_timeout is not None and cell_timeout <= 0:
+            raise ExperimentError(
+                f"cell_timeout must be positive, got {cell_timeout}"
+            )
+        self.n_workers = n_workers
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.resume = resume
+        self.cell_timeout = cell_timeout
+        self.max_retries = max_retries
+        #: test/CI hook: cell key -> number of injected failures (-1 = every
+        #: attempt).  Shipped to workers with each cell, so it also works
+        #: under the process pool.
+        self.fault_plan = dict(fault_plan) if fault_plan else None
+        self.max_pool_restarts = max_pool_restarts
+
+    @staticmethod
+    def from_experiment_config(config) -> "ExperimentEngine":
+        """Build from the engine fields of an ``ExperimentConfig``."""
+        return ExperimentEngine(
+            n_workers=config.n_workers,
+            run_dir=config.run_dir,
+            resume=config.resume,
+            cell_timeout=config.cell_timeout,
+            max_retries=config.max_retries,
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, cells: Sequence[CellSpec]) -> RunReport:
+        cells = list(cells)
+        keys = [spec.key for spec in cells]
+        if len(set(keys)) != len(keys):
+            raise ExperimentError("duplicate cell keys in sweep")
+
+        completed = self._prepare_run_dir(cells)
+        report = RunReport(records={}, run_dir=self.run_dir)
+        pending: List[CellSpec] = []
+        for spec in cells:
+            if spec.key in completed:
+                report.records[spec.key] = completed[spec.key]
+                report.resumed_keys.append(spec.key)
+            else:
+                pending.append(spec)
+
+        if pending:
+            if self.n_workers == 1:
+                self._run_serial(pending, report)
+            else:
+                self._run_parallel(pending, report)
+
+        # Re-order to submission order so downstream aggregation is stable.
+        report.records = {
+            spec.key: report.records[spec.key] for spec in cells
+        }
+        self._write_summaries(report)
+        return report
+
+    # -- executors -----------------------------------------------------------
+
+    def _run_serial(self, pending: List[CellSpec], report: RunReport) -> None:
+        for spec in pending:
+            record = _execute_cell(
+                spec, self.fault_plan, self.cell_timeout, self.max_retries
+            )
+            self._commit(record, report)
+
+    def _run_parallel(self, pending: List[CellSpec], report: RunReport) -> None:
+        remaining = list(pending)
+        no_progress_rounds = 0
+        while remaining:
+            progressed, _ = self._parallel_round(remaining, report)
+            remaining = [
+                spec for spec in remaining if spec.key not in report.records
+            ]
+            if not remaining:
+                break
+            # Cells are only left over when a worker died and broke the
+            # pool: restart it and re-run them, unless we stop advancing.
+            report.pool_restarts += 1
+            no_progress_rounds = 0 if progressed else no_progress_rounds + 1
+            if no_progress_rounds > self.max_pool_restarts:
+                # The same cell keeps killing workers: degrade gracefully.
+                for spec in remaining:
+                    self._commit(
+                        _crash_record(spec, report.pool_restarts), report
+                    )
+                break
+
+    def _parallel_round(
+        self, remaining: List[CellSpec], report: RunReport
+    ) -> Tuple[bool, bool]:
+        """One pool lifetime; returns (made_progress, pool_broke)."""
+        progressed = False
+        broke = False
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_cell,
+                    spec,
+                    self.fault_plan,
+                    self.cell_timeout,
+                    self.max_retries,
+                ): spec
+                for spec in remaining
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = futures[future]
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                        continue
+                    except Exception as exc:
+                        # Result failed to come back (e.g. unpicklable);
+                        # treat like any other per-cell failure.
+                        record = _execute_record_error(spec, exc)
+                    self._commit(record, report)
+                    progressed = True
+                if broke:
+                    break
+        return progressed, broke
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _prepare_run_dir(self, cells: Sequence[CellSpec]) -> Dict[str, dict]:
+        """Create/validate the run dir; return checkpointed ok-records."""
+        if self.run_dir is None:
+            return {}
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        fingerprint = _sweep_fingerprint(cells)
+        run_file = self.run_dir / _RUN_FILE
+        checkpoint = self.run_dir / _CHECKPOINT_FILE
+        if self.resume and run_file.exists():
+            recorded = json.loads(run_file.read_text()).get("fingerprint")
+            if recorded != fingerprint:
+                raise ExperimentError(
+                    f"run dir {self.run_dir} holds a different sweep "
+                    f"(fingerprint {recorded!r} != {fingerprint!r}); "
+                    "refusing to resume"
+                )
+        else:
+            run_file.write_text(
+                json.dumps(
+                    {
+                        "format": "repro.run",
+                        "version": 1,
+                        "fingerprint": fingerprint,
+                        "cells": sorted(spec.key for spec in cells),
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            if checkpoint.exists():
+                checkpoint.unlink()
+            return {}
+        if not checkpoint.exists():
+            return {}
+        completed: Dict[str, dict] = {}
+        with checkpoint.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from a killed run
+                if record.get("status") == "ok":
+                    completed[record["key"]] = record
+                else:
+                    completed.pop(record.get("key"), None)
+        return completed
+
+    def _commit(self, record: dict, report: RunReport) -> None:
+        report.records[record["key"]] = record
+        if self.run_dir is not None:
+            with (self.run_dir / _CHECKPOINT_FILE).open("a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def _write_summaries(self, report: RunReport) -> None:
+        if self.run_dir is None:
+            return
+        (self.run_dir / _MANIFEST_FILE).write_bytes(report.manifest_bytes())
+        (self.run_dir / _TELEMETRY_FILE).write_text(
+            json.dumps(report.telemetry_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+def _execute_record_error(spec: CellSpec, exc: Exception) -> dict:
+    """Failure record for a cell whose *result transfer* failed."""
+    return {
+        "key": spec.key,
+        "experiment": spec.experiment,
+        "num_clients": spec.num_clients,
+        "scenario_index": spec.scenario_index,
+        "status": "failed",
+        "payload": None,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "attempts": 1,
+        },
+        "telemetry": {"wall_s": 0.0, "attempts": 1, "peak_rss_kb": 0},
+    }

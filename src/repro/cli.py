@@ -10,22 +10,28 @@ Subcommands::
     epochs      epoch-driven re-allocation vs a static allocation
 
 Every subcommand accepts ``--clients`` and ``--seed``; ``experiment``
-honours ``--full`` (equivalent to ``REPRO_FULL=1``) for paper-sized runs.
+honours ``--full`` (equivalent to ``REPRO_FULL=1``) for paper-sized runs
+and drives the fault-tolerant parallel engine: ``--workers`` shards
+scenario cells across processes, ``--run-dir`` checkpoints each finished
+cell (JSONL) plus a deterministic manifest, ``--resume`` continues an
+interrupted sweep, and ``--cell-timeout`` bounds one cell's wall clock.
+A partial sweep prints a coverage report and exits with status 3.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.analysis.experiments import (
     ExperimentConfig,
     run_figure4,
     run_figure5,
-    run_scalability,
+    run_scalability_report,
 )
-from repro.analysis.reporting import format_fleet, format_table
+from repro.analysis.reporting import format_coverage, format_fleet, format_table
 from repro.baselines.bounds import profit_upper_bound
 from repro.baselines.monte_carlo import MonteCarloSearch
 from repro.baselines.proportional_share import modified_proportional_share
@@ -70,6 +76,48 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("name", choices=["fig4", "fig5", "scalability"])
     p.add_argument("--full", action="store_true", help="paper-sized run")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for scenario cells (1 = serial oracle)",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        help="checkpoint directory (cells.jsonl / manifest.json / telemetry.json)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from --run-dir checkpoints",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per scenario cell, in seconds",
+    )
+    p.add_argument(
+        "--sweep-clients",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="override the sweep's client counts",
+    )
+    p.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        help="override scenarios per sweep point",
+    )
+    p.add_argument(
+        "--mc-trials",
+        type=int,
+        default=None,
+        help="override Monte Carlo trials per scenario",
+    )
 
     p = sub.add_parser("simulate", help="DES validation of the queueing model")
     _add_instance_args(p)
@@ -165,12 +213,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         if args.full
         else ExperimentConfig.from_environment()
     )
+    overrides = {
+        "n_workers": args.workers,
+        "run_dir": args.run_dir,
+        "resume": args.resume,
+        "cell_timeout": args.cell_timeout,
+    }
+    if args.sweep_clients is not None:
+        overrides["client_counts"] = tuple(args.sweep_clients)
+    if args.scenarios is not None:
+        overrides["scenarios_per_point"] = args.scenarios
+        overrides["scenarios_at_largest"] = args.scenarios
+    if args.mc_trials is not None:
+        overrides["mc_trials"] = args.mc_trials
+    config = replace(config, **overrides)
     if args.name == "fig4":
         result = run_figure4(config)
         print("Figure 4 — normalized total profit vs number of clients")
         print(result.to_table())
         print()
         print(result.to_chart())
+        coverage = result.coverage
         print(f"\n({result.runtime_seconds:.1f}s)")
     elif args.name == "fig5":
         result = run_figure5(config)
@@ -178,17 +241,31 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.to_table())
         print()
         print(result.to_chart())
+        coverage = result.coverage
         print(f"\n({result.runtime_seconds:.1f}s)")
     else:
-        rows = run_scalability()
+        report = run_scalability_report(
+            client_counts=config.client_counts
+            if args.sweep_clients is not None
+            else (10, 20, 40, 80),
+            engine=config.engine(),
+        )
         print("Runtime scaling of the full heuristic")
         print(
             format_table(
                 ["clients", "servers", "solve seconds", "profit"],
-                [(r.num_clients, r.num_servers, r.solve_seconds, r.profit) for r in rows],
+                [
+                    (r.num_clients, r.num_servers, r.solve_seconds, r.profit)
+                    for r in report.rows
+                ],
             )
         )
-    return 0
+        coverage = report.coverage
+    if coverage is not None:
+        print(format_coverage(coverage))
+    if args.run_dir:
+        print(f"run dir: {args.run_dir}")
+    return 0 if coverage is None or coverage.complete else 3
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:

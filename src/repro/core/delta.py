@@ -27,10 +27,15 @@ evaluator uses, and with ``validate=True`` every query is checked
 against the full evaluator (wired to
 ``SolverConfig.validate_delta_scoring``).
 
-The scorer assumes all mutations flow through ``WorkingState``'s
-mutators (which is how every solver move is written); editing the
-underlying :class:`~repro.model.Allocation` directly goes unnoticed
-until the next ``mark_all``/``restore``.
+All mutations must flow through ``WorkingState``'s mutators (which is
+how every solver move is written).  Edits that bypass the state — calling
+the underlying :class:`~repro.model.Allocation`'s mutators directly, or
+assigning a stored entry's ``alpha``/``phi_p``/``phi_b`` in place — are
+*detected* rather than silently mis-scored: every allocation mutation
+bumps :attr:`~repro.model.allocation.Allocation.mutation_epoch`, the
+scorer records the epoch of the last mutation the state told it about,
+and a profit/feasibility query whose epoch it has not observed raises
+:class:`~repro.exceptions.SolverError`.
 """
 
 from __future__ import annotations
@@ -93,20 +98,27 @@ class DeltaScorer:
         self._bad_count = 0
         self._dirty_clients: Set[int] = set()
         self._dirty_servers: Set[int] = set()
+        self._observed_epoch = state.allocation.mutation_epoch
         self.mark_all()
         state.attach_scorer(self)
 
     # -- dirty tracking (called by WorkingState) -----------------------------
 
+    def _observe_epoch(self) -> None:
+        self._observed_epoch = self.state.allocation.mutation_epoch
+
     def mark_client(self, client_id: int) -> None:
         self._dirty_clients.add(client_id)
+        self._observe_epoch()
 
     def mark_server(self, server_id: int) -> None:
         self._dirty_servers.add(server_id)
+        self._observe_epoch()
 
     def mark_all(self) -> None:
         self._dirty_clients = set(self._client_revenue)
         self._dirty_servers = set(self._server_cost)
+        self._observe_epoch()
 
     # -- queries -------------------------------------------------------------
 
@@ -116,6 +128,7 @@ class DeltaScorer:
         Equivalent to :func:`repro.core.scoring.score` on the current
         allocation, at ``O(dirty)`` cost.
         """
+        self._check_epoch()
         self._refresh()
         if self._bad_count:
             value = _NEG_INF
@@ -126,10 +139,21 @@ class DeltaScorer:
         return value
 
     def feasible(self) -> bool:
+        self._check_epoch()
         self._refresh()
         return self._bad_count == 0
 
     # -- internals -----------------------------------------------------------
+
+    def _check_epoch(self) -> None:
+        current = self.state.allocation.mutation_epoch
+        if current != self._observed_epoch:
+            raise SolverError(
+                "allocation mutated behind the working state's back: the "
+                f"scorer observed epoch {self._observed_epoch} but the "
+                f"allocation is at epoch {current}; route every edit "
+                "through WorkingState's mutators (or call mark_all)"
+            )
 
     def _refresh(self) -> None:
         if self._dirty_clients:

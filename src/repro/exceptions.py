@@ -48,3 +48,13 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration dataclass carries out-of-range values."""
+
+
+class ExperimentError(ReproError):
+    """The experiment engine was asked to run an inconsistent sweep
+    (duplicate cell keys, a checkpoint directory from a different sweep,
+    an unknown experiment kind)."""
+
+
+class CellTimeoutError(ReproError):
+    """A single experiment cell exceeded its wall-clock budget."""

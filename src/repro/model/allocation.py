@@ -16,6 +16,14 @@ background load.
 
 The container keeps a reverse index (server -> clients) so the heuristic's
 per-server moves are O(clients on that server), not O(all clients).
+
+Every mutation — structural (entries, cluster bindings) or an in-place
+edit of a stored entry's ``alpha``/``phi_p``/``phi_b`` — bumps a cheap
+**mutation epoch** counter.  Incremental observers (the
+:class:`~repro.core.delta.DeltaScorer`) record the epoch of the last
+mutation they were notified about and refuse to answer queries once the
+allocation has moved past it, turning the silent-staleness failure mode
+into a loud :class:`~repro.exceptions.SolverError`.
 """
 
 from __future__ import annotations
@@ -24,6 +32,21 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.exceptions import ModelError
+
+
+class _EpochBox:
+    """Shared mutation counter: an Allocation and its stored entries all
+    bump the same cell, so observers need one integer compare to detect
+    *any* edit — including attribute writes that bypass the container."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+#: ServerAllocation fields whose in-place edits count as mutations.
+_TRACKED_FIELDS = frozenset({"alpha", "phi_p", "phi_b"})
 
 
 @dataclass
@@ -36,6 +59,15 @@ class ServerAllocation:
 
     def __post_init__(self) -> None:
         self.validate()
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        # Entries stored in an Allocation carry its epoch box; writing a
+        # decision field in place is a mutation the owner must see.
+        if name in _TRACKED_FIELDS:
+            box = getattr(self, "_epoch_box", None)
+            if box is not None:
+                box.value += 1
 
     def validate(self) -> None:
         if not 0.0 <= self.alpha <= 1.0 + 1e-12:
@@ -63,6 +95,12 @@ class Allocation:
         self.cluster_of: Dict[int, int] = {}
         self._entries: Dict[int, Dict[int, ServerAllocation]] = {}
         self._clients_on_server: Dict[int, Set[int]] = {}
+        self._epoch = _EpochBox()
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter bumped by every mutation (see module docs)."""
+        return self._epoch.value
 
     # -- client/cluster assignment ---------------------------------------
 
@@ -76,11 +114,13 @@ class Allocation:
         if previous is not None and previous != cluster_id:
             self.clear_client(client_id)
         self.cluster_of[client_id] = cluster_id
+        self._epoch.value += 1
 
     def unassign_client(self, client_id: int) -> None:
         """Remove a client from the allocation entirely."""
         self.clear_client(client_id)
         self.cluster_of.pop(client_id, None)
+        self._epoch.value += 1
 
     def clear_client(self, client_id: int) -> None:
         """Drop all per-server entries of a client, keeping its cluster binding."""
@@ -107,8 +147,10 @@ class Allocation:
                 "receiving server entries"
             )
         entry = ServerAllocation(alpha=alpha, phi_p=phi_p, phi_b=phi_b)
+        entry._epoch_box = self._epoch
         self._entries.setdefault(client_id, {})[server_id] = entry
         self._clients_on_server.setdefault(server_id, set()).add(client_id)
+        self._epoch.value += 1
 
     def remove_entry(self, client_id: int, server_id: int) -> None:
         per_client = self._entries.get(client_id)
@@ -122,6 +164,7 @@ class Allocation:
             clients.discard(client_id)
             if not clients:
                 del self._clients_on_server[server_id]
+        self._epoch.value += 1
 
     def entry(self, client_id: int, server_id: int) -> Optional[ServerAllocation]:
         return self._entries.get(client_id, {}).get(server_id)
@@ -185,6 +228,9 @@ class Allocation:
         clone._clients_on_server = {
             sid: set(cids) for sid, cids in self._clients_on_server.items()
         }
+        for per_client in clone._entries.values():
+            for entry in per_client.values():
+                entry._epoch_box = clone._epoch
         return clone
 
     def __eq__(self, other: object) -> bool:

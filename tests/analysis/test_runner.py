@@ -1,0 +1,339 @@
+"""Determinism, fault-tolerance and resume tests for the experiment engine.
+
+The engine's contract: results are a pure function of the sweep spec —
+independent of worker count, completion order, interruption/resume, and
+individual cell failures (which degrade coverage, never correctness).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    figure4_cells,
+    figure5_cells,
+    run_figure4,
+    run_figure5,
+    run_scalability,
+    run_scalability_report,
+)
+from repro.analysis.reporting import format_coverage
+from repro.analysis.runner import (
+    CellSpec,
+    ExperimentEngine,
+    cell_stream_seeds,
+)
+from repro.config import SolverConfig
+from repro.exceptions import ExperimentError
+
+TINY_SOLVER = SolverConfig(
+    seed=0,
+    num_initial_solutions=1,
+    alpha_granularity=5,
+    max_improvement_rounds=1,
+)
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        client_counts=(5, 6),
+        scenarios_per_point=2,
+        scenarios_at_largest=1,
+        mc_trials=2,
+        seed=5,
+        solver=TINY_SOLVER,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestSeedTree:
+    def test_fig4_and_fig5_streams_disjoint_for_adjacent_seeds(self):
+        """Regression for the old ``default_rng(seed)`` / ``seed + 1``
+        derivation, where figure 5 at seed S shared figure 4's stream at
+        seed S + 1 and MC seeds could exceed the 2**31 - 1 draw bound."""
+        seeds = set()
+        for root in (2011, 2012, 2013):
+            config = tiny_config(seed=root)
+            for spec in figure4_cells(config) + figure5_cells(config):
+                scenario_seed, mc_seed = cell_stream_seeds(spec)
+                seeds.update((scenario_seed, mc_seed))
+        # 3 roots x (3 fig4 + 3 fig5 cells) x 2 streams, all distinct.
+        assert len(seeds) == 3 * 6 * 2
+
+    def test_cell_seeds_do_not_depend_on_sweep_shape(self):
+        """A cell's streams depend only on its named key, not on which
+        other cells happen to be in the sweep."""
+        wide = tiny_config(client_counts=(5, 6, 7), scenarios_at_largest=2)
+        narrow = tiny_config()
+        wide_seeds = {
+            spec.key: cell_stream_seeds(spec) for spec in figure4_cells(wide)
+        }
+        for spec in figure4_cells(narrow):
+            assert cell_stream_seeds(spec) == wide_seeds[spec.key]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            CellSpec(
+                experiment="fig9",
+                point_index=0,
+                num_clients=5,
+                scenario_index=0,
+                root_seed=1,
+            )
+
+
+class TestWorkerCountDeterminism:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        run_dir = tmp_path_factory.mktemp("serial")
+        result = run_figure4(tiny_config(run_dir=str(run_dir)))
+        return result, (run_dir / "manifest.json").read_bytes()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_manifest_byte_identical_across_worker_counts(
+        self, workers, reference, tmp_path
+    ):
+        _, serial_manifest = reference
+        result = run_figure4(
+            tiny_config(n_workers=workers, run_dir=str(tmp_path))
+        )
+        assert (tmp_path / "manifest.json").read_bytes() == serial_manifest
+        assert result.coverage.complete
+
+    def test_parallel_table_matches_serial(self, reference, tmp_path):
+        serial_result, _ = reference
+        parallel = run_figure4(
+            tiny_config(n_workers=2, run_dir=str(tmp_path))
+        )
+        assert parallel.to_table() == serial_result.to_table()
+
+    def test_figure5_parallel_matches_serial(self, tmp_path):
+        serial = run_figure5(tiny_config(run_dir=str(tmp_path / "s")))
+        parallel = run_figure5(
+            tiny_config(n_workers=2, run_dir=str(tmp_path / "p"))
+        )
+        assert (tmp_path / "s" / "manifest.json").read_bytes() == (
+            tmp_path / "p" / "manifest.json"
+        ).read_bytes()
+        assert parallel.to_table() == serial.to_table()
+
+
+class TestFaultTolerance:
+    def test_injected_fault_degrades_to_coverage_report(self, tmp_path):
+        config = tiny_config(run_dir=str(tmp_path), max_retries=0)
+        victim = figure4_cells(config)[0]
+        engine = ExperimentEngine(
+            run_dir=str(tmp_path),
+            max_retries=0,
+            fault_plan={victim.key: -1},
+        )
+        result = run_figure4(config, engine=engine)
+        coverage = result.coverage
+        assert not coverage.complete
+        assert coverage.failed == 1
+        assert coverage.failures[0]["key"] == victim.key
+        assert coverage.failures[0]["type"] == "SolverError"
+        # The figure is still synthesized from the surviving cells.
+        assert [row.num_clients for row in result.rows] == [5, 6]
+        assert result.rows[0].scenarios == 1
+
+    def test_injected_fault_under_process_pool(self, tmp_path):
+        config = tiny_config(n_workers=2, run_dir=str(tmp_path))
+        victim = figure4_cells(config)[1]
+        engine = ExperimentEngine(
+            n_workers=2,
+            run_dir=str(tmp_path),
+            fault_plan={victim.key: -1},
+        )
+        result = run_figure4(config, engine=engine)
+        assert result.coverage.failed == 1
+        assert result.coverage.failures[0]["key"] == victim.key
+
+    def test_transient_fault_retried_to_success(self, tmp_path):
+        config = tiny_config(run_dir=str(tmp_path))
+        victim = figure4_cells(config)[0]
+        engine = ExperimentEngine(
+            run_dir=str(tmp_path),
+            max_retries=1,
+            fault_plan={victim.key: 1},  # fail once, succeed on retry
+        )
+        result = run_figure4(config, engine=engine)
+        assert result.coverage.complete
+        retried = [
+            json.loads(line)
+            for line in (tmp_path / "cells.jsonl").read_text().splitlines()
+            if json.loads(line)["key"] == victim.key
+        ]
+        assert retried[0]["telemetry"]["attempts"] == 2
+
+    def test_failed_cells_never_poison_results(self, tmp_path):
+        """A sweep where *every* cell fails yields empty rows, not a crash."""
+        config = tiny_config(run_dir=str(tmp_path))
+        plan = {spec.key: -1 for spec in figure4_cells(config)}
+        engine = ExperimentEngine(run_dir=str(tmp_path), fault_plan=plan)
+        result = run_figure4(config, engine=engine)
+        assert result.rows == []
+        assert result.coverage.completed == 0
+        assert "PARTIAL RESULT" in format_coverage(result.coverage)
+
+    def test_cell_timeout_recorded_as_failure(self, tmp_path):
+        # A microscopic budget trips SIGALRM inside the first solve.
+        config = tiny_config(
+            client_counts=(12,),
+            scenarios_per_point=1,
+            scenarios_at_largest=1,
+            cell_timeout=1e-4,
+            max_retries=0,
+            run_dir=str(tmp_path),
+        )
+        result = run_figure4(config)
+        assert result.coverage.failed == result.coverage.total == 1
+        assert result.coverage.failures[0]["type"] == "CellTimeoutError"
+
+
+class TestCheckpointResume:
+    def test_kill_mid_sweep_then_resume_is_identical(self, tmp_path):
+        config = tiny_config()
+        reference = run_figure4(
+            tiny_config(run_dir=str(tmp_path / "ref"))
+        )
+        ref_manifest = (tmp_path / "ref" / "manifest.json").read_bytes()
+
+        # "Kill" after two cells: fail the third permanently, then resume.
+        interrupted_dir = tmp_path / "interrupted"
+        victim = figure4_cells(config)[2]
+        first = ExperimentEngine(
+            run_dir=str(interrupted_dir),
+            max_retries=0,
+            fault_plan={victim.key: -1},
+        )
+        partial = run_figure4(tiny_config(run_dir=str(interrupted_dir)), engine=first)
+        assert partial.coverage.failed == 1
+
+        resumed_engine = ExperimentEngine(
+            run_dir=str(interrupted_dir), resume=True
+        )
+        resumed = run_figure4(
+            tiny_config(run_dir=str(interrupted_dir)), engine=resumed_engine
+        )
+        assert resumed.coverage.complete
+        assert resumed.coverage.resumed == 2
+        assert resumed.to_table() == reference.to_table()
+        assert (
+            interrupted_dir / "manifest.json"
+        ).read_bytes() == ref_manifest
+
+    def test_truncated_checkpoint_line_is_ignored(self, tmp_path):
+        """A torn tail write (killed mid-append) must not break resume."""
+        config = tiny_config(run_dir=str(tmp_path))
+        run_figure4(config)
+        checkpoint = tmp_path / "cells.jsonl"
+        lines = checkpoint.read_text().splitlines()
+        checkpoint.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        resumed = run_figure4(
+            config,
+            engine=ExperimentEngine(run_dir=str(tmp_path), resume=True),
+        )
+        assert resumed.coverage.complete
+        assert resumed.coverage.resumed == len(lines) - 1
+
+    def test_resume_refuses_foreign_run_dir(self, tmp_path):
+        run_figure4(tiny_config(run_dir=str(tmp_path)))
+        other = tiny_config(seed=6, run_dir=str(tmp_path), resume=True)
+        with pytest.raises(ExperimentError, match="different sweep"):
+            run_figure4(other)
+
+    def test_serial_and_resumed_runs_share_checkpoint_format(self, tmp_path):
+        """n_workers=1 writes the same JSONL cells the parallel path reads."""
+        serial_dir = tmp_path / "serial"
+        run_figure4(tiny_config(run_dir=str(serial_dir)))
+        resumed = run_figure4(
+            tiny_config(run_dir=str(serial_dir)),
+            engine=ExperimentEngine(
+                n_workers=2, run_dir=str(serial_dir), resume=True
+            ),
+        )
+        assert resumed.coverage.resumed == resumed.coverage.total
+
+    def test_run_dir_artifacts_present(self, tmp_path):
+        run_figure4(tiny_config(run_dir=str(tmp_path)))
+        for name in ("run.json", "cells.jsonl", "manifest.json", "telemetry.json"):
+            assert (tmp_path / name).exists(), name
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["format"] == "repro.run-manifest"
+        assert manifest["coverage"]["failed"] == 0
+        telemetry = json.loads((tmp_path / "telemetry.json").read_text())
+        assert set(telemetry["cells"]) == {
+            cell["key"] for cell in manifest["cells"]
+        }
+        for entry in telemetry["cells"].values():
+            assert entry["wall_s"] > 0
+            assert entry["attempts"] == 1
+
+
+class TestScalabilityThroughEngine:
+    def test_rows_preserved_and_coverage_attached(self):
+        report = run_scalability_report(
+            client_counts=(4, 8), solver=TINY_SOLVER
+        )
+        assert [r.num_clients for r in report.rows] == [4, 8]
+        assert report.coverage.complete
+        for row in report.rows:
+            assert row.solve_seconds > 0
+
+    def test_back_compat_wrapper_returns_rows(self):
+        rows = run_scalability(client_counts=(4,), solver=TINY_SOLVER)
+        assert rows[0].num_clients == 4
+
+
+class TestEngineValidation:
+    def test_duplicate_cell_keys_rejected(self):
+        spec = CellSpec(
+            experiment="fig4",
+            point_index=0,
+            num_clients=5,
+            scenario_index=0,
+            root_seed=1,
+            mc_trials=1,
+            solver=TINY_SOLVER,
+        )
+        with pytest.raises(ExperimentError, match="duplicate"):
+            ExperimentEngine().run([spec, spec])
+
+    def test_bad_engine_parameters_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentEngine(n_workers=0)
+        with pytest.raises(ExperimentError):
+            ExperimentEngine(max_retries=-1)
+        with pytest.raises(ExperimentError):
+            ExperimentEngine(cell_timeout=0.0)
+
+    def test_bad_experiment_config_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            tiny_config(n_workers=0)
+        with pytest.raises(ConfigurationError):
+            tiny_config(cell_timeout=-1.0)
+
+
+class TestCoverageRendering:
+    def test_clean_run_renders_one_line(self, tmp_path):
+        result = run_figure4(tiny_config(run_dir=str(tmp_path)))
+        text = format_coverage(result.coverage)
+        assert text == "coverage: 3/3 cells"
+
+    def test_failure_lines_name_cell_and_error(self, tmp_path):
+        config = tiny_config(run_dir=str(tmp_path), max_retries=0)
+        victim = figure4_cells(config)[0]
+        engine = ExperimentEngine(
+            run_dir=str(tmp_path), max_retries=0, fault_plan={victim.key: -1}
+        )
+        text = format_coverage(run_figure4(config, engine=engine).coverage)
+        assert "PARTIAL RESULT" in text
+        assert victim.key in text
+        assert "SolverError" in text

@@ -22,7 +22,7 @@ from repro.core.delta import DeltaScorer
 from repro.core.local_search import reassignment_pass
 from repro.core.scoring import score, score_state
 from repro.core.state import WorkingState
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, SolverError
 from repro.workload import generate_system
 
 
@@ -222,3 +222,64 @@ class TestTransactions:
             state.commit_txn()
         with pytest.raises(ModelError):
             state.rollback_txn()
+
+
+class TestStalenessDetection:
+    """Mutations that bypass WorkingState must raise, not mis-score."""
+
+    def test_entry_alpha_edited_behind_states_back(self):
+        state = _random_state(3)
+        scorer = DeltaScorer(state)
+        scorer.profit()  # baseline query succeeds
+        cid, sid, entry = next(iter(state.allocation.iter_entries()))
+        entry.alpha = max(0.1, entry.alpha / 2)  # sneaky in-place edit
+        with pytest.raises(SolverError, match="behind the working state"):
+            scorer.profit()
+
+    def test_direct_allocation_mutator_detected(self):
+        state = _random_state(4)
+        scorer = DeltaScorer(state)
+        scorer.profit()
+        cid, sid, _ = next(iter(state.allocation.iter_entries()))
+        state.allocation.remove_entry(cid, sid)  # bypasses the state
+        with pytest.raises(SolverError, match="behind the working state"):
+            scorer.feasible()
+
+    def test_mark_all_recovers_from_staleness(self):
+        state = _random_state(5)
+        scorer = DeltaScorer(state)
+        cid, sid, entry = next(iter(state.allocation.iter_entries()))
+        # A revenue-side edit (alpha) leaves the state's share aggregates
+        # valid, so a full re-mark is enough to resync the scorer.  Share
+        # edits (phi) would also desync WorkingState itself and need a
+        # restore() — the guard exists precisely to catch both early.
+        entry.alpha = entry.alpha / 2
+        with pytest.raises(SolverError):
+            scorer.profit()
+        scorer.mark_all()  # explicit full resync is the documented escape
+        _assert_scorer_exact(state)
+
+    def test_state_mutators_do_not_trip_the_guard(self):
+        state = _random_state(6)
+        scorer = DeltaScorer(state)
+        cid = next(iter(state.system.client_ids()))
+        kid = list(state.system.cluster_ids())[0]
+        state.assign_client(cid, kid)
+        sid = state.system.cluster(kid).servers[0].server_id
+        state.set_entry(cid, sid, 1.0, 0.2, 0.2)
+        state.remove_entry(cid, sid)
+        state.begin_txn()
+        state.set_entry(cid, sid, 1.0, 0.1, 0.1)
+        state.rollback_txn()
+        _assert_scorer_exact(state)
+
+    def test_detached_copies_do_not_bump_the_epoch(self):
+        state = _random_state(8)
+        scorer = DeltaScorer(state)
+        _, _, entry = next(iter(state.allocation.iter_entries()))
+        clone = entry.copy()
+        clone.alpha = 0.123  # detached: must not count as a mutation
+        snapshot = state.snapshot()
+        for _, _, snap_entry in snapshot.iter_entries():
+            snap_entry.alpha = snap_entry.alpha  # touches the *snapshot* only
+        _assert_scorer_exact(state)

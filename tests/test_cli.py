@@ -90,7 +90,53 @@ class TestCli:
 
     def test_experiment_scalability(self, capsys):
         assert main(["experiment", "scalability"]) == 0
-        assert "solve seconds" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "solve seconds" in out
+        assert "coverage:" in out
+
+    def test_experiment_fig4_with_workers_and_run_dir(self, capsys, tmp_path):
+        args = [
+            "experiment",
+            "fig4",
+            "--sweep-clients",
+            "5",
+            "6",
+            "--scenarios",
+            "1",
+            "--mc-trials",
+            "2",
+            "--workers",
+            "2",
+            "--run-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "coverage: 2/2 cells" in out
+        assert (tmp_path / "manifest.json").exists()
+        # Immediately resuming a completed sweep re-runs nothing.
+        assert main(args + ["--resume"]) == 0
+        assert "2 resumed from checkpoint" in capsys.readouterr().out
+
+    def test_experiment_fig5_quick(self, capsys):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "fig5",
+                    "--sweep-clients",
+                    "5",
+                    "--scenarios",
+                    "1",
+                    "--mc-trials",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "worst" in out
+        assert "coverage: 1/1 cells" in out
 
     def test_multitier(self, capsys):
         assert main(["multitier", "--apps", "3", "--seed", "2"]) == 0
