@@ -23,6 +23,7 @@ from repro.exceptions import (
     SolverError,
     WorkloadError,
     SimulationError,
+    ServiceError,
     ConfigurationError,
 )
 from repro.model import (
@@ -57,6 +58,7 @@ __all__ = [
     "SolverError",
     "WorkloadError",
     "SimulationError",
+    "ServiceError",
     "ConfigurationError",
     "Allocation",
     "Client",

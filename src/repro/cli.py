@@ -8,6 +8,11 @@ Subcommands::
     experiment  regenerate a paper artifact: fig4 | fig5 | scalability
     simulate    validate the analytical response times with the DES
     epochs      epoch-driven re-allocation vs a static allocation
+    serve       replay a workload trace through the online service
+
+Library errors (:class:`repro.exceptions.ReproError`) are reported as a
+one-line message on stderr with exit status 2; tracebacks are reserved
+for genuine bugs.
 
 Every subcommand accepts ``--clients`` and ``--seed``; ``experiment``
 honours ``--full`` (equivalent to ``REPRO_FULL=1``) for paper-sized runs
@@ -37,6 +42,7 @@ from repro.baselines.monte_carlo import MonteCarloSearch
 from repro.baselines.proportional_share import modified_proportional_share
 from repro.config import SolverConfig
 from repro.core.allocator import ResourceAllocator
+from repro.exceptions import ReproError
 from repro.model.profit import evaluate_profit
 from repro.sim.epoch import EpochConfig, run_epoch_simulation
 from repro.sim.gps import SharingMode
@@ -136,6 +142,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--pattern",
         choices=["random_walk", "diurnal", "bursty"],
         default="random_walk",
+    )
+    p.add_argument(
+        "--warm",
+        action="store_true",
+        help="also run the online service as a warm-start policy",
+    )
+
+    p = sub.add_parser(
+        "serve", help="replay a workload trace through the online service"
+    )
+    _add_instance_args(p)
+    p.add_argument("--epochs", type=int, default=8)
+    p.add_argument(
+        "--pattern",
+        choices=["random_walk", "diurnal", "bursty"],
+        default="random_walk",
+    )
+    p.add_argument(
+        "--churn", type=float, default=0.0, help="per-epoch client churn probability"
+    )
+    p.add_argument(
+        "--failures",
+        type=float,
+        default=0.0,
+        help="per-epoch server fail/recover probability",
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.25,
+        help="relative rate drift that triggers full re-optimization",
+    )
+    p.add_argument(
+        "--journal", default=None, help="append accepted events to this file"
+    )
+    p.add_argument(
+        "--snapshot", default=None, help="write the final snapshot to this file"
     )
 
     p = sub.add_parser("multitier", help="solve a multi-tier application instance")
@@ -312,17 +355,80 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
             drift=args.drift,
             seed=args.seed + 1,
             pattern=args.pattern,
+            warm_start=args.warm,
         ),
         SolverConfig(seed=args.seed),
     )
-    rows = [
-        (idx, realloc, static)
-        for idx, (realloc, static) in enumerate(
-            zip(report.reallocate_profits, report.static_profits)
-        )
-    ]
-    print(format_table(["epoch", "re-allocate", "static"], rows))
+    if report.warm_profits:
+        rows = [
+            (idx, realloc, warm, static)
+            for idx, (realloc, warm, static) in enumerate(
+                zip(
+                    report.reallocate_profits,
+                    report.warm_profits,
+                    report.static_profits,
+                )
+            )
+        ]
+        print(format_table(["epoch", "re-allocate", "warm service", "static"], rows))
+    else:
+        rows = [
+            (idx, realloc, static)
+            for idx, (realloc, static) in enumerate(
+                zip(report.reallocate_profits, report.static_profits)
+            )
+        ]
+        print(format_table(["epoch", "re-allocate", "static"], rows))
     print(f"\ntotal gain from per-epoch decisions: {report.reallocation_gain:.3f}")
+    print(f"cold solves: {report.cold_solves} for {args.epochs} epochs")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import EventJournal, ServicePolicy, TraceDriverConfig
+    from repro.service.driver import run_service_trace
+
+    system = generate_system(num_clients=args.clients, seed=args.seed)
+    journal = EventJournal(args.journal) if args.journal else None
+    report = run_service_trace(
+        system,
+        TraceDriverConfig(
+            pattern=args.pattern,
+            num_epochs=args.epochs,
+            seed=args.seed + 1,
+            churn_probability=args.churn,
+            failure_probability=args.failures,
+        ),
+        solver_config=SolverConfig(seed=args.seed),
+        policy=ServicePolicy(drift_threshold=args.drift_threshold),
+        journal=journal,
+    )
+    service = report["service"]
+    if journal is not None:
+        journal.close()
+    if args.snapshot:
+        with open(args.snapshot, "w") as handle:
+            json.dump(service.snapshot(), handle, indent=2, sort_keys=True)
+    rows = [
+        (epoch, profit) for epoch, profit in enumerate(report["epoch_profits"])
+    ]
+    print(format_table(["epoch", "profit"], rows))
+    latency = service.metrics.repair_latency
+    print(
+        f"\n{report['events_applied']} events "
+        f"({report['events_queued']} queued, {report['reopt_swaps']} re-opt swaps, "
+        f"{report['pending_clients']} clients pending), "
+        f"repair p50 {latency.quantile(0.5) * 1000:.2f} ms, "
+        f"p99 {latency.quantile(0.99) * 1000:.2f} ms"
+    )
+    print(f"final profit {report['final_profit']:.4f}")
+    print(f"snapshot hash {report['snapshot_hash']}")
+    if args.journal:
+        print(f"journal: {args.journal}")
+    if args.snapshot:
+        print(f"snapshot: {args.snapshot}")
     return 0
 
 
@@ -389,6 +495,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "simulate": _cmd_simulate,
     "epochs": _cmd_epochs,
+    "serve": _cmd_serve,
     "multitier": _cmd_multitier,
     "admission": _cmd_admission,
     "predict": _cmd_predict,
@@ -397,7 +504,14 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Library errors are user-facing conditions (bad arguments, an
+        # infeasible instance, a corrupt artifact), not bugs: one line on
+        # stderr, exit status 2.  Tracebacks stay for real defects.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

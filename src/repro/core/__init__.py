@@ -13,7 +13,9 @@ Module map (section V of the paper):
 * :mod:`repro.core.power` — ``TurnON_servers`` / ``TurnOFF_servers``;
 * :mod:`repro.core.local_search` — cluster-level client reassignment;
 * :mod:`repro.core.allocator` — the top-level driver tying it together;
-* :mod:`repro.core.distributed` — per-cluster parallel execution.
+* :mod:`repro.core.distributed` — per-cluster parallel execution;
+* :mod:`repro.core.repair` — the move primitives re-packaged as scoped
+  repair operations for the online service (:mod:`repro.service`).
 """
 
 from repro.core.allocator import AllocationResult, ResourceAllocator
@@ -23,6 +25,12 @@ from repro.core.initial import build_initial_solution
 from repro.core.local_search import cluster_reassignment_search
 from repro.core.admission import AdmissionResult, admission_controlled_solve
 from repro.core.distributed import DistributedAllocator
+from repro.core.repair import (
+    consolidate_servers,
+    drain_server,
+    place_client,
+    rebalance_servers,
+)
 from repro.core.scoring import score
 
 __all__ = [
@@ -36,5 +44,9 @@ __all__ = [
     "AdmissionResult",
     "admission_controlled_solve",
     "DistributedAllocator",
+    "consolidate_servers",
+    "drain_server",
+    "place_client",
+    "rebalance_servers",
     "score",
 ]

@@ -438,14 +438,22 @@ def best_placement(
     client: Client,
     config: SolverConfig,
     cluster_ids: Optional[List[int]] = None,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
 ) -> Optional[CandidatePlacement]:
-    """``Assign_Distribute`` across clusters: pick the most profitable one."""
+    """``Assign_Distribute`` across clusters: pick the most profitable one.
+
+    ``excluded_server_ids`` removes servers from every candidate cluster
+    (the online service uses it to place around failed servers).
+    """
     kids = list(cluster_ids or state.system.cluster_ids())
+    excluded = excluded_server_ids or frozenset()
     if config.use_vectorized_kernels:
-        return _best_placement_vectorized(state, client, kids, config)
+        return _best_placement_vectorized(state, client, kids, config, excluded)
     candidates: List[CandidatePlacement] = []
     for cluster_id in kids:
-        placement = assign_distribute(state, client, cluster_id, config)
+        placement = assign_distribute(
+            state, client, cluster_id, config, excluded_server_ids=excluded
+        )
         if placement is not None:
             candidates.append(placement)
     if not candidates:
@@ -458,6 +466,7 @@ def _best_placement_vectorized(
     client: Client,
     kids: List[int],
     config: SolverConfig,
+    excluded: AbstractSet[int] = frozenset(),
 ) -> Optional[CandidatePlacement]:
     """One batched curve evaluation across *all* candidate clusters.
 
@@ -472,7 +481,9 @@ def _best_placement_vectorized(
     all_ids: List[int] = []
     spans: List[Tuple[int, int, int]] = []
     for kid in kids:
-        servers = system.cluster(kid).servers
+        servers = [
+            s for s in system.cluster(kid).servers if s.server_id not in excluded
+        ]
         if not servers:
             continue
         start = len(all_ids)

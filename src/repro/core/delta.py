@@ -120,6 +120,42 @@ class DeltaScorer:
         self._dirty_servers = set(self._server_cost)
         self._observe_epoch()
 
+    def observe(self) -> None:
+        """Acknowledge an epoch bump that changed no decision values.
+
+        ``Allocation.canonicalize`` reorders internal dicts without touching
+        any entry, so there is nothing to mark dirty — but the epoch moved
+        and queries would otherwise raise.
+        """
+        self._observe_epoch()
+
+    # -- dynamic membership (online service hooks) ---------------------------
+
+    def register_client(self, client_id: int) -> None:
+        """Start tracking a client admitted after construction.
+
+        Idempotent; the client is marked dirty so its first profit query
+        derives its terms from scratch.
+        """
+        if client_id not in self._client_revenue:
+            self._client_revenue[client_id] = 0.0
+            self._client_bad[client_id] = False
+        self.mark_client(client_id)
+
+    def deregister_client(self, client_id: int) -> None:
+        """Stop tracking a departed client, retiring its profit terms.
+
+        The caller must have already removed the client's entries (its
+        revenue contribution is rolled out of the running totals here, so
+        any remaining entries would double-count).
+        """
+        if client_id not in self._client_revenue:
+            return
+        self._revenue.add(-self._client_revenue.pop(client_id))
+        self._bad_count -= self._client_bad.pop(client_id)
+        self._dirty_clients.discard(client_id)
+        self._observe_epoch()
+
     # -- queries -------------------------------------------------------------
 
     def profit(self) -> float:
@@ -143,6 +179,31 @@ class DeltaScorer:
         self._refresh()
         return self._bad_count == 0
 
+    def resync(self) -> None:
+        """Rebuild the running sums canonically (sorted order, fresh
+        compensation).
+
+        Two scorers over bit-identical state but different mutation
+        histories accumulate their Kahan sums in different orders and so
+        can disagree at the ulp level.  The online service calls this at
+        every event boundary so a killed-and-restored engine (whose scorer
+        starts fresh) continues bit-identically to one that never died.
+        """
+        self._check_epoch()
+        self._refresh()
+        revenue = _KahanSum()
+        cost = _KahanSum()
+        bad = 0
+        for cid in sorted(self._client_revenue):
+            revenue.add(self._client_revenue[cid])
+            bad += self._client_bad[cid]
+        for sid in sorted(self._server_cost):
+            cost.add(self._server_cost[sid])
+            bad += self._server_bad[sid]
+        self._revenue = revenue
+        self._cost = cost
+        self._bad_count = bad
+
     # -- internals -----------------------------------------------------------
 
     def _check_epoch(self) -> None:
@@ -156,8 +217,11 @@ class DeltaScorer:
             )
 
     def _refresh(self) -> None:
+        # Sorted iteration: the Kahan accumulation order must be a function
+        # of *which* entities are dirty, not of set-hashing history, or two
+        # engines replaying the same events could drift at the ulp level.
         if self._dirty_clients:
-            for client_id in self._dirty_clients:
+            for client_id in sorted(self._dirty_clients):
                 revenue, bad = self._client_terms(client_id)
                 self._revenue.add(revenue - self._client_revenue[client_id])
                 self._client_revenue[client_id] = revenue
@@ -165,7 +229,7 @@ class DeltaScorer:
                 self._client_bad[client_id] = bad
             self._dirty_clients.clear()
         if self._dirty_servers:
-            for server_id in self._dirty_servers:
+            for server_id in sorted(self._dirty_servers):
                 cost, bad = self._server_terms(server_id)
                 self._cost.add(cost - self._server_cost[server_id])
                 self._server_cost[server_id] = cost
@@ -180,6 +244,10 @@ class DeltaScorer:
         system = state.system
         allocation = state.allocation
         client = system.client(client_id)
+        # Entry iteration order is deterministic without a per-query sort:
+        # the service canonicalizes the allocation (sorted dicts) at every
+        # event boundary, and all mutations in between are deterministic,
+        # so two engines replaying the same events see identical orders.
         entries = allocation.entries_of_client(client_id)
         total_alpha = sum(entry.alpha for entry in entries.values())
         served = bool(entries) and total_alpha > 0.0

@@ -417,13 +417,21 @@ def force_client_into_cluster(
     return True
 
 
-def _evacuate_client(
+def evacuate_client(
     state: WorkingState,
     client_id: int,
     victim_server_id: int,
     config: SolverConfig,
+    excluded_server_ids: Optional[Set[int]] = None,
 ) -> bool:
-    """Move one client's traffic off a server; True on success."""
+    """Move one client's traffic off a server; True on success.
+
+    ``excluded_server_ids`` widens the no-go set beyond the victim itself
+    (the online service passes its failed-server set, so an evacuation
+    never lands on another dead host).  On ``False`` the state is left
+    mid-evacuation — callers roll back via their snapshot or transaction.
+    """
+    excluded = set(excluded_server_ids or ()) | {victim_server_id}
     cluster_id = state.allocation.cluster_of[client_id]
     client = state.system.client(client_id)
     state.remove_entry(client_id, victim_server_id)
@@ -459,18 +467,21 @@ def _evacuate_client(
         (
             sid
             for sid in state.active_server_ids(cluster_id)
-            if sid != victim_server_id
+            if sid not in excluded
         ),
         key=lambda sid: state.free_processing(sid),
         reverse=True,
     )
     for target in targets:
-        checkpoint = state.snapshot()
+        # A transaction, not a snapshot, so the whole evacuation can nest
+        # inside a caller's transaction (snapshot/restore cannot).
+        state.begin_txn()
         if merge_client_onto_server(state, client_id, target, config):
+            state.commit_txn()
             return True
-        state.restore(checkpoint)
+        state.rollback_txn()
     placement = assign_distribute(
-        state, client, cluster_id, config, excluded_server_ids={victim_server_id}
+        state, client, cluster_id, config, excluded_server_ids=excluded
     )
     if placement is None:
         return False
@@ -504,24 +515,46 @@ def turn_off_servers(
 
     total_delta = 0.0
     for victim in candidates:
-        before = score_state(state)
-        snapshot = state.snapshot()
-        hosted = sorted(state.allocation.clients_on_server(victim))
-        success = all(
-            _evacuate_client(state, cid, victim, config) for cid in hosted
-        )
-        if success:
-            touched = {
-                sid
-                for cid in hosted
-                for sid in state.allocation.entries_of_client(cid)
-            }
-            for sid in sorted(touched):
-                adjust_resource_shares(state, sid, config)
-        after = score_state(state)
-        if success and after > before + 1e-12:
-            total_delta += after - before
+        delta = try_shutdown_server(state, victim, config)
+        if delta > 0.0:
+            total_delta += delta
         else:
-            state.restore(snapshot)
             blocked.add(victim)
     return total_delta
+
+
+def try_shutdown_server(
+    state: WorkingState,
+    victim: int,
+    config: SolverConfig,
+    excluded_server_ids: Optional[Set[int]] = None,
+) -> float:
+    """Attempt to evacuate and power off one server, accept-if-better.
+
+    Returns the realized profit delta (0.0 when the evacuation failed or
+    the evaluated profit did not improve; the state is restored in both
+    cases).  Uses snapshot/restore internally, so it must not be called
+    inside an open :meth:`~repro.core.state.WorkingState.begin_txn`
+    transaction.  ``excluded_server_ids`` bars extra servers (beyond the
+    victim) from receiving the evacuated traffic.
+    """
+    before = score_state(state)
+    snapshot = state.snapshot()
+    hosted = sorted(state.allocation.clients_on_server(victim))
+    success = all(
+        evacuate_client(state, cid, victim, config, excluded_server_ids)
+        for cid in hosted
+    )
+    if success:
+        touched = {
+            sid
+            for cid in hosted
+            for sid in state.allocation.entries_of_client(cid)
+        }
+        for sid in sorted(touched):
+            adjust_resource_shares(state, sid, config)
+    after = score_state(state)
+    if success and after > before + 1e-12:
+        return after - before
+    state.restore(snapshot)
+    return 0.0

@@ -1,0 +1,178 @@
+"""Scoped repair operations over a live :class:`~repro.core.state.WorkingState`.
+
+The batch heuristic sweeps every server and client each improvement round;
+the online allocation service (:mod:`repro.service`) instead repairs the
+few entities an event touched.  This module packages the solver's move
+primitives as reusable, scoped operations:
+
+* :func:`rebalance_servers` — shares + dispersion repair on a server set
+  (transaction-safe: undoes itself move by move, so it may run inside an
+  open ``begin_txn`` frame);
+* :func:`place_client` — admit one client via the constructor's
+  ``best_placement`` plus a scoped rebalance of the servers it landed on;
+* :func:`consolidate_servers` — the ``TurnOFF_servers`` evaluation
+  restricted to a candidate set (snapshot-based, NOT transaction-safe);
+* :func:`drain_server` — forced evacuation of a failed server, keeping
+  the state feasible and reporting which clients could not be rehomed.
+
+Every operation preserves the accept-if-better (or, for forced drains,
+stay-feasible) discipline of the offline moves, so a service built on top
+of them can hold the same exact-evaluator invariants as the batch solver.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Iterable, List, Optional, Tuple
+
+from repro.config import SolverConfig
+from repro.core.assign import apply_placement, best_placement
+from repro.core.dispersion import adjust_dispersion_rates
+from repro.core.power import (
+    _approximated_utility,
+    evacuate_client,
+    try_shutdown_server,
+)
+from repro.core.scoring import score_state
+from repro.core.shares import adjust_resource_shares
+from repro.core.state import WorkingState
+from repro.model.client import Client
+
+
+def rebalance_servers(
+    state: WorkingState,
+    server_ids: Iterable[int],
+    config: SolverConfig,
+) -> float:
+    """Re-optimize shares on the given servers, then re-split every client
+    hosted there.  Returns the realized profit delta.
+
+    Both underlying moves undo themselves entry by entry, so this pass is
+    safe inside an open transaction.
+    """
+    delta = 0.0
+    touched_clients: set = set()
+    for server_id in sorted(set(server_ids)):
+        hosted = state.allocation.clients_on_server(server_id)
+        if hosted:
+            delta += adjust_resource_shares(state, server_id, config)
+        touched_clients.update(state.allocation.clients_on_server(server_id))
+    for client_id in sorted(touched_clients):
+        delta += adjust_dispersion_rates(state, client_id, config)
+    return delta
+
+
+def place_client(
+    state: WorkingState,
+    client: Client,
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> bool:
+    """Place one unserved client and rebalance the servers it landed on.
+
+    Returns ``False`` (leaving the state untouched) when no cluster can
+    stably host the client under current free capacities.  Transaction-
+    safe; the service wraps it in a ``begin_txn`` so a placement whose
+    rebalance goes sour can be rolled back atomically.
+    """
+    placement = best_placement(
+        state, client, config, excluded_server_ids=excluded_server_ids
+    )
+    if placement is None:
+        return False
+    apply_placement(state, placement)
+    rebalance_servers(state, placement.entries.keys(), config)
+    return True
+
+
+def reseat_client(
+    state: WorkingState,
+    client: Client,
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> bool:
+    """Accept-if-better re-placement of one already-served client.
+
+    A rate change can leave a client on servers that were only best for
+    its *old* rate; share rebalancing cannot fix that, only moving the
+    client can.  This tears the client out, re-runs ``best_placement``
+    against current free capacities, and keeps the move only if profit
+    strictly improves — all inside a transaction, so a losing candidate
+    rolls back in O(mutations).  Returns ``True`` iff the move was kept.
+    """
+    scorer = state.scorer
+    before = scorer.profit() if scorer is not None else score_state(state)
+    old_servers = sorted(state.allocation.entries_of_client(client.client_id))
+    state.begin_txn()
+    state.unassign_client(client.client_id)
+    rebalance_servers(state, old_servers, config)
+    if not place_client(state, client, config, excluded_server_ids):
+        state.rollback_txn()
+        return False
+    after = scorer.profit() if scorer is not None else score_state(state)
+    if after > before + 1e-12:
+        state.commit_txn()
+        return True
+    state.rollback_txn()
+    return False
+
+
+def consolidate_servers(
+    state: WorkingState,
+    server_ids: Iterable[int],
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> float:
+    """``TurnOFF_servers`` scoped to a candidate set (e.g. the servers a
+    departure just released shares on).  Returns the realized delta.
+
+    Snapshot-based like the offline pass — must not run inside an open
+    transaction.
+    """
+    # Sorted before the utility sort: Python's sort is stable, so ties must
+    # break on server id, not on set-iteration history (replay determinism).
+    candidates: List[int] = [
+        sid
+        for sid in sorted(set(server_ids))
+        if state.server_is_active(sid)
+        and not state.system.server(sid).has_background_load
+        and state.allocation.clients_on_server(sid)
+    ]
+    candidates.sort(key=lambda sid: _approximated_utility(state, sid))
+    delta = 0.0
+    for victim in candidates:
+        delta += try_shutdown_server(state, victim, config, excluded_server_ids)
+    return delta
+
+
+def drain_server(
+    state: WorkingState,
+    server_id: int,
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> Tuple[List[int], List[int]]:
+    """Forcibly evacuate every client off one (failed) server.
+
+    Unlike :func:`try_shutdown_server` this is not accept-if-better — the
+    server is gone whether or not profit improves — but each per-client
+    move must leave the state *feasible*.  A client whose traffic cannot
+    be stably rehomed is fully unassigned instead (it keeps earning
+    nothing until re-admitted).  Returns ``(rehomed, stranded)`` client
+    id lists.  Snapshot-based — not transaction-safe.
+    """
+    rehomed: List[int] = []
+    stranded: List[int] = []
+    for client_id in sorted(state.allocation.clients_on_server(server_id)):
+        snapshot = state.snapshot()
+        if (
+            evacuate_client(
+                state, client_id, server_id, config, excluded_server_ids
+            )
+            and not math.isinf(score_state(state))
+        ):
+            rehomed.append(client_id)
+        else:
+            state.restore(snapshot)
+            state.unassign_client(client_id)
+            stranded.append(client_id)
+    return rehomed, stranded

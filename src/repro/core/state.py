@@ -333,6 +333,38 @@ class WorkingState:
         if self._scorer is not None:
             self._scorer.mark_all()
 
+    def canonicalize(self) -> None:
+        """Normalize history-dependent internal state into canonical form.
+
+        Reorders the allocation's dicts/sets into sorted order and
+        recomputes the usage aggregates in that order, so that two states
+        reached through different mutation histories — e.g. a live service
+        engine versus one restored from its snapshot — hold bit-identical
+        derived values.  Servers whose recomputed aggregates changed at the
+        ulp level are re-marked dirty on the attached scorer, keeping its
+        stored per-server terms canonical too.  Not allowed inside an open
+        transaction (the undo log records dict positions implicitly).
+        """
+        if self._txn_stack:
+            raise ModelError(
+                "canonicalize() during an open transaction; "
+                "rollback_txn/commit_txn first"
+            )
+        self.allocation.canonicalize()
+        old_p = self._used_p
+        old_b = self._used_b
+        old_storage = self._used_storage
+        self._recompute_aggregates()
+        if self._scorer is not None:
+            for sid in self._used_p:
+                if (
+                    self._used_p[sid] != old_p.get(sid)
+                    or self._used_b[sid] != old_b.get(sid)
+                    or self._used_storage[sid] != old_storage.get(sid)
+                ):
+                    self._scorer.mark_server(sid)
+            self._scorer.observe()
+
     def check_consistency(self) -> None:
         """Assert the cached aggregates match a full recount (tests only)."""
         used_p, used_b, used_m, active = (

@@ -58,3 +58,8 @@ class ExperimentError(ReproError):
 
 class CellTimeoutError(ReproError):
     """A single experiment cell exceeded its wall-clock budget."""
+
+
+class ServiceError(ReproError):
+    """The online allocation service received an invalid event or was
+    asked to restore from an inconsistent snapshot/journal."""

@@ -36,6 +36,42 @@ class SerializationError(ReproError):
     """A document does not describe a valid system/allocation."""
 
 
+# -- versioned envelopes ----------------------------------------------------
+
+def require_format(doc: Any, expected: str, max_version: int) -> int:
+    """Check a document's ``format``/``version`` envelope.
+
+    Returns the document's version.  Raises :class:`SerializationError`
+    when the format tag differs or the version is newer than this library
+    understands (older versions are accepted — decoders default missing
+    fields), so stale readers fail loudly instead of mis-parsing.
+    """
+    if not isinstance(doc, dict):
+        raise SerializationError(f"expected a {expected} document, got {type(doc).__name__}")
+    if doc.get("format") != expected:
+        raise SerializationError(
+            f"not a {expected} document (format={doc.get('format')!r})"
+        )
+    version = doc.get("version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise SerializationError(f"malformed version field {version!r}")
+    if version > max_version:
+        raise SerializationError(
+            f"{expected} document is version {version}, but this library "
+            f"only understands versions <= {max_version}"
+        )
+    return version
+
+
+def dump_canonical(doc: Dict[str, Any]) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace drift).
+
+    Two equal documents always produce identical bytes, which is what the
+    service's snapshot hashing and the replay-determinism CI gate compare.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
 # -- utility functions ---------------------------------------------------
 
 def _encode_linear(fn: LinearUtility) -> Dict[str, Any]:
@@ -171,11 +207,8 @@ def system_to_dict(system: CloudSystem) -> Dict[str, Any]:
 
 def system_from_dict(doc: Dict[str, Any]) -> CloudSystem:
     """Decode a problem instance; raises :class:`SerializationError`."""
+    require_format(doc, "repro.cloud-system", max_version=1)
     try:
-        if doc.get("format") != "repro.cloud-system":
-            raise SerializationError(
-                f"not a cloud-system document (format={doc.get('format')!r})"
-            )
         server_classes = {
             sc["index"]: ServerClass(
                 index=sc["index"],
@@ -235,6 +268,53 @@ def system_from_dict(doc: Dict[str, Any]) -> CloudSystem:
         raise SerializationError(f"malformed cloud-system document: {exc}") from exc
 
 
+# -- standalone clients (online admission events) ---------------------------
+
+def client_to_dict(client: Client) -> Dict[str, Any]:
+    """Encode one client *with its utility class embedded*.
+
+    The system document deduplicates utility classes in a side table; an
+    online ``ClientAdmit`` event must be self-contained, so this codec
+    inlines the class instead.
+    """
+    return {
+        "client_id": client.client_id,
+        "utility_class": {
+            "index": client.utility_class.index,
+            "name": client.utility_class.name,
+            "function": utility_to_dict(client.utility_class.function),
+        },
+        "rate_agreed": client.rate_agreed,
+        "rate_predicted": client.rate_predicted,
+        "t_proc": client.t_proc,
+        "t_comm": client.t_comm,
+        "storage_req": client.storage_req,
+    }
+
+
+def client_from_dict(doc: Dict[str, Any]) -> Client:
+    try:
+        uc = doc["utility_class"]
+        utility_class = UtilityClass(
+            index=uc["index"],
+            name=uc.get("name", ""),
+            function=utility_from_dict(uc["function"]),
+        )
+        return Client(
+            client_id=doc["client_id"],
+            utility_class=utility_class,
+            rate_agreed=doc["rate_agreed"],
+            rate_predicted=doc.get("rate_predicted", -1.0),
+            t_proc=doc["t_proc"],
+            t_comm=doc["t_comm"],
+            storage_req=doc["storage_req"],
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed client document: {exc}") from exc
+
+
 # -- allocation ---------------------------------------------------------------
 
 def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
@@ -262,11 +342,8 @@ def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
 
 
 def allocation_from_dict(doc: Dict[str, Any]) -> Allocation:
+    require_format(doc, "repro.allocation", max_version=1)
     try:
-        if doc.get("format") != "repro.allocation":
-            raise SerializationError(
-                f"not an allocation document (format={doc.get('format')!r})"
-            )
         allocation = Allocation()
         for item in doc["assignments"]:
             allocation.assign_client(item["client_id"], item["cluster_id"])

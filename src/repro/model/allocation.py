@@ -215,6 +215,31 @@ class Allocation:
     def clients_in_cluster(self, cluster_id: int) -> List[int]:
         return [cid for cid, kid in self.cluster_of.items() if kid == cluster_id]
 
+    def canonicalize(self) -> None:
+        """Rebuild internal dict/set ordering into sorted (client, server) order.
+
+        Two allocations that compare ``==`` can still *iterate* differently
+        (dict insertion order, set hashing history), which makes any
+        float-summing observer history-dependent at the ulp level.  The
+        online service calls this at every event boundary so that a
+        snapshot/restore cycle continues bit-identically.  Entry objects
+        are preserved (their epoch boxes stay valid); the mutation epoch is
+        bumped because observers' cached iteration assumptions died.
+        """
+        self._entries = {
+            cid: {sid: per_client[sid] for sid in sorted(per_client)}
+            for cid, per_client in sorted(self._entries.items())
+        }
+        clients_on_server: Dict[int, Set[int]] = {}
+        for sid in sorted(self._clients_on_server):
+            members: Set[int] = set()
+            for cid in sorted(self._clients_on_server[sid]):
+                members.add(cid)
+            clients_on_server[sid] = members
+        self._clients_on_server = clients_on_server
+        self.cluster_of = {cid: self.cluster_of[cid] for cid in sorted(self.cluster_of)}
+        self._epoch.value += 1
+
     # -- lifecycle -----------------------------------------------------------
 
     def copy(self) -> "Allocation":

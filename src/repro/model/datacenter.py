@@ -89,6 +89,48 @@ class CloudSystem:
     def client_ids(self) -> List[int]:
         return [client.client_id for client in self.clients]
 
+    def has_client(self, client_id: int) -> bool:
+        return client_id in self._clients_by_id
+
+    # -- client membership (online service hooks) ------------------------
+    #
+    # The batch solvers treat a CloudSystem as immutable, and nothing in
+    # this library mutates one behind a solver's back.  The online
+    # allocation service (:mod:`repro.service`) is the exception: clients
+    # arrive and depart while a long-lived WorkingState is attached, so
+    # membership edits must be O(1)-ish and keep every id index in sync.
+
+    def add_client(self, client: Client) -> None:
+        """Register a new client (online admission)."""
+        if client.client_id in self._clients_by_id:
+            raise ModelError(f"duplicate client_id {client.client_id}")
+        self.clients.append(client)
+        self._clients_by_id[client.client_id] = client
+
+    def remove_client(self, client_id: int) -> Client:
+        """Drop a client (online departure); returns the removed spec."""
+        try:
+            client = self._clients_by_id.pop(client_id)
+        except KeyError:
+            raise ModelError(f"unknown client_id {client_id}") from None
+        self.clients.remove(client)
+        return client
+
+    def replace_client(self, client: Client) -> Client:
+        """Swap a client's spec in place (online rate update).
+
+        The client keeps its position in ``clients`` so that iteration
+        order — and hence any seeded sweep over clients — is stable.
+        Returns the previous spec.
+        """
+        try:
+            previous = self._clients_by_id[client.client_id]
+        except KeyError:
+            raise ModelError(f"unknown client_id {client.client_id}") from None
+        self.clients[self.clients.index(previous)] = client
+        self._clients_by_id[client.client_id] = client
+        return previous
+
     @property
     def num_servers(self) -> int:
         return len(self._servers_by_id)

@@ -1,0 +1,65 @@
+"""Online allocation service: event-driven incremental repair.
+
+The batch layers (:mod:`repro.core`, :mod:`repro.sim`) re-solve the whole
+datacenter per decision epoch; this package keeps a *live* allocation
+current against a stream of typed events, repairing locally and falling
+back to the batch solver only when accumulated rate drift says the
+incremental state has degraded.
+
+Module map:
+
+* :mod:`repro.service.events` — the five event types + JSON codecs;
+* :mod:`repro.service.engine` — :class:`AllocationService`, the
+  incremental decision engine with snapshot/restore;
+* :mod:`repro.service.journal` — append-only event journal and
+  snapshot+journal crash recovery;
+* :mod:`repro.service.driver` — replay workload traces as event streams;
+* :mod:`repro.service.metrics` — counters, repair-latency histogram,
+  profit timeline.
+"""
+
+from repro.service.driver import (
+    TraceDriverConfig,
+    flatten_events,
+    generate_epoch_events,
+    run_service_trace,
+)
+from repro.service.engine import (
+    AllocationService,
+    EventOutcome,
+    ServicePolicy,
+)
+from repro.service.events import (
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    ServerFail,
+    ServerRecover,
+    ServiceEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.service.journal import EventJournal, recover
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+
+__all__ = [
+    "AllocationService",
+    "ClientAdmit",
+    "ClientDepart",
+    "EventJournal",
+    "EventOutcome",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "RateUpdate",
+    "ServerFail",
+    "ServerRecover",
+    "ServiceEvent",
+    "ServicePolicy",
+    "TraceDriverConfig",
+    "event_from_dict",
+    "event_to_dict",
+    "flatten_events",
+    "generate_epoch_events",
+    "recover",
+    "run_service_trace",
+]

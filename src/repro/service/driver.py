@@ -1,0 +1,178 @@
+"""Replay :mod:`repro.workload.traces` trajectories as service event streams.
+
+The epoch simulation feeds the batch solver a fresh rate matrix per
+epoch; the online service consumes *events*.  This module bridges the
+two: :func:`generate_epoch_events` turns a trace (plus optional client
+churn and server fail/recover injection) into per-epoch event batches,
+and :func:`run_service_trace` drives a fresh :class:`AllocationService`
+through the whole stream — the engine behind the ``repro serve`` CLI
+subcommand and the service benchmark.
+
+Everything is deterministic given the config's seed: one
+``numpy`` generator draws the trace and all injections.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.exceptions import ConfigurationError
+from repro.model.client import Client
+from repro.model.datacenter import CloudSystem
+from repro.service.engine import AllocationService, EventOutcome, ServicePolicy
+from repro.service.events import (
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    ServerFail,
+    ServerRecover,
+    ServiceEvent,
+)
+from repro.workload.traces import make_factors
+
+
+@dataclass(frozen=True)
+class TraceDriverConfig:
+    """How a trace becomes an event stream.
+
+    ``churn_probability`` — per-epoch chance of one membership change (a
+    random client departs, or a previously departed one returns);
+    ``failure_probability`` — per-epoch chance of one server event (a
+    random server fails, or a failed one recovers).  Both default to 0 so
+    a plain trace produces only admits and rate updates.
+    """
+
+    pattern: str = "random_walk"
+    num_epochs: int = 10
+    drift: float = 0.15
+    min_rate_factor: float = 0.3
+    max_rate_factor: float = 1.0
+    seed: Optional[int] = None
+    churn_probability: float = 0.0
+    failure_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_epochs < 1:
+            raise ConfigurationError("num_epochs must be >= 1")
+        if not 0.0 <= self.churn_probability <= 1.0:
+            raise ConfigurationError("churn_probability must lie in [0, 1]")
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ConfigurationError("failure_probability must lie in [0, 1]")
+
+
+def _admit_event(client: Client, rate: float) -> ClientAdmit:
+    return ClientAdmit(client=dataclasses.replace(client, rate_predicted=rate))
+
+
+def generate_epoch_events(
+    system: CloudSystem, config: TraceDriverConfig
+) -> List[List[ServiceEvent]]:
+    """Per-epoch event batches for a trace over ``system``'s clients.
+
+    Batch 0 admits every client at its epoch-0 rate; batch ``e >= 1``
+    carries that epoch's injections (failures first, then churn) followed
+    by a :class:`RateUpdate` for every present client whose rate moved.
+    """
+    rng = np.random.default_rng(config.seed)
+    clients = list(system.clients)
+    factors = make_factors(
+        config.pattern,
+        config.num_epochs + 1,
+        len(clients),
+        rng,
+        drift=config.drift,
+        min_factor=config.min_rate_factor,
+        max_factor=config.max_rate_factor,
+    )
+    rates = [
+        [client.rate_agreed * float(factors[epoch][idx]) for idx, client in enumerate(clients)]
+        for epoch in range(config.num_epochs + 1)
+    ]
+
+    batches: List[List[ServiceEvent]] = [
+        [_admit_event(client, rates[0][idx]) for idx, client in enumerate(clients)]
+    ]
+    server_ids = sorted(s.server_id for s in system.servers())
+    failed: List[int] = []
+    departed: List[int] = []  # indexes into `clients`, FIFO re-admission
+    last_rate = list(rates[0])
+
+    for epoch in range(1, config.num_epochs + 1):
+        batch: List[ServiceEvent] = []
+        if config.failure_probability and rng.random() < config.failure_probability:
+            if failed and rng.random() < 0.5:
+                batch.append(ServerRecover(server_id=failed.pop(0)))
+            elif len(failed) < len(server_ids):
+                alive = [sid for sid in server_ids if sid not in failed]
+                victim = alive[int(rng.integers(len(alive)))]
+                failed.append(victim)
+                batch.append(ServerFail(server_id=victim))
+        if config.churn_probability and rng.random() < config.churn_probability:
+            if departed and rng.random() < 0.5:
+                idx = departed.pop(0)
+                batch.append(_admit_event(clients[idx], rates[epoch][idx]))
+                last_rate[idx] = rates[epoch][idx]
+            else:
+                present = [i for i in range(len(clients)) if i not in departed]
+                if present:
+                    idx = present[int(rng.integers(len(present)))]
+                    departed.append(idx)
+                    batch.append(ClientDepart(client_id=clients[idx].client_id))
+        for idx, client in enumerate(clients):
+            if idx in departed:
+                continue
+            rate = rates[epoch][idx]
+            if rate != last_rate[idx]:
+                batch.append(RateUpdate(client_id=client.client_id, rate_predicted=rate))
+                last_rate[idx] = rate
+        batches.append(batch)
+    return batches
+
+
+def flatten_events(batches: List[List[ServiceEvent]]) -> List[ServiceEvent]:
+    return [event for batch in batches for event in batch]
+
+
+def empty_copy(system: CloudSystem) -> CloudSystem:
+    """The same datacenter with no clients (they arrive as events)."""
+    return CloudSystem(clusters=system.clusters, clients=[], name=system.name)
+
+
+def run_service_trace(
+    system: CloudSystem,
+    driver_config: Optional[TraceDriverConfig] = None,
+    solver_config: Optional[SolverConfig] = None,
+    policy: Optional[ServicePolicy] = None,
+    journal: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Drive a fresh service through a trace; returns a report dict.
+
+    The report carries the final profit, per-epoch profits (after each
+    batch), the metrics registry dump, and the final snapshot hash (the
+    replay-determinism fingerprint).
+    """
+    driver_config = driver_config or TraceDriverConfig()
+    service = AllocationService(
+        empty_copy(system), config=solver_config, policy=policy, journal=journal
+    )
+    epoch_profits: List[float] = []
+    outcomes: List[EventOutcome] = []
+    for batch in generate_epoch_events(system, driver_config):
+        outcomes.extend(service.apply_many(batch))
+        epoch_profits.append(service.profit())
+    return {
+        "final_profit": service.profit(),
+        "epoch_profits": epoch_profits,
+        "events_applied": len(outcomes),
+        "events_queued": sum(1 for o in outcomes if o.queued),
+        "reopt_swaps": sum(1 for o in outcomes if o.swapped),
+        "pending_clients": len(service.pending),
+        "snapshot_hash": service.snapshot_hash(),
+        "metrics": service.metrics.to_dict(),
+        "service": service,
+    }

@@ -1,0 +1,124 @@
+"""Typed events consumed by the online allocation service.
+
+The service (:mod:`repro.service.engine`) is a long-lived process whose
+input is a stream of these five events:
+
+* :class:`ClientAdmit` — a new client (full SLA spec embedded) asks to be
+  served;
+* :class:`ClientDepart` — a served (or queued) client leaves;
+* :class:`RateUpdate` — a client's predicted arrival rate drifted;
+* :class:`ServerFail` — a server dies; its traffic must be rehomed now;
+* :class:`ServerRecover` — a failed server returns to the eligible pool.
+
+Events round-trip through versioned JSON documents (the journal's line
+format) via :func:`event_to_dict` / :func:`event_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Union
+
+from repro.exceptions import ModelError
+from repro.io import SerializationError, client_from_dict, client_to_dict, require_format
+from repro.model.client import Client
+
+EVENT_FORMAT = "repro.service-event"
+EVENT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ClientAdmit:
+    """A new client arrives; ``client`` is its full (self-contained) spec."""
+
+    client: Client
+
+
+@dataclass(frozen=True)
+class ClientDepart:
+    client_id: int
+
+
+@dataclass(frozen=True)
+class RateUpdate:
+    """The client's predicted arrival rate moved to ``rate_predicted``."""
+
+    client_id: int
+    rate_predicted: float
+
+    def __post_init__(self) -> None:
+        if self.rate_predicted <= 0:
+            raise ModelError(
+                f"rate_predicted must be > 0, got {self.rate_predicted}"
+            )
+
+
+@dataclass(frozen=True)
+class ServerFail:
+    server_id: int
+
+
+@dataclass(frozen=True)
+class ServerRecover:
+    server_id: int
+
+
+ServiceEvent = Union[ClientAdmit, ClientDepart, RateUpdate, ServerFail, ServerRecover]
+
+_EVENT_TAGS = {
+    ClientAdmit: "client_admit",
+    ClientDepart: "client_depart",
+    RateUpdate: "rate_update",
+    ServerFail: "server_fail",
+    ServerRecover: "server_recover",
+}
+
+
+def event_to_dict(event: ServiceEvent) -> Dict[str, Any]:
+    """Encode one event as a self-contained versioned document."""
+    try:
+        tag = _EVENT_TAGS[type(event)]
+    except KeyError:
+        raise SerializationError(
+            f"not a service event: {type(event).__name__}"
+        ) from None
+    doc: Dict[str, Any] = {
+        "format": EVENT_FORMAT,
+        "version": EVENT_VERSION,
+        "type": tag,
+    }
+    if isinstance(event, ClientAdmit):
+        doc["client"] = client_to_dict(event.client)
+    elif isinstance(event, ClientDepart):
+        doc["client_id"] = event.client_id
+    elif isinstance(event, RateUpdate):
+        doc["client_id"] = event.client_id
+        doc["rate_predicted"] = event.rate_predicted
+    else:
+        doc["server_id"] = event.server_id
+    return doc
+
+
+def event_from_dict(doc: Dict[str, Any]) -> ServiceEvent:
+    """Decode one event document; raises :class:`SerializationError`."""
+    require_format(doc, EVENT_FORMAT, max_version=EVENT_VERSION)
+    tag = doc.get("type")
+    try:
+        if tag == "client_admit":
+            return ClientAdmit(client=client_from_dict(doc["client"]))
+        if tag == "client_depart":
+            return ClientDepart(client_id=doc["client_id"])
+        if tag == "rate_update":
+            return RateUpdate(
+                client_id=doc["client_id"],
+                rate_predicted=doc["rate_predicted"],
+            )
+        if tag == "server_fail":
+            return ServerFail(server_id=doc["server_id"])
+        if tag == "server_recover":
+            return ServerRecover(server_id=doc["server_id"])
+    except SerializationError:
+        raise
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed {tag} event: {exc}") from exc
+    raise SerializationError(f"unknown service event type {tag!r}")

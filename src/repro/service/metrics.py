@@ -1,0 +1,103 @@
+"""Observability for the online allocation service.
+
+The registry separates two kinds of signals:
+
+* **deterministic counters** (events per type, admits accepted/queued,
+  re-optimizations triggered/swapped, ...) — these are part of the
+  service's logical state and are carried through snapshots, so a
+  restored service reports the same totals as one that never died;
+* **wall-clock measurements** (repair latency histogram, events/sec) —
+  these describe the *process*, not the allocation, and are deliberately
+  excluded from snapshots so replay determinism is byte-exact.
+
+The profit timeline records ``(seq, profit)`` after every event; it is
+deterministic but unbounded, so it also stays out of snapshots (replay
+regenerates it exactly).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class LatencyHistogram:
+    """Latency samples with nearest-rank quantiles (p50/p90/p99)."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile; 0.0 on an empty histogram."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = min(len(self._sorted) - 1, max(0, round(q * len(self._sorted)) - 1))
+        return self._sorted[rank]
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean(),
+            "p50_seconds": self.quantile(0.50),
+            "p90_seconds": self.quantile(0.90),
+            "p99_seconds": self.quantile(0.99),
+            "max_seconds": max(self._samples) if self._samples else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Counters + repair-latency histogram + profit timeline + gauges."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.repair_latency = LatencyHistogram()
+        self.profit_timeline: List[Tuple[int, float]] = []
+        self.queue_depth = 0
+        self._started = time.perf_counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_event(self, seq: int, profit: float, repair_seconds: float) -> None:
+        self.incr("events_total")
+        self.repair_latency.record(repair_seconds)
+        self.profit_timeline.append((seq, profit))
+
+    def events_per_second(self) -> float:
+        elapsed = time.perf_counter() - self._started
+        events = self.counters.get("events_total", 0)
+        return events / elapsed if elapsed > 0 else 0.0
+
+    def deterministic_counters(self) -> Dict[str, int]:
+        """The snapshot-carried subset: every counter (all are logical)."""
+        return dict(sorted(self.counters.items()))
+
+    def seed_counters(self, counters: Dict[str, int]) -> None:
+        """Restore counters from a snapshot (replaces current values)."""
+        self.counters = dict(counters)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": self.deterministic_counters(),
+            "queue_depth": self.queue_depth,
+            "events_per_second": self.events_per_second(),
+            "repair_latency": self.repair_latency.to_dict(),
+            "profit_timeline_len": len(self.profit_timeline),
+            "last_profit": self.profit_timeline[-1][1] if self.profit_timeline else None,
+        }

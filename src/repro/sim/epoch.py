@@ -6,14 +6,24 @@ degrades until the next decision.  This module simulates that lifecycle
 analytically:
 
 1. draw a problem instance;
-2. per epoch, evolve every client's true arrival rate by a bounded
-   geometric random walk;
-3. either re-run the allocator on the new predictions (``reallocate``)
-   or keep the stale allocation (``static``), and score both against the
-   *true* rates.
+2. per epoch, evolve every client's true arrival rate along a workload
+   trace (:mod:`repro.workload.traces`);
+3. score three policies against the *true* rates:
 
-The gap between the two policies is the value of per-epoch decisions —
-an extension experiment the paper motivates but does not plot.
+   * ``reallocate`` — re-run the batch allocator from scratch (cold);
+   * ``static`` — keep the day-one allocation forever;
+   * ``warm`` (opt-in) — feed the rate deltas as events to the online
+     :class:`~repro.service.AllocationService`, which repairs the
+     previous epoch's allocation incrementally and falls back to a full
+     solve only when drift exceeds its policy threshold.
+
+The cold solver is the profit oracle; the gap to ``static`` is the value
+of per-epoch decisions, and the gap to ``warm`` is the price of warm
+starting (typically ~0 profit for a fraction of the wall time).
+
+Epochs whose rate row is bit-identical to the last *solved* row skip the
+cold solve entirely: the batch solver is deterministic given (system,
+seed), so re-running it would reproduce the cached allocation exactly.
 """
 
 from __future__ import annotations
@@ -42,6 +52,9 @@ class EpochConfig:
     ``"diurnal"`` (day/night sinusoid) or ``"bursty"`` (flash crowds).
     Rates are clamped to ``[min_rate_factor, max_rate_factor]`` times the
     contractual rate (the SLA bounds the believable range).
+
+    ``warm_start`` additionally runs the online service as a third
+    policy (see module docs).
     """
 
     num_epochs: int = 10
@@ -50,6 +63,7 @@ class EpochConfig:
     max_rate_factor: float = 1.0
     pattern: str = "random_walk"
     seed: Optional[int] = None
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if self.num_epochs < 1:
@@ -66,10 +80,18 @@ class EpochConfig:
 
 @dataclass
 class EpochReport:
-    """Per-epoch profits of the re-allocating and static policies."""
+    """Per-epoch profits of the re-allocating, static and warm policies.
+
+    ``warm_profits`` is empty unless the simulation ran with
+    ``warm_start=True``.  ``cold_solves`` counts the batch solver runs
+    the reallocate policy actually performed (identical-rate epochs are
+    served from cache).
+    """
 
     reallocate_profits: List[float] = field(default_factory=list)
     static_profits: List[float] = field(default_factory=list)
+    warm_profits: List[float] = field(default_factory=list)
+    cold_solves: int = 0
 
     @property
     def total_reallocate(self) -> float:
@@ -78,6 +100,10 @@ class EpochReport:
     @property
     def total_static(self) -> float:
         return sum(self.static_profits)
+
+    @property
+    def total_warm(self) -> float:
+        return sum(self.warm_profits)
 
     @property
     def reallocation_gain(self) -> float:
@@ -99,13 +125,16 @@ def run_epoch_simulation(
     system: CloudSystem,
     epoch_config: Optional[EpochConfig] = None,
     solver_config: Optional[SolverConfig] = None,
+    service_policy: Optional["ServicePolicy"] = None,
 ) -> EpochReport:
     """Compare per-epoch re-allocation against a static day-one allocation.
 
-    Both policies are scored on the epoch's *true* rates: the evaluator
+    All policies are scored on the epoch's *true* rates: the evaluator
     recomputes response times (and hence revenues) for the rates the
     clients actually offered, so a stale allocation whose queues go
-    unstable earns nothing for those clients.
+    unstable earns nothing for those clients.  ``service_policy``
+    configures the warm policy's drift trigger (only meaningful with
+    ``epoch_config.warm_start``).
     """
     epoch_config = epoch_config or EpochConfig()
     solver_config = solver_config or SolverConfig()
@@ -126,14 +155,38 @@ def run_epoch_simulation(
     static_result = allocator.solve(initial_system)
     static_allocation = static_result.allocation
 
-    report = EpochReport()
-    for epoch in range(epoch_config.num_epochs):
-        true_system = _with_rates(system, schedule[epoch + 1])
+    service = None
+    if epoch_config.warm_start:
+        # Local import: repro.service builds on repro.core; importing it
+        # lazily keeps repro.sim importable without the service package.
+        from repro.service.engine import AllocationService
+        from repro.service.events import RateUpdate
 
-        fresh = allocator.solve(true_system)
+        service = AllocationService(
+            initial_system,
+            config=solver_config,
+            policy=service_policy,
+            allocation=static_allocation,
+        )
+
+    report = EpochReport()
+    report.cold_solves = 1  # the day-one solve shared by all policies
+    solved_row = schedule[0]
+    solved_allocation = static_allocation
+    for epoch in range(epoch_config.num_epochs):
+        row = schedule[epoch + 1]
+        true_system = _with_rates(system, row)
+
+        # Cold policy, with the no-op-epoch short circuit: the solver is a
+        # deterministic function of (system, seed), so an identical rate
+        # row reproduces the cached allocation exactly.
+        if not np.array_equal(row, solved_row):
+            solved_allocation = allocator.solve(true_system).allocation
+            solved_row = row
+            report.cold_solves += 1
         report.reallocate_profits.append(
             evaluate_profit(
-                true_system, fresh.allocation, require_all_served=False
+                true_system, solved_allocation, require_all_served=False
             ).total_profit
         )
         report.static_profits.append(
@@ -141,4 +194,23 @@ def run_epoch_simulation(
                 true_system, static_allocation, require_all_served=False
             ).total_profit
         )
+        if service is not None:
+            updates = []
+            for idx, client in enumerate(system.clients):
+                rate = client.rate_agreed * float(row[idx])
+                if service.system.has_client(client.client_id):
+                    if service.system.client(client.client_id).rate_predicted != rate:
+                        updates.append(
+                            RateUpdate(client_id=client.client_id, rate_predicted=rate)
+                        )
+                else:  # queued client: keep its offered rate current too
+                    updates.append(
+                        RateUpdate(client_id=client.client_id, rate_predicted=rate)
+                    )
+            service.apply_many(updates)
+            report.warm_profits.append(
+                evaluate_profit(
+                    true_system, service.allocation, require_all_served=False
+                ).total_profit
+            )
     return report

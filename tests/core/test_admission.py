@@ -89,3 +89,35 @@ class TestAdmissionControlledSolve:
         # The default economy makes serving profitable on average; at this
         # small size nobody should be worth rejecting.
         assert len(result.accepted) >= 7
+
+
+class TestAdmissionDominanceProperty:
+    """Property: dropping the serve-everyone constraint can only help.
+
+    ``admission_controlled_solve`` must never return a profit below what
+    the constrained ``ResourceAllocator.solve`` achieves on the same
+    instance — across a seeded sweep of instance shapes, not just one
+    hand-picked system.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("num_clients", [4, 9])
+    def test_never_below_constrained_solver(self, seed, num_clients):
+        from repro.core.allocator import ResourceAllocator
+
+        system = generate_system(num_clients=num_clients, seed=100 + seed)
+        config = SolverConfig(
+            seed=seed,
+            num_initial_solutions=1,
+            alpha_granularity=5,
+            max_improvement_rounds=3,
+        )
+        constrained = ResourceAllocator(config).solve(system)
+        result = admission_controlled_solve(system, config)
+        assert result.baseline_profit == pytest.approx(constrained.profit)
+        assert result.profit >= constrained.profit - 1e-9
+        # And the reported profit is real: the returned allocation earns it.
+        independent = evaluate_profit(
+            system, result.allocation, require_all_served=False
+        )
+        assert result.profit == pytest.approx(independent.total_profit)

@@ -1,0 +1,60 @@
+"""Tests for the scoped repair operation added for rate-update events."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.core.repair import reseat_client
+from repro.core.scoring import score_state
+from repro.core.state import WorkingState
+from repro.workload import generate_system
+
+
+def solved_state(num_clients=8, seed=11):
+    system = generate_system(num_clients=num_clients, seed=seed)
+    config = SolverConfig(seed=0)
+    result = ResourceAllocator(config).solve(system)
+    return WorkingState(system, result.allocation.copy()), config
+
+
+class TestReseatClient:
+    def test_never_loses_profit(self):
+        state, config = solved_state()
+        for client in state.system.clients:
+            before = score_state(state)
+            reseat_client(state, client, config)
+            assert score_state(state) >= before
+            state.check_consistency()
+
+    def test_rejected_move_leaves_state_untouched(self):
+        state, config = solved_state()
+        reference = state.allocation.copy()
+        client = state.system.clients[0]
+        if not reseat_client(state, client, config):
+            assert state.allocation == reference
+
+    def test_kept_move_respects_exclusions(self):
+        state, config = solved_state()
+        client = state.system.clients[0]
+        # Make the current placement stale: triple the client's offered rate.
+        grown = dataclasses.replace(
+            client, rate_predicted=client.rate_predicted * 3.0
+        )
+        state.system.replace_client(grown)
+        excluded = set(state.allocation.entries_of_client(client.client_id))
+        if reseat_client(state, grown, config, excluded_server_ids=excluded):
+            landed = set(state.allocation.entries_of_client(client.client_id))
+            assert not landed & excluded
+        state.check_consistency()
+
+    def test_client_stays_fully_served(self):
+        state, config = solved_state()
+        for client in state.system.clients:
+            reseat_client(state, client, config)
+            total = sum(
+                state.allocation.entry(client.client_id, sid).alpha
+                for sid in state.allocation.entries_of_client(client.client_id)
+            )
+            assert total == pytest.approx(1.0, abs=1e-9)

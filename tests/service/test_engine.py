@@ -1,0 +1,370 @@
+"""Tests for the online allocation engine."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+from repro.model.server import Server, ServerClass
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+from repro.service import (
+    AllocationService,
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    ServerFail,
+    ServerRecover,
+    ServicePolicy,
+    TraceDriverConfig,
+    flatten_events,
+    generate_epoch_events,
+)
+from repro.service.driver import empty_copy
+from repro.workload import generate_system
+
+GOLD = UtilityClass(0, ClippedLinearUtility(base_value=3.0, slope=1.0), "gold")
+
+
+def _client(cid: int, rate: float = 1.0, storage: float = 0.5) -> Client:
+    return Client(
+        client_id=cid,
+        utility_class=GOLD,
+        rate_agreed=rate,
+        t_proc=0.5,
+        t_comm=0.4,
+        storage_req=storage,
+    )
+
+
+def _sku(cap_storage: float = 4.0) -> ServerClass:
+    return ServerClass(
+        index=0,
+        cap_processing=4.0,
+        cap_bandwidth=4.0,
+        cap_storage=cap_storage,
+        power_fixed=1.5,
+        power_per_util=1.0,
+    )
+
+
+def _one_server_system(cap_storage: float = 4.0) -> CloudSystem:
+    return CloudSystem(
+        clusters=[
+            Cluster(
+                cluster_id=0,
+                servers=[Server(server_id=0, cluster_id=0, server_class=_sku(cap_storage))],
+            )
+        ],
+        clients=[],
+    )
+
+
+def _validating_config() -> SolverConfig:
+    return SolverConfig(seed=0, validate_delta_scoring=True)
+
+
+def _profit_agrees(service: AllocationService) -> None:
+    full = evaluate_profit(
+        service.system, service.allocation, require_all_served=False
+    ).total_profit
+    assert service.profit() == pytest.approx(full, abs=1e-9)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ServicePolicy(drift_threshold=0.0)
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(ConfigurationError):
+            ServicePolicy(oracle_period=-1)
+
+
+class TestAdmitDepart:
+    def test_admit_serves_client(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        outcome = service.apply(ClientAdmit(client=_client(0)))
+        assert outcome.accepted and not outcome.queued
+        assert service.system.has_client(0)
+        assert service.allocation.total_alpha(0) == pytest.approx(1.0)
+        _profit_agrees(service)
+
+    def test_unplaceable_admit_is_queued_and_rolled_back(self):
+        # Storage fits exactly one such client; the second must queue.
+        service = AllocationService(
+            _one_server_system(cap_storage=4.0), config=_validating_config()
+        )
+        service.apply(ClientAdmit(client=_client(0, storage=3.0)))
+        before = service.allocation.copy()
+        outcome = service.apply(ClientAdmit(client=_client(1, storage=3.0)))
+        assert outcome.queued and not outcome.accepted
+        assert not service.system.has_client(1)
+        assert [c.client_id for c in service.pending] == [1]
+        assert service.allocation == before  # rollback left no trace
+        _profit_agrees(service)
+
+    def test_depart_releases_and_retries_pending(self):
+        service = AllocationService(
+            _one_server_system(cap_storage=4.0), config=_validating_config()
+        )
+        service.apply(ClientAdmit(client=_client(0, storage=3.0)))
+        service.apply(ClientAdmit(client=_client(1, storage=3.0)))
+        outcome = service.apply(ClientDepart(client_id=0))
+        # Client 0's storage freed; the queued client 1 must now be served.
+        assert service.pending == []
+        assert service.system.has_client(1)
+        assert service.allocation.total_alpha(1) == pytest.approx(1.0)
+        assert outcome.profit == service.profit()
+        _profit_agrees(service)
+
+    def test_depart_of_pending_client(self):
+        service = AllocationService(
+            _one_server_system(cap_storage=4.0), config=_validating_config()
+        )
+        service.apply(ClientAdmit(client=_client(0, storage=3.0)))
+        service.apply(ClientAdmit(client=_client(1, storage=3.0)))
+        service.apply(ClientDepart(client_id=1))
+        assert service.pending == []
+        assert service.system.has_client(0)
+
+    def test_duplicate_admit_rejected_before_seq_moves(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0)))
+        seq = service.seq
+        with pytest.raises(ServiceError, match="already known"):
+            service.apply(ClientAdmit(client=_client(0)))
+        assert service.seq == seq
+
+    def test_unknown_depart_rejected(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        with pytest.raises(ServiceError, match="not known"):
+            service.apply(ClientDepart(client_id=5))
+
+
+class TestRateUpdate:
+    def test_rate_update_rebalances(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0, rate=1.0)))
+        service.apply(RateUpdate(client_id=0, rate_predicted=2.0))
+        assert service.system.client(0).rate_predicted == 2.0
+        assert service.allocation.total_alpha(0) == pytest.approx(1.0)
+        _profit_agrees(service)
+
+    def test_impossible_rate_strands_client(self):
+        # One small server: a rate far beyond its service capacity cannot
+        # be stably hosted, so the client must leave for the queue.
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0, rate=1.0)))
+        outcome = service.apply(RateUpdate(client_id=0, rate_predicted=500.0))
+        assert outcome.stranded == [0]
+        assert not service.system.has_client(0)
+        assert [c.client_id for c in service.pending] == [0]
+        assert service.pending[0].rate_predicted == 500.0
+        _profit_agrees(service)
+
+    def test_rate_update_of_pending_client_can_revive_it(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0, rate=1.0)))
+        service.apply(RateUpdate(client_id=0, rate_predicted=500.0))
+        service.apply(RateUpdate(client_id=0, rate_predicted=1.0))
+        assert service.system.has_client(0)
+        assert service.pending == []
+        _profit_agrees(service)
+
+
+class TestServerFailRecover:
+    def test_fail_drains_and_recover_restores(self, two_cluster_system):
+        service = AllocationService(
+            empty_copy(two_cluster_system), config=_validating_config()
+        )
+        for client in two_cluster_system.clients:
+            service.apply(ClientAdmit(client=client))
+        victim = min(service.allocation.used_server_ids())
+        service.apply(ServerFail(server_id=victim))
+        assert victim in service.failed
+        assert service.allocation.clients_on_server(victim) == set()
+        _profit_agrees(service)
+        service.apply(ServerRecover(server_id=victim))
+        assert victim not in service.failed
+        _profit_agrees(service)
+
+    def test_failed_server_excluded_from_admission(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ServerFail(server_id=0))
+        outcome = service.apply(ClientAdmit(client=_client(0)))
+        assert outcome.queued
+        service.apply(ServerRecover(server_id=0))
+        assert service.system.has_client(0)  # recover retried the queue
+
+    def test_fail_of_only_server_strands_clients(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0)))
+        outcome = service.apply(ServerFail(server_id=0))
+        assert outcome.stranded == [0]
+        assert [c.client_id for c in service.pending] == [0]
+        _profit_agrees(service)
+
+    def test_double_fail_rejected(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ServerFail(server_id=0))
+        with pytest.raises(ServiceError, match="already failed"):
+            service.apply(ServerFail(server_id=0))
+
+    def test_recover_of_healthy_server_rejected(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        with pytest.raises(ServiceError, match="not failed"):
+            service.apply(ServerRecover(server_id=0))
+
+
+class TestReoptimization:
+    def test_drift_triggers_reopt(self):
+        system = generate_system(num_clients=6, seed=3)
+        service = AllocationService(
+            system,
+            config=_validating_config(),
+            policy=ServicePolicy(drift_threshold=0.05),
+        )
+        # Push every rate well past a 5% aggregate drift.
+        for client in list(service.system.clients):
+            service.apply(
+                RateUpdate(
+                    client_id=client.client_id,
+                    rate_predicted=client.rate_predicted * 0.5,
+                )
+            )
+        assert service.metrics.counters.get("reoptimizations", 0) >= 1
+        _profit_agrees(service)
+
+    def test_swap_never_loses_profit(self):
+        system = generate_system(num_clients=6, seed=3)
+        service = AllocationService(
+            system,
+            config=_validating_config(),
+            policy=ServicePolicy(drift_threshold=0.05),
+        )
+        for client in list(service.system.clients):
+            before = service.profit()
+            outcome = service.apply(
+                RateUpdate(
+                    client_id=client.client_id,
+                    rate_predicted=client.rate_predicted * 0.6,
+                )
+            )
+            if outcome.swapped:
+                # The swap rule: candidate strictly beat the repaired state.
+                assert outcome.profit > before - 1e-9
+
+    def test_oracle_period_forces_reopt(self):
+        system = generate_system(num_clients=4, seed=2)
+        service = AllocationService(
+            system,
+            config=_validating_config(),
+            policy=ServicePolicy(drift_threshold=1e9, oracle_period=2),
+        )
+        client = service.system.clients[0]
+        service.apply(RateUpdate(client_id=client.client_id, rate_predicted=0.9))
+        assert service.metrics.counters.get("reoptimizations", 0) == 0
+        service.apply(RateUpdate(client_id=client.client_id, rate_predicted=0.8))
+        assert service.metrics.counters.get("reoptimizations", 0) == 1
+
+
+class TestIncrementalProfitAgreement:
+    def test_agrees_with_full_evaluator_after_every_event(self):
+        """The tentpole invariant: incremental profit matches the full
+        evaluator to 1e-9 after every event of a mixed stream."""
+        system = generate_system(num_clients=8, seed=42)
+        events = flatten_events(
+            generate_epoch_events(
+                system,
+                TraceDriverConfig(
+                    num_epochs=3,
+                    seed=11,
+                    churn_probability=0.4,
+                    failure_probability=0.3,
+                ),
+            )
+        )
+        service = AllocationService(empty_copy(system), config=_validating_config())
+        for event in events:
+            outcome = service.apply(event)
+            full = evaluate_profit(
+                service.system, service.allocation, require_all_served=False
+            ).total_profit
+            assert outcome.profit == pytest.approx(full, abs=1e-9)
+            assert not math.isinf(outcome.profit)
+            # Engine invariant: every in-system client is fully served.
+            for client in service.system.clients:
+                assert service.allocation.total_alpha(
+                    client.client_id
+                ) == pytest.approx(1.0)
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_state(self):
+        system = generate_system(num_clients=6, seed=7)
+        service = AllocationService(system, config=_validating_config())
+        client = service.system.clients[0]
+        service.apply(RateUpdate(client_id=client.client_id, rate_predicted=0.9))
+        snap = service.snapshot()
+        restored = AllocationService.restore(snap, config=_validating_config())
+        assert restored.seq == service.seq
+        assert restored.allocation == service.allocation
+        assert restored.profit() == pytest.approx(service.profit(), abs=1e-9)
+        assert restored.snapshot_hash() == service.snapshot_hash()
+
+    def test_snapshot_is_versioned(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        snap = service.snapshot()
+        assert snap["format"] == "repro.service-snapshot"
+        assert snap["version"] == 1
+
+    def test_tampered_profit_rejected(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0)))
+        snap = service.snapshot()
+        snap["profit"] += 1.0
+        with pytest.raises(ServiceError, match="inconsistent"):
+            AllocationService.restore(snap)
+
+    def test_restore_carries_pending_and_failed(self):
+        service = AllocationService(_one_server_system(), config=_validating_config())
+        service.apply(ClientAdmit(client=_client(0)))
+        service.apply(ServerFail(server_id=0))
+        snap = service.snapshot()
+        restored = AllocationService.restore(snap, config=_validating_config())
+        assert restored.failed == {0}
+        assert [c.client_id for c in restored.pending] == [0]
+
+
+class TestReplayDeterminism:
+    def test_kill_restore_is_byte_identical(self):
+        """Killing the service at any event index and restoring from its
+        snapshot must reproduce the reference run's final snapshot hash."""
+        system = generate_system(num_clients=6, seed=42)
+        config = SolverConfig(seed=7)
+        events = flatten_events(
+            generate_epoch_events(
+                system,
+                TraceDriverConfig(
+                    num_epochs=2,
+                    seed=3,
+                    churn_probability=0.5,
+                    failure_probability=0.4,
+                ),
+            )
+        )
+        reference = AllocationService(empty_copy(system), config=config)
+        reference.apply_many(events)
+        expected = reference.snapshot_hash()
+        for kill_at in range(0, len(events) + 1, 3):
+            live = AllocationService(empty_copy(system), config=config)
+            live.apply_many(events[:kill_at])
+            restored = AllocationService.restore(live.snapshot(), config=config)
+            restored.apply_many(events[kill_at:])
+            assert restored.snapshot_hash() == expected, f"diverged at {kill_at}"

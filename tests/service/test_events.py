@@ -1,0 +1,88 @@
+"""Tests for the service event types and their JSON codecs."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.io import SerializationError, client_from_dict, client_to_dict
+from repro.model.client import Client
+from repro.model.utility import ClippedLinearUtility, UtilityClass
+from repro.service.events import (
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    ServerFail,
+    ServerRecover,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+def _client(cid: int = 7) -> Client:
+    return Client(
+        client_id=cid,
+        utility_class=UtilityClass(0, ClippedLinearUtility(3.0, 1.0), "gold"),
+        rate_agreed=1.5,
+        rate_predicted=1.2,
+        t_proc=0.5,
+        t_comm=0.4,
+        storage_req=0.5,
+    )
+
+
+class TestEventCodecs:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            ClientAdmit(client=_client()),
+            ClientDepart(client_id=3),
+            RateUpdate(client_id=3, rate_predicted=2.5),
+            ServerFail(server_id=9),
+            ServerRecover(server_id=9),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_round_trip(self, event):
+        assert event_from_dict(event_to_dict(event)) == event
+
+    def test_documents_are_versioned(self):
+        doc = event_to_dict(ClientDepart(client_id=1))
+        assert doc["format"] == "repro.service-event"
+        assert doc["version"] == 1
+
+    def test_newer_version_rejected(self):
+        doc = event_to_dict(ClientDepart(client_id=1))
+        doc["version"] = 99
+        with pytest.raises(SerializationError, match="version 99"):
+            event_from_dict(doc)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError, match="format"):
+            event_from_dict({"format": "something-else", "version": 1})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError, match="unknown service event"):
+            event_from_dict(
+                {"format": "repro.service-event", "version": 1, "type": "nope"}
+            )
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(SerializationError, match="malformed"):
+            event_from_dict(
+                {"format": "repro.service-event", "version": 1, "type": "rate_update"}
+            )
+
+    def test_rate_update_validates_rate(self):
+        with pytest.raises(ModelError, match="rate_predicted"):
+            RateUpdate(client_id=1, rate_predicted=0.0)
+
+    def test_admit_embeds_full_client(self):
+        doc = event_to_dict(ClientAdmit(client=_client(11)))
+        restored = client_from_dict(doc["client"])
+        assert restored == _client(11)
+        assert restored.utility_class.function.value(1.0) == pytest.approx(
+            _client(11).utility_class.function.value(1.0)
+        )
+
+    def test_client_codec_round_trip(self):
+        client = _client(4)
+        assert client_from_dict(client_to_dict(client)) == client

@@ -1,0 +1,117 @@
+"""Tests for the event journal and snapshot+journal crash recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import SolverConfig
+from repro.exceptions import ServiceError
+from repro.service import (
+    AllocationService,
+    EventJournal,
+    TraceDriverConfig,
+    flatten_events,
+    generate_epoch_events,
+    recover,
+)
+from repro.service.driver import empty_copy
+from repro.workload import generate_system
+
+
+@pytest.fixture
+def scenario():
+    system = generate_system(num_clients=6, seed=42)
+    config = SolverConfig(seed=7)
+    events = flatten_events(
+        generate_epoch_events(
+            system,
+            TraceDriverConfig(
+                num_epochs=2, seed=3, churn_probability=0.4, failure_probability=0.3
+            ),
+        )
+    )
+    return system, config, events
+
+
+class TestEventJournal:
+    def test_append_and_read_round_trip(self, tmp_path, scenario):
+        system, config, events = scenario
+        path = str(tmp_path / "journal.jsonl")
+        service = AllocationService(
+            empty_copy(system), config=config, journal=EventJournal(path)
+        )
+        service.apply_many(events)
+        service.journal.close()
+        read_back = list(EventJournal.read(path))
+        assert [seq for seq, _ in read_back] == list(range(1, len(events) + 1))
+        assert [event for _, event in read_back] == events
+
+    def test_rejected_events_never_journaled(self, tmp_path, scenario):
+        system, config, _ = scenario
+        path = str(tmp_path / "journal.jsonl")
+        from repro.service import ClientDepart
+
+        service = AllocationService(
+            empty_copy(system), config=config, journal=EventJournal(path)
+        )
+        with pytest.raises(ServiceError):
+            service.apply(ClientDepart(client_id=999))
+        service.journal.close()
+        assert not os.path.exists(path) or open(path).read() == ""
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path, "w") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ServiceError, match="corrupt journal line 1"):
+            list(EventJournal.read(path))
+
+
+class TestRecovery:
+    def test_snapshot_plus_journal_tail(self, tmp_path, scenario):
+        system, config, events = scenario
+        path = str(tmp_path / "journal.jsonl")
+        reference = AllocationService(empty_copy(system), config=config)
+        reference.apply_many(events)
+        expected = reference.snapshot_hash()
+
+        service = AllocationService(
+            empty_copy(system), config=config, journal=EventJournal(path)
+        )
+        mid = len(events) // 2
+        service.apply_many(events[:mid])
+        snap = service.snapshot()
+        service.apply_many(events[mid:])  # journaled, then the process "dies"
+        service.journal.close()
+
+        recovered = recover(snap, path, config=config)
+        assert recovered.seq == len(events)
+        assert recovered.snapshot_hash() == expected
+
+    def test_recover_without_journal(self, scenario):
+        system, config, events = scenario
+        service = AllocationService(empty_copy(system), config=config)
+        service.apply_many(events)
+        snap = service.snapshot()
+        recovered = recover(snap, None, config=config)
+        assert recovered.snapshot_hash() == service.snapshot_hash()
+
+    def test_mismatched_journal_rejected(self, tmp_path, scenario):
+        system, config, events = scenario
+        path = str(tmp_path / "journal.jsonl")
+        service = AllocationService(
+            empty_copy(system), config=config, journal=EventJournal(path)
+        )
+        service.apply_many(events)
+        service.journal.close()
+        snap = service.snapshot()
+        # Corrupt the continuity: renumber the journal far ahead.
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:
+            for line in lines:
+                record = json.loads(line)
+                record["seq"] += 100
+                handle.write(json.dumps(record) + "\n")
+        with pytest.raises(ServiceError, match="different runs"):
+            recover(snap, path, config=config)

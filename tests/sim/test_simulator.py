@@ -118,6 +118,41 @@ class TestEpochSimulation:
         with pytest.raises(ConfigurationError):
             EpochConfig(min_rate_factor=0.9, max_rate_factor=0.5)
 
+    def test_zero_drift_short_circuits_cold_solves(self):
+        """With no rate movement every epoch row repeats, so the simulation
+        must reuse the day-one allocation instead of re-solving per epoch."""
+        system = small_system(seed=4, num_clients=5)
+        report = run_epoch_simulation(
+            system,
+            EpochConfig(num_epochs=4, drift=0.0, seed=7),
+            SolverConfig(seed=1, max_improvement_rounds=1, num_initial_solutions=1),
+        )
+        assert report.cold_solves == 1
+        assert len(set(report.reallocate_profits)) == 1
+        assert report.reallocate_profits == report.static_profits
+
+    def test_drifting_rates_trigger_cold_solves(self):
+        system = small_system(seed=4, num_clients=5)
+        report = run_epoch_simulation(
+            system,
+            EpochConfig(num_epochs=3, drift=0.4, seed=7),
+            SolverConfig(seed=1, max_improvement_rounds=1, num_initial_solutions=1),
+        )
+        assert report.cold_solves > 1
+
+    def test_warm_start_tracks_cold_profit(self):
+        system = small_system(seed=4, num_clients=6)
+        report = run_epoch_simulation(
+            system,
+            EpochConfig(num_epochs=3, drift=0.2, seed=5, warm_start=True),
+            SolverConfig(seed=1, max_improvement_rounds=1, num_initial_solutions=1),
+        )
+        assert len(report.warm_profits) == 3
+        for warm in report.warm_profits:
+            assert math.isfinite(warm)
+        # Warm repair must stay competitive with fresh cold solves.
+        assert report.total_warm >= report.total_reallocate * 0.99
+
     def test_rates_stay_bounded(self):
         system = small_system(seed=4, num_clients=5)
         report = run_epoch_simulation(

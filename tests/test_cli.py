@@ -194,3 +194,90 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_epochs_warm_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "epochs",
+                    "--clients",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--epochs",
+                    "2",
+                    "--warm",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "warm service" in out
+        assert "cold solves" in out
+
+    def test_serve(self, capsys):
+        assert (
+            main(["serve", "--clients", "4", "--seed", "1", "--epochs", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "final profit" in out
+        assert "snapshot hash" in out
+
+    def test_serve_with_artifacts(self, capsys, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        snapshot = str(tmp_path / "snap.json")
+        assert (
+            main(
+                [
+                    "serve",
+                    "--clients",
+                    "4",
+                    "--seed",
+                    "1",
+                    "--epochs",
+                    "2",
+                    "--churn",
+                    "0.5",
+                    "--journal",
+                    journal,
+                    "--snapshot",
+                    snapshot,
+                ]
+            )
+            == 0
+        )
+        import json
+
+        from repro.service import AllocationService
+
+        snap = json.load(open(snapshot))
+        restored = AllocationService.restore(snap)
+        assert restored.seq > 0
+
+
+class TestCliErrorMapping:
+    """Every subcommand maps library errors to a one-liner + exit 2."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["describe", "--clients", "0"],
+            ["solve", "--clients", "0"],
+            ["compare", "--clients", "0"],
+            ["simulate", "--clients", "0"],
+            ["epochs", "--clients", "0"],
+            ["serve", "--clients", "0"],
+            ["admission", "--clients", "0"],
+            ["predict", "--clients", "0"],
+        ],
+        ids=lambda argv: argv[0],
+    )
+    def test_bad_instance_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_epochs_bad_epoch_count_exits_2(self, capsys):
+        assert main(["epochs", "--clients", "4", "--epochs", "0"]) == 2
+        assert "num_epochs" in capsys.readouterr().err

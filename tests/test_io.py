@@ -10,8 +10,12 @@ from repro.io import (
     SerializationError,
     allocation_from_dict,
     allocation_to_dict,
+    client_from_dict,
+    client_to_dict,
+    dump_canonical,
     load_allocation,
     load_system,
+    require_format,
     save_allocation,
     save_system,
     system_from_dict,
@@ -132,6 +136,65 @@ class TestAllocationRoundTrip:
     def test_wrong_format_rejected(self):
         with pytest.raises(SerializationError):
             allocation_from_dict({"format": "nope"})
+
+
+class TestVersionedEnvelopes:
+    def test_accepts_current_version(self):
+        assert require_format({"format": "x", "version": 1}, "x", max_version=2) == 1
+
+    def test_missing_version_defaults_to_one(self):
+        assert require_format({"format": "x"}, "x", max_version=1) == 1
+
+    def test_newer_version_rejected(self):
+        with pytest.raises(SerializationError, match="version 3"):
+            require_format({"format": "x", "version": 3}, "x", max_version=2)
+
+    def test_malformed_version_rejected(self):
+        with pytest.raises(SerializationError, match="malformed version"):
+            require_format({"format": "x", "version": "new"}, "x", max_version=1)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            require_format([1, 2], "x", max_version=1)
+
+    def test_newer_system_document_rejected(self, small):
+        doc = system_to_dict(small)
+        doc["version"] = 2
+        with pytest.raises(SerializationError, match="version 2"):
+            system_from_dict(doc)
+
+    def test_newer_allocation_document_rejected(self):
+        with pytest.raises(SerializationError, match="version 9"):
+            allocation_from_dict(
+                {"format": "repro.allocation", "version": 9, "assignments": [], "entries": []}
+            )
+
+
+class TestCanonicalDump:
+    def test_key_order_does_not_matter(self):
+        assert dump_canonical({"b": 1, "a": [2, 3]}) == dump_canonical(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_floats_round_trip_exactly(self):
+        value = 0.1 + 0.2
+        assert json.loads(dump_canonical({"x": value}))["x"] == value
+
+
+class TestClientCodec:
+    def test_round_trip(self, small):
+        for client in small.clients:
+            clone = client_from_dict(client_to_dict(client))
+            assert clone == client
+
+    def test_embeds_utility_class(self, small):
+        doc = client_to_dict(small.clients[0])
+        assert "function" in doc["utility_class"]
+        json.dumps(doc)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError, match="malformed client"):
+            client_from_dict({"client_id": 1})
 
 
 class TestFileHelpers:
