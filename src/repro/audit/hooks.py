@@ -1,0 +1,85 @@
+"""Opt-in audit instrumentation for solver and service hot paths.
+
+When enabled — ``REPRO_AUDIT=1`` in the environment, the ``--audit``
+CLI flag, or :func:`enable_audit` programmatically — every call to
+:func:`audit_point` re-runs the full invariant pack from
+:mod:`repro.audit.invariants` on the working allocation and raises
+:class:`~repro.exceptions.InfeasibleAllocationError` (carrying the
+structured violation list) the moment a solver pass, repair op, or
+service event leaves the state infeasible.  Disabled, an audit point is
+a single attribute check, so the hooks can live inside local search and
+the service engine without a measurable cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.audit.invariants import FEASIBILITY_TOLERANCE, Violation, find_violations
+from repro.exceptions import InfeasibleAllocationError
+
+#: Environment variable that switches the audit hooks on.
+AUDIT_ENV_VAR = "REPRO_AUDIT"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+#: Programmatic override: None defers to the environment variable.
+_override: Optional[bool] = None
+
+
+def audit_enabled() -> bool:
+    """True when audit points should run the invariant pack."""
+    if _override is not None:
+        return _override
+    return os.environ.get(AUDIT_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def enable_audit() -> None:
+    """Switch audit points on for this process (overrides the env var)."""
+    global _override
+    _override = True
+
+
+def disable_audit() -> None:
+    """Switch audit points off for this process (overrides the env var)."""
+    global _override
+    _override = False
+
+
+def reset_audit() -> None:
+    """Drop the programmatic override; defer to ``REPRO_AUDIT`` again."""
+    global _override
+    _override = None
+
+
+def audit_point(
+    system,
+    allocation,
+    where: str,
+    require_all_served: bool = False,
+    tolerance: float = FEASIBILITY_TOLERANCE,
+    extra_violations: Optional[List[Violation]] = None,
+) -> None:
+    """Validate the allocation if auditing is on; no-op otherwise.
+
+    ``where`` names the hook site (e.g. ``"local_search.reassignment_pass"``)
+    and is prepended to the error so a failing audit pinpoints the pass
+    that broke feasibility.  ``extra_violations`` lets a call site merge
+    in operational checks (e.g. the service's failed-server row scan).
+    """
+    if not audit_enabled():
+        return
+    violations = find_violations(
+        system, allocation, require_all_served=require_all_served, tolerance=tolerance
+    )
+    if extra_violations:
+        violations = list(extra_violations) + violations
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise InfeasibleAllocationError(
+            f"audit failed at {where}: {len(violations)} violations: "
+            f"{summary}{more}",
+            violations=violations,
+        )

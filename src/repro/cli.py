@@ -9,10 +9,17 @@ Subcommands::
     simulate    validate the analytical response times with the DES
     epochs      epoch-driven re-allocation vs a static allocation
     serve       replay a workload trace through the online service
+    audit       differential verification + feasibility audit
 
 Library errors (:class:`repro.exceptions.ReproError`) are reported as a
 one-line message on stderr with exit status 2; tracebacks are reserved
-for genuine bugs.
+for genuine bugs.  ``audit`` exits 1 when it finds violations or
+cross-path disagreement.
+
+``solve``, ``epochs``, ``serve``, and ``simulate`` accept ``--audit``
+(equivalent to ``REPRO_AUDIT=1``): every solver pass, repair op, and
+service event then re-runs the full invariant pack and aborts loudly on
+the first infeasible intermediate state.
 
 Every subcommand accepts ``--clients`` and ``--seed``; ``experiment``
 honours ``--full`` (equivalent to ``REPRO_FULL=1``) for paper-sized runs
@@ -55,6 +62,15 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="instance seed")
 
 
+def _add_audit_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="re-run the invariant pack after every solver pass / repair "
+        "op / service event (same as REPRO_AUDIT=1)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cloud",
@@ -70,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="run the heuristic on one instance")
     _add_instance_args(p)
+    _add_audit_flag(p)
     p.add_argument("--rounds", type=int, default=25, help="max improvement rounds")
     p.add_argument(
         "--fleet", action="store_true", help="print per-server utilization bars"
@@ -127,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("simulate", help="DES validation of the queueing model")
     _add_instance_args(p)
+    _add_audit_flag(p)
     p.add_argument("--duration", type=float, default=2000.0)
     p.add_argument(
         "--mode",
@@ -136,6 +154,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("epochs", help="dynamic re-allocation across epochs")
     _add_instance_args(p)
+    _add_audit_flag(p)
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument("--drift", type=float, default=0.25)
     p.add_argument(
@@ -153,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="replay a workload trace through the online service"
     )
     _add_instance_args(p)
+    _add_audit_flag(p)
     p.add_argument("--epochs", type=int, default=8)
     p.add_argument(
         "--pattern",
@@ -181,6 +201,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--snapshot", default=None, help="write the final snapshot to this file"
     )
 
+    p = sub.add_parser(
+        "audit", help="differential verification + feasibility audit"
+    )
+    p.add_argument(
+        "--seeds", type=int, default=20, help="seeded instances to verify"
+    )
+    p.add_argument("--clients", type=int, default=10, help="clients per instance")
+    p.add_argument(
+        "--snapshot", default=None, help="audit a saved service snapshot"
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="replay this journal on top of --snapshot with auditing armed",
+    )
+
     p = sub.add_parser("multitier", help="solve a multi-tier application instance")
     p.add_argument("--apps", type=int, default=8, help="number of applications")
     p.add_argument("--seed", type=int, default=0)
@@ -204,6 +240,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _maybe_enable_audit(args: argparse.Namespace) -> None:
+    if getattr(args, "audit", False):
+        from repro.audit.hooks import enable_audit
+
+        enable_audit()
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     system = generate_system(num_clients=args.clients, seed=args.seed)
     print(system.describe())
@@ -211,6 +254,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    _maybe_enable_audit(args)
     system = generate_system(num_clients=args.clients, seed=args.seed)
     config = SolverConfig(seed=args.seed, max_improvement_rounds=args.rounds)
     result = ResourceAllocator(config).solve(system)
@@ -312,6 +356,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _maybe_enable_audit(args)
     system = generate_system(num_clients=args.clients, seed=args.seed)
     config = SolverConfig(seed=args.seed)
     result = ResourceAllocator(config).solve(system)
@@ -347,6 +392,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_epochs(args: argparse.Namespace) -> int:
+    _maybe_enable_audit(args)
     system = generate_system(num_clients=args.clients, seed=args.seed)
     report = run_epoch_simulation(
         system,
@@ -386,6 +432,8 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+
+    _maybe_enable_audit(args)
 
     from repro.service import EventJournal, ServicePolicy, TraceDriverConfig
     from repro.service.driver import run_service_trace
@@ -430,6 +478,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.snapshot:
         print(f"snapshot: {args.snapshot}")
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.audit import differential
+
+    problems_found = 0
+    if args.snapshot:
+        with open(args.snapshot) as handle:
+            doc = json.load(handle)
+        problems = differential.audit_snapshot(doc)
+        for problem in problems:
+            print(f"snapshot: {problem}")
+        problems_found += len(problems)
+        if args.journal:
+            problems = differential.audit_journal(doc, args.journal)
+            for problem in problems:
+                print(f"journal: {problem}")
+            problems_found += len(problems)
+        if problems_found == 0:
+            target = args.snapshot + (f" + {args.journal}" if args.journal else "")
+            print(f"audit clean: {target}")
+        return 1 if problems_found else 0
+    if args.journal:
+        print("error: --journal requires --snapshot", file=sys.stderr)
+        return 2
+
+    reports = differential.run_matrix(
+        seeds=range(args.seeds), num_clients=args.clients
+    )
+    failures = [r for r in reports if not r.ok]
+    for report in failures:
+        print(f"seed {report.seed}:")
+        print(report.summary())
+    print(
+        f"differential audit: {len(reports) - len(failures)}/{len(reports)} "
+        f"instances clean across {', '.join(differential.PATH_NAMES)}"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_multitier(args: argparse.Namespace) -> int:
@@ -496,6 +584,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "epochs": _cmd_epochs,
     "serve": _cmd_serve,
+    "audit": _cmd_audit,
     "multitier": _cmd_multitier,
     "admission": _cmd_admission,
     "predict": _cmd_predict,

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.audit.invariants import ACCEPT_TOLERANCE
 from repro.config import SolverConfig
 from repro.core.allocator import ResourceAllocator
 from repro.core.local_search import reassignment_pass
@@ -61,7 +62,7 @@ def _drop_pass(state: WorkingState, config: SolverConfig) -> float:
         snapshot = state.snapshot()
         state.unassign_client(client_id)
         after = score(state.system, state.allocation)
-        if after > before + 1e-12:
+        if after > before + ACCEPT_TOLERANCE:
             total_delta += after - before
         else:
             state.restore(snapshot)

@@ -43,15 +43,14 @@ from __future__ import annotations
 import math
 from typing import Dict, Set
 
+from repro.audit.invariants import AGREEMENT_TOLERANCE, FEASIBILITY_TOLERANCE
 from repro.core.state import WorkingState
 from repro.exceptions import SolverError
 from repro.model.profit import response_time_of_entries
-from repro.model.validation import FEASIBILITY_TOLERANCE
 
 _NEG_INF = float("-inf")
 
-#: Maximum tolerated disagreement with the full evaluator (validate mode).
-AGREEMENT_TOLERANCE = 1e-9
+__all__ = ["AGREEMENT_TOLERANCE", "DeltaScorer"]
 
 
 class _KahanSum:

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.audit.invariants import ACCEPT_TOLERANCE, NEGLIGIBLE_ALPHA
 from repro.config import SolverConfig
 from repro.core.scoring import score_state
 from repro.core.state import WorkingState
 from repro.optim.kkt import DispersionBranch, optimal_dispersion
 
 #: Traffic portions below this are treated as "do not use the branch".
-_NEGLIGIBLE_ALPHA = 1e-9
+_NEGLIGIBLE_ALPHA = NEGLIGIBLE_ALPHA
 
 
 def adjust_dispersion_rates(
@@ -73,7 +74,7 @@ def adjust_dispersion_rates(
         else:
             state.set_entry(client_id, server_id, alpha, phi_p, phi_b)
     after = score_state(state)
-    if after < before - 1e-12:
+    if after < before - ACCEPT_TOLERANCE:
         for server_id, (alpha, phi_p, phi_b) in previous.items():
             state.set_entry(client_id, server_id, alpha, phi_p, phi_b)
         return 0.0

@@ -28,6 +28,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.audit.hooks import audit_point
+from repro.audit.invariants import ACCEPT_TOLERANCE
 from repro.config import SolverConfig
 from repro.core.assign import apply_placement, best_placement
 from repro.core.delta import DeltaScorer
@@ -64,7 +66,7 @@ def reassignment_pass(
                 state.begin_txn()
                 if (
                     force_client_into_cluster(state, client_id, cluster_id, config)
-                    and score_state(state) > before + 1e-12
+                    and score_state(state) > before + ACCEPT_TOLERANCE
                 ):
                     state.commit_txn()
                     placed = True
@@ -74,11 +76,14 @@ def reassignment_pass(
                 state.rollback_txn()
                 continue
         after = score_state(state)
-        if after > before + 1e-12:
+        if after > before + ACCEPT_TOLERANCE:
             total_delta += after - before
             state.commit_txn()
         else:
             state.rollback_txn()
+    audit_point(
+        state.system, state.allocation, "local_search.reassignment_pass"
+    )
     return total_delta
 
 

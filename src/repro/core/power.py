@@ -28,6 +28,11 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.audit.invariants import (
+    ACCEPT_TOLERANCE,
+    NEGLIGIBLE_ALPHA,
+    SHARE_BUDGET_TOLERANCE,
+)
 from repro.config import SolverConfig
 from repro.core.assign import apply_placement, assign_distribute, _closed_form_share
 from repro.core.dispersion import adjust_dispersion_rates
@@ -220,7 +225,7 @@ def _try_activate(
         )
         adjust_dispersion_rates(state, candidate.client_id, config)
     after = score_state(state)
-    if after <= before + 1e-12:
+    if after <= before + ACCEPT_TOLERANCE:
         state.restore(snapshot)
         return 0.0
     return after - before
@@ -345,8 +350,8 @@ def merge_client_onto_server(
     # The re-split must have landed back inside the budget (it only fails
     # to when adjust_resource_shares rolled back to the raw foothold).
     if (
-        state.used_processing(target_server_id) > budget_p + 1e-9
-        or state.used_bandwidth(target_server_id) > budget_b + 1e-9
+        state.used_processing(target_server_id) > budget_p + SHARE_BUDGET_TOLERANCE
+        or state.used_bandwidth(target_server_id) > budget_b + SHARE_BUDGET_TOLERANCE
     ):
         return False
     return True
@@ -403,9 +408,9 @@ def force_client_into_cluster(
         take = min(max_fraction, remaining)
         plan.append((sid, take))
         remaining -= take
-        if remaining <= 1e-12:
+        if remaining <= ACCEPT_TOLERANCE:
             break
-    if remaining > 1e-9:
+    if remaining > NEGLIGIBLE_ALPHA:
         return False
 
     state.assign_client(client_id, cluster_id)
@@ -554,7 +559,7 @@ def try_shutdown_server(
         for sid in sorted(touched):
             adjust_resource_shares(state, sid, config)
     after = score_state(state)
-    if success and after > before + 1e-12:
+    if success and after > before + ACCEPT_TOLERANCE:
         return after - before
     state.restore(snapshot)
     return 0.0

@@ -25,6 +25,8 @@ from __future__ import annotations
 import math
 from typing import AbstractSet, Iterable, List, Optional, Tuple
 
+from repro.audit.hooks import audit_point
+from repro.audit.invariants import ACCEPT_TOLERANCE
 from repro.config import SolverConfig
 from repro.core.assign import apply_placement, best_placement
 from repro.core.dispersion import adjust_dispersion_rates
@@ -49,6 +51,11 @@ def rebalance_servers(
 
     Both underlying moves undo themselves entry by entry, so this pass is
     safe inside an open transaction.
+
+    No audit hook here (or in :func:`place_client`): both run as building
+    blocks inside surgery whose intermediate states are legitimately
+    infeasible until the caller's accept-if-better gate rules; the hooks
+    sit on the compound ops that promise feasibility on return.
     """
     delta = 0.0
     touched_clients: set = set()
@@ -110,8 +117,9 @@ def reseat_client(
         state.rollback_txn()
         return False
     after = scorer.profit() if scorer is not None else score_state(state)
-    if after > before + 1e-12:
+    if after > before + ACCEPT_TOLERANCE:
         state.commit_txn()
+        audit_point(state.system, state.allocation, "repair.reseat_client")
         return True
     state.rollback_txn()
     return False
@@ -142,6 +150,7 @@ def consolidate_servers(
     delta = 0.0
     for victim in candidates:
         delta += try_shutdown_server(state, victim, config, excluded_server_ids)
+    audit_point(state.system, state.allocation, "repair.consolidate_servers")
     return delta
 
 
@@ -175,4 +184,5 @@ def drain_server(
             state.restore(snapshot)
             state.unassign_client(client_id)
             stranded.append(client_id)
+    audit_point(state.system, state.allocation, "repair.drain_server")
     return rehomed, stranded

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.audit.invariants import ACCEPT_TOLERANCE
 from repro.config import SolverConfig
 from repro.core.scoring import score_state
 from repro.core.state import WorkingState
@@ -112,7 +113,7 @@ def adjust_resource_shares(
             client_id, server_id, entry.alpha, shares_p[idx], shares_b[idx]
         )
     after = score_state(state)
-    if after < before - 1e-12:
+    if after < before - ACCEPT_TOLERANCE:
         for client_id, (phi_p, phi_b) in previous.items():
             entry = state.allocation.entry(client_id, server_id)
             assert entry is not None

@@ -331,7 +331,12 @@ class WorkingState:
         self.allocation = snapshot.copy()
         self._recompute_aggregates()
         if self._scorer is not None:
+            # mark_all alone would fold the restored terms into the old
+            # running sums, whose Kahan compensation still encodes the
+            # discarded mutation history; resync rebuilds the totals from
+            # scratch so a restored scorer is bit-identical to a fresh one.
             self._scorer.mark_all()
+            self._scorer.resync()
 
     def canonicalize(self) -> None:
         """Normalize history-dependent internal state into canonical form.
@@ -340,9 +345,10 @@ class WorkingState:
         recomputes the usage aggregates in that order, so that two states
         reached through different mutation histories — e.g. a live service
         engine versus one restored from its snapshot — hold bit-identical
-        derived values.  Servers whose recomputed aggregates changed at the
-        ulp level are re-marked dirty on the attached scorer, keeping its
-        stored per-server terms canonical too.  Not allowed inside an open
+        derived values.  Clients whose per-server entry order changed are
+        re-marked dirty on the attached scorer (their cached revenue was
+        summed in the dead order), as are servers whose recomputed
+        aggregates changed at the ulp level.  Not allowed inside an open
         transaction (the undo log records dict positions implicitly).
         """
         if self._txn_stack:
@@ -350,12 +356,14 @@ class WorkingState:
                 "canonicalize() during an open transaction; "
                 "rollback_txn/commit_txn first"
             )
-        self.allocation.canonicalize()
+        reordered_clients = self.allocation.canonicalize()
         old_p = self._used_p
         old_b = self._used_b
         old_storage = self._used_storage
         self._recompute_aggregates()
         if self._scorer is not None:
+            for cid in reordered_clients:
+                self._scorer.mark_client(cid)
             for sid in self._used_p:
                 if (
                     self._used_p[sid] != old_p.get(sid)

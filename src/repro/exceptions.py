@@ -19,11 +19,21 @@ class ModelError(ReproError):
 class InfeasibleAllocationError(ReproError):
     """An allocation violates a hard constraint of the optimization problem.
 
-    Raised by the strict validators in :mod:`repro.model.validation`.  The
-    profit evaluator never raises this; it instead reports the violation in
-    the returned :class:`~repro.model.profit.ProfitBreakdown` so that search
+    Raised by the strict validators in :mod:`repro.audit.invariants` and
+    the audit hooks.  The profit evaluator never raises this; it instead
+    reports the violation in the returned
+    :class:`~repro.model.profit.ProfitBreakdown` so that search
     algorithms can treat infeasibility as ``-inf`` profit.
+
+    ``violations`` carries the structured
+    :class:`~repro.audit.invariants.Violation` records when the raiser
+    had them (empty list otherwise), so programmatic callers need not
+    parse the message.
     """
+
+    def __init__(self, message: str = "", violations=None) -> None:
+        super().__init__(message)
+        self.violations = list(violations) if violations else []
 
 
 class UnstableQueueError(ReproError):

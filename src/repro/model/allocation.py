@@ -215,7 +215,7 @@ class Allocation:
     def clients_in_cluster(self, cluster_id: int) -> List[int]:
         return [cid for cid, kid in self.cluster_of.items() if kid == cluster_id]
 
-    def canonicalize(self) -> None:
+    def canonicalize(self) -> Set[int]:
         """Rebuild internal dict/set ordering into sorted (client, server) order.
 
         Two allocations that compare ``==`` can still *iterate* differently
@@ -225,7 +225,17 @@ class Allocation:
         snapshot/restore cycle continues bit-identically.  Entry objects
         are preserved (their epoch boxes stay valid); the mutation epoch is
         bumped because observers' cached iteration assumptions died.
+
+        Returns the ids of clients whose per-server entry order actually
+        changed: any observer caching an order-dependent float over those
+        entries (the delta scorer's per-client revenue term) must rederive
+        it, or it keeps a value summed in the dead, pre-canonical order.
         """
+        reordered: Set[int] = {
+            cid
+            for cid, per_client in self._entries.items()
+            if list(per_client) != sorted(per_client)
+        }
         self._entries = {
             cid: {sid: per_client[sid] for sid in sorted(per_client)}
             for cid, per_client in sorted(self._entries.items())
@@ -239,6 +249,7 @@ class Allocation:
         self._clients_on_server = clients_on_server
         self.cluster_of = {cid: self.cluster_of[cid] for cid in sorted(self.cluster_of)}
         self._epoch.value += 1
+        return reordered
 
     # -- lifecycle -----------------------------------------------------------
 

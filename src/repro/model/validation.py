@@ -1,181 +1,24 @@
-"""Feasibility checking for allocations.
+"""Feasibility checking for allocations (compatibility shim).
 
-The optimization problem's hard constraints (section IV, (3)-(12)) are
-checked here, independently of any solver.  Two entry points:
-
-* :func:`find_violations` returns a list of human-readable
-  :class:`Violation` records (empty == feasible);
-* :func:`validate_allocation` raises
-  :class:`~repro.exceptions.InfeasibleAllocationError` on the first report.
-
-Solvers never self-certify: the experiment harness always validates the
-returned allocation with this module before reporting profit.
+The constraint predicates moved to :mod:`repro.audit.invariants`, the
+single source of truth for every paper constraint and every numerical
+tolerance.  This module re-exports the public names so existing imports
+(``from repro.model.validation import find_violations``) keep working;
+new code should import from :mod:`repro.audit.invariants` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from repro.audit.invariants import (  # noqa: F401
+    FEASIBILITY_TOLERANCE,
+    Violation,
+    find_violations,
+    validate_allocation,
+)
 
-from repro.exceptions import InfeasibleAllocationError
-from repro.model.allocation import Allocation
-from repro.model.datacenter import CloudSystem
-
-#: Numerical slack for share sums and alpha sums.  Shares are produced by
-#: bisection so exact equality cannot be expected.
-FEASIBILITY_TOLERANCE = 1e-6
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One violated constraint, tagged with the paper's constraint label."""
-
-    constraint: str
-    subject: str
-    detail: str
-
-    def __str__(self) -> str:
-        return f"[{self.constraint}] {self.subject}: {self.detail}"
-
-
-def find_violations(
-    system: CloudSystem,
-    allocation: Allocation,
-    require_all_served: bool = True,
-    tolerance: float = FEASIBILITY_TOLERANCE,
-) -> List[Violation]:
-    """Check every hard constraint; return all violations found.
-
-    ``require_all_served=False`` relaxes constraint (6) to "alpha sums to 1
-    *for clients that have any entries*", which is what partial states
-    inside the greedy constructor need.
-    """
-    violations: List[Violation] = []
-
-    # Constraint (6) + (10): every client assigned to exactly one cluster,
-    # with its traffic fully dispatched inside that cluster.
-    for client in system.clients:
-        cid = client.client_id
-        if not allocation.is_assigned(cid):
-            if require_all_served:
-                violations.append(
-                    Violation("(6)", f"client {cid}", "not assigned to any cluster")
-                )
-            continue
-        cluster_id = allocation.cluster_of[cid]
-        if cluster_id not in system.cluster_ids():
-            violations.append(
-                Violation("(6)", f"client {cid}", f"unknown cluster {cluster_id}")
-            )
-            continue
-        entries = allocation.entries_of_client(cid)
-        if not entries:
-            if require_all_served:
-                violations.append(
-                    Violation("(5)", f"client {cid}", "assigned but serves no traffic")
-                )
-            continue
-        for server_id in entries:
-            if system.cluster_of_server(server_id) != cluster_id:
-                violations.append(
-                    Violation(
-                        "(6)",
-                        f"client {cid}",
-                        f"entry on server {server_id} outside assigned "
-                        f"cluster {cluster_id}",
-                    )
-                )
-        total_alpha = allocation.total_alpha(cid)
-        if abs(total_alpha - 1.0) > tolerance:
-            violations.append(
-                Violation(
-                    "(5)",
-                    f"client {cid}",
-                    f"traffic portions sum to {total_alpha:.9f}, expected 1",
-                )
-            )
-
-    # Constraint (4): per-server share capacity, including background load.
-    # Constraint (8): disk reservations fit.
-    for server in system.servers():
-        sid = server.server_id
-        used_p, used_b = allocation.server_share_totals(sid)
-        used_p += server.background_processing
-        used_b += server.background_bandwidth
-        if used_p > 1.0 + tolerance:
-            violations.append(
-                Violation(
-                    "(4)",
-                    f"server {sid}",
-                    f"processing shares sum to {used_p:.9f} > 1",
-                )
-            )
-        if used_b > 1.0 + tolerance:
-            violations.append(
-                Violation(
-                    "(4)",
-                    f"server {sid}",
-                    f"bandwidth shares sum to {used_b:.9f} > 1",
-                )
-            )
-        storage = server.background_storage
-        for client_id in allocation.clients_on_server(sid):
-            entry = allocation.entry(client_id, sid)
-            if entry is not None and entry.alpha > 0.0:
-                storage += system.client(client_id).storage_req
-        if storage > server.cap_storage + tolerance:
-            violations.append(
-                Violation(
-                    "(8)",
-                    f"server {sid}",
-                    f"storage demand {storage:.9f} exceeds capacity "
-                    f"{server.cap_storage:.9f}",
-                )
-            )
-
-    # Constraint (7)/queue stability: any served traffic needs shares large
-    # enough to keep both M/M/1 queues stable (open inequality).
-    for client_id, server_id, entry in allocation.iter_entries():
-        if entry.alpha <= 0.0:
-            continue
-        client = system.client(client_id)
-        server = system.server(server_id)
-        arrival = entry.alpha * client.rate_predicted
-        mu_p = entry.phi_p * server.cap_processing / client.t_proc
-        mu_b = entry.phi_b * server.cap_bandwidth / client.t_comm
-        if mu_p <= arrival:
-            violations.append(
-                Violation(
-                    "(7)",
-                    f"client {client_id} on server {server_id}",
-                    f"processing queue unstable: mu={mu_p:.9f} <= "
-                    f"lambda={arrival:.9f}",
-                )
-            )
-        if mu_b <= arrival:
-            violations.append(
-                Violation(
-                    "(7)",
-                    f"client {client_id} on server {server_id}",
-                    f"communication queue unstable: mu={mu_b:.9f} <= "
-                    f"lambda={arrival:.9f}",
-                )
-            )
-
-    return violations
-
-
-def validate_allocation(
-    system: CloudSystem,
-    allocation: Allocation,
-    require_all_served: bool = True,
-    tolerance: float = FEASIBILITY_TOLERANCE,
-) -> None:
-    """Raise :class:`InfeasibleAllocationError` if any constraint is violated."""
-    violations = find_violations(
-        system, allocation, require_all_served=require_all_served, tolerance=tolerance
-    )
-    if violations:
-        summary = "; ".join(str(v) for v in violations[:5])
-        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
-        raise InfeasibleAllocationError(f"{len(violations)} violations: {summary}{more}")
+__all__ = [
+    "FEASIBILITY_TOLERANCE",
+    "Violation",
+    "find_violations",
+    "validate_allocation",
+]

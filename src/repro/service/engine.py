@@ -52,6 +52,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
+from repro.audit.hooks import audit_enabled, audit_point
+from repro.audit.invariants import check_no_entries_on_servers
 from repro.config import SolverConfig
 from repro.core.allocator import ResourceAllocator
 from repro.core.delta import AGREEMENT_TOLERANCE, DeltaScorer
@@ -214,6 +216,16 @@ class AllocationService:
         ):
             outcome.swapped = self._reoptimize() or outcome.swapped
         self._boundary()
+        if audit_enabled():
+            audit_point(
+                self.system,
+                self.state.allocation,
+                f"service.apply[{type(event).__name__} seq={self.seq}]",
+                require_all_served=True,
+                extra_violations=check_no_entries_on_servers(
+                    self.state.allocation, self.failed
+                ),
+            )
         profit = self.scorer.profit()
         if math.isinf(profit):
             raise ServiceError(
@@ -381,6 +393,28 @@ class AllocationService:
             self.pending.append(client)
             outcome.stranded.append(client_id)
             self.metrics.incr("clients_stranded")
+        # Post-drain audit (defense in depth): no surviving row may
+        # reference failed hardware — it would silently bill traffic to a
+        # dead server and poison every profit figure from here on.  Any
+        # offender is zeroed and re-placed atomically (or evicted to the
+        # pending queue) before the profit recompute below can see it.
+        stale = sorted(
+            {
+                client_id
+                for client_id, sid, _ in self.state.allocation.iter_entries()
+                if sid in self.failed
+            }
+        )
+        for client_id in stale:
+            self.metrics.incr("stale_rows_purged")
+            client = self.system.client(client_id)
+            self.state.unassign_client(client_id)
+            if client_id in rehomed:
+                rehomed.remove(client_id)
+            if not self._try_place(client):
+                self.pending.append(self._evict(client_id))
+                outcome.stranded.append(client_id)
+                self.metrics.incr("clients_stranded")
         receiving: Set[int] = set()
         for client_id in rehomed:
             receiving.update(self.state.allocation.entries_of_client(client_id))

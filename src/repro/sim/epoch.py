@@ -33,6 +33,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.audit.hooks import audit_point
 from repro.config import SolverConfig
 from repro.core.allocator import ResourceAllocator
 from repro.exceptions import ConfigurationError
@@ -154,6 +155,9 @@ def run_epoch_simulation(
     allocator = ResourceAllocator(solver_config)
     static_result = allocator.solve(initial_system)
     static_allocation = static_result.allocation
+    audit_point(
+        initial_system, static_allocation, "epoch.day_one_solve"
+    )
 
     service = None
     if epoch_config.warm_start:
@@ -184,6 +188,9 @@ def run_epoch_simulation(
             solved_allocation = allocator.solve(true_system).allocation
             solved_row = row
             report.cold_solves += 1
+            audit_point(
+                true_system, solved_allocation, f"epoch[{epoch}].cold_solve"
+            )
         report.reallocate_profits.append(
             evaluate_profit(
                 true_system, solved_allocation, require_all_served=False

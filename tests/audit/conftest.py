@@ -1,0 +1,35 @@
+"""Fixtures for the audit/differential test package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import hooks
+from repro.audit.differential import run_differential
+from repro.config import SolverConfig
+from repro.workload.generator import generate_system
+
+
+@pytest.fixture
+def fast_audit_config() -> SolverConfig:
+    """Small solver grid so differential runs stay cheap in tests."""
+    return SolverConfig(
+        seed=0,
+        num_initial_solutions=1,
+        alpha_granularity=5,
+        max_improvement_rounds=2,
+    )
+
+
+@pytest.fixture
+def differential_report(fast_audit_config):
+    """One seeded instance pushed through all four scoring paths."""
+    system = generate_system(num_clients=8, seed=7)
+    return run_differential(system, config=fast_audit_config, seed=7)
+
+
+@pytest.fixture
+def audit_hooks():
+    """The hooks module, with any programmatic override undone afterwards."""
+    yield hooks
+    hooks.reset_audit()

@@ -1,0 +1,131 @@
+"""Audit hooks: enablement plumbing and the instrumented hot paths."""
+
+import math
+
+import pytest
+
+import repro.service.engine as engine_module
+from repro.audit.hooks import audit_point
+from repro.config import SolverConfig
+from repro.exceptions import InfeasibleAllocationError
+from repro.model.allocation import Allocation
+from repro.service.engine import AllocationService
+from repro.service.events import ServerFail
+from repro.workload.generator import generate_system
+
+
+class TestEnablement:
+    def test_disabled_by_default(self, audit_hooks, monkeypatch):
+        monkeypatch.delenv(audit_hooks.AUDIT_ENV_VAR, raising=False)
+        audit_hooks.reset_audit()
+        assert not audit_hooks.audit_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", "OFF"])
+    def test_falsy_env_values(self, audit_hooks, monkeypatch, value):
+        monkeypatch.setenv(audit_hooks.AUDIT_ENV_VAR, value)
+        audit_hooks.reset_audit()
+        assert not audit_hooks.audit_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_env_values(self, audit_hooks, monkeypatch, value):
+        monkeypatch.setenv(audit_hooks.AUDIT_ENV_VAR, value)
+        audit_hooks.reset_audit()
+        assert audit_hooks.audit_enabled()
+
+    def test_programmatic_override_beats_env(self, audit_hooks, monkeypatch):
+        monkeypatch.setenv(audit_hooks.AUDIT_ENV_VAR, "1")
+        audit_hooks.disable_audit()
+        assert not audit_hooks.audit_enabled()
+        audit_hooks.reset_audit()
+        assert audit_hooks.audit_enabled()
+
+
+class TestAuditPoint:
+    def test_noop_when_disabled(self, audit_hooks, one_server_system):
+        audit_hooks.disable_audit()
+        audit_point(one_server_system, Allocation(), "test", require_all_served=True)
+
+    def test_raises_with_structured_violations(self, audit_hooks, one_server_system):
+        audit_hooks.enable_audit()
+        with pytest.raises(InfeasibleAllocationError) as excinfo:
+            audit_point(
+                one_server_system, Allocation(), "unit.test", require_all_served=True
+            )
+        assert "unit.test" in str(excinfo.value)
+        assert excinfo.value.violations
+
+    def test_feasible_state_passes(self, audit_hooks, one_server_system):
+        audit_hooks.enable_audit()
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 1.0, 0.5, 0.5)
+        audit_point(one_server_system, alloc, "unit.test", require_all_served=True)
+
+
+class TestInstrumentedPaths:
+    def test_batch_solve_clean_under_audit(self, audit_hooks, fast_audit_config):
+        from repro.core.allocator import ResourceAllocator
+
+        audit_hooks.enable_audit()
+        system = generate_system(num_clients=6, seed=3)
+        result = ResourceAllocator(fast_audit_config).solve(system)
+        assert math.isfinite(result.profit)
+
+    def test_service_trace_clean_under_audit(self, audit_hooks):
+        audit_hooks.enable_audit()
+        system = generate_system(num_clients=6, seed=3)
+        service = AllocationService(system, config=SolverConfig(seed=3))
+        sid = sorted(s.server_id for s in system.servers())[0]
+        service.apply(ServerFail(server_id=sid))
+        assert math.isfinite(service.profit())
+
+
+class TestStaleRowPurge:
+    """Regression: a row surviving a drain on failed hardware must be
+    zeroed and re-placed atomically before any profit recompute."""
+
+    def _fail_with_leaky_drain(self, monkeypatch):
+        system = generate_system(num_clients=8, seed=5)
+        service = AllocationService(system, config=SolverConfig(seed=5))
+        real_drain = engine_module.drain_server
+
+        def leaky_drain(state, server_id, config, excluded_server_ids=None):
+            rehomed, stranded = real_drain(
+                state, server_id, config, excluded_server_ids=excluded_server_ids
+            )
+            # sabotage: resurrect a row on the dead server for some client
+            # that stayed in the system, as a buggy drain would
+            for cid in rehomed:
+                cluster_id = state.allocation.cluster_of.get(cid)
+                if cluster_id == state.system.cluster_of_server(server_id):
+                    entry = next(
+                        iter(state.allocation.entries_of_client(cid).values())
+                    )
+                    state.set_entry(cid, server_id, 0.25, 0.2, 0.2)
+                    return rehomed, stranded
+            return rehomed, stranded
+
+        monkeypatch.setattr(engine_module, "drain_server", leaky_drain)
+        victim = next(
+            sid
+            for sid in sorted(s.server_id for s in system.servers())
+            if service.allocation.clients_on_server(sid)
+        )
+        outcome = service.apply(ServerFail(server_id=victim))
+        return service, outcome
+
+    def test_purge_removes_rows_on_failed_servers(self, monkeypatch):
+        service, _ = self._fail_with_leaky_drain(monkeypatch)
+        stale = [
+            (cid, sid)
+            for cid, sid, _ in service.allocation.iter_entries()
+            if sid in service.failed
+        ]
+        assert stale == []
+        assert math.isfinite(service.profit())
+        assert service.metrics.deterministic_counters().get("stale_rows_purged")
+
+    def test_purged_state_survives_armed_audit(self, monkeypatch, audit_hooks):
+        audit_hooks.enable_audit()
+        service, _ = self._fail_with_leaky_drain(monkeypatch)
+        assert math.isfinite(service.profit())

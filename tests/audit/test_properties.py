@@ -1,0 +1,76 @@
+"""Property tests: solver phases only ever emit zero-violation allocations.
+
+Randomized companion to the curated invariant-pack tests — draws whole
+instances (same idiom as tests/test_properties.py) and runs the audit
+registry over what initial.py and local_search.py actually produce.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.audit.invariants import find_violations
+from repro.config import SolverConfig
+from repro.core.initial import build_initial_solution
+from repro.core.local_search import cluster_reassignment_search
+from repro.workload.generator import WorkloadConfig, generate_system
+
+FAST = SolverConfig(
+    seed=0,
+    num_initial_solutions=1,
+    alpha_granularity=5,
+    max_improvement_rounds=2,
+)
+
+instance_params = st.tuples(
+    st.integers(min_value=2, max_value=8),       # clients
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=3),       # clusters
+)
+
+
+def draw_system(params):
+    num_clients, seed, num_clusters = params
+    config = WorkloadConfig(
+        num_clusters=num_clusters,
+        num_server_classes=3,
+        num_utility_classes=2,
+    )
+    return generate_system(num_clients=num_clients, seed=seed, config=config)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=instance_params)
+def test_initial_solution_has_zero_violations(params):
+    system = draw_system(params)
+    report = build_initial_solution(system, FAST, np.random.default_rng(params[1]))
+    violations = find_violations(
+        system, report.best_allocation, require_all_served=False
+    )
+    assert violations == []
+    # unserved clients are exactly the ones the greedy pass gave up on
+    unserved = {
+        c.client_id
+        for c in system.clients
+        if not report.best_allocation.entries_of_client(c.client_id)
+    }
+    assert unserved == set(report.unplaced_clients)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=instance_params)
+def test_local_search_preserves_zero_violations(params):
+    system = draw_system(params)
+    rng = np.random.default_rng(params[1])
+    report = build_initial_solution(system, FAST, rng)
+    improved = cluster_reassignment_search(
+        system, report.best_allocation, config=FAST, rng=rng, max_passes=2
+    )
+    assert find_violations(system, improved, require_all_served=False) == []

@@ -1,0 +1,172 @@
+"""Regression tests for the constraint bugs the audit flushed out."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.audit.invariants import find_violations
+from repro.core.delta import DeltaScorer
+from repro.core.state import WorkingState
+from repro.model.allocation import Allocation
+from repro.model.profit import evaluate_profit
+from repro.workload.generator import generate_system
+
+
+def bits(x: float) -> bytes:
+    return struct.pack("<d", x)
+
+
+class TestCanonicalizeStaleness:
+    """A client whose entry dict was built in non-sorted order caches an
+    order-dependent revenue sum; canonicalize() used to reorder the dict
+    without re-marking the client, so the cached value silently survived
+    resync() and disagreed with a fresh scorer at the ulp level."""
+
+    def test_allocation_reports_reordered_clients(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 2, 0.4, 0.3, 0.3)
+        alloc.set_entry(0, 1, 0.3, 0.3, 0.3)
+        alloc.set_entry(0, 0, 0.3, 0.3, 0.3)
+        assert alloc.canonicalize() == {0}
+        # already canonical: nothing to report the second time
+        assert alloc.canonicalize() == set()
+
+    def test_sorted_insertion_reports_nothing(self):
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 0.5, 0.3, 0.3)
+        alloc.set_entry(0, 1, 0.5, 0.3, 0.3)
+        assert alloc.canonicalize() == set()
+
+    @pytest.mark.parametrize("seed", [13, 44, 87])  # seeds that used to fail
+    def test_live_scorer_matches_fresh_after_canonicalize(self, seed):
+        system = generate_system(num_clients=6, seed=seed)
+        state = WorkingState(system)
+        scorer = DeltaScorer(state)
+        cluster0 = system.clusters[0]
+        sids = [s.server_id for s in cluster0.servers][:3]
+        if len(sids) < 3:
+            pytest.skip("cluster too small for a 3-branch client")
+        cid = system.clients[0].client_id
+        state.assign_client(cid, cluster0.cluster_id)
+        rng = np.random.default_rng(seed)
+        alphas = rng.dirichlet(np.ones(3))
+        for sid, alpha in zip(reversed(sids), alphas):
+            state.set_entry(cid, sid, float(alpha), 0.31, 0.29)
+        scorer.profit()  # cache the revenue in reversed entry order
+        state.canonicalize()
+        scorer.resync()
+        live = scorer.profit()
+        fresh = DeltaScorer(WorkingState(system, state.allocation.copy())).profit()
+        assert bits(live) == bits(fresh)
+
+    def test_sweep_of_seeds_bit_identical(self):
+        mismatches = []
+        for seed in range(60):
+            system = generate_system(num_clients=6, seed=seed)
+            state = WorkingState(system)
+            scorer = DeltaScorer(state)
+            cluster0 = system.clusters[0]
+            sids = [s.server_id for s in cluster0.servers][:3]
+            if len(sids) < 3:
+                continue
+            cid = system.clients[0].client_id
+            state.assign_client(cid, cluster0.cluster_id)
+            rng = np.random.default_rng(seed)
+            alphas = rng.dirichlet(np.ones(3))
+            for sid, alpha in zip(reversed(sids), alphas):
+                state.set_entry(cid, sid, float(alpha), 0.31, 0.29)
+            scorer.profit()
+            state.canonicalize()
+            scorer.resync()
+            live = scorer.profit()
+            fresh = DeltaScorer(
+                WorkingState(system, state.allocation.copy())
+            ).profit()
+            if bits(live) != bits(fresh):
+                mismatches.append(seed)
+        assert mismatches == []
+
+
+class TestRestoreResync:
+    """restore() must rebuild the scorer's running sums from scratch: the
+    old Kahan compensation encodes the discarded mutation history, so a
+    restored scorer could disagree with a fresh one at the ulp level."""
+
+    def _mutated_state(self, seed):
+        system = generate_system(num_clients=6, seed=seed)
+        state = WorkingState(system)
+        scorer = DeltaScorer(state)
+        cluster0 = system.clusters[0]
+        sids = [s.server_id for s in cluster0.servers][:2]
+        for index, client in enumerate(system.clients[:4]):
+            state.assign_client(client.client_id, cluster0.cluster_id)
+            state.set_entry(
+                client.client_id, sids[index % len(sids)], 1.0, 0.2, 0.2
+            )
+            scorer.profit()  # interleave queries to build Kahan history
+        return system, state, scorer
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_restore_then_mutate_matches_fresh(self, seed):
+        system, state, scorer = self._mutated_state(seed)
+        snapshot = state.snapshot()
+        # wander off, then come back
+        victim = system.clients[0].client_id
+        state.unassign_client(victim)
+        scorer.profit()
+        state.restore(snapshot)
+        # mutate again after the restore before the first query
+        extra = system.clients[4].client_id
+        cluster0 = system.clusters[0]
+        state.assign_client(extra, cluster0.cluster_id)
+        state.set_entry(
+            extra, cluster0.servers[0].server_id, 1.0, 0.15, 0.15
+        )
+        live = scorer.profit()
+        fresh = DeltaScorer(WorkingState(system, state.allocation.copy())).profit()
+        assert bits(live) == bits(fresh)
+
+
+class TestStabilityBoundary:
+    """Satellite: one strict stability rule everywhere.  At rho just below
+    1 every scoring path must call the branch stable; at rho == 1 every
+    path must call it unstable — no path may use a different epsilon."""
+
+    def _system_and_allocation(self, one_server_system, mu_over_lambda):
+        # lambda = alpha * rate = 1.0; choose phi so mu = mu_over_lambda.
+        # mu = phi * cap / t = phi * 4 / 0.5 = 8 phi  =>  phi = mu / 8
+        phi = mu_over_lambda / 8.0
+        alloc = Allocation()
+        alloc.assign_client(0, 0)
+        alloc.set_entry(0, 0, 1.0, phi, phi)
+        return alloc
+
+    def _verdicts(self, system, alloc):
+        scalar = not find_violations(system, alloc)
+        breakdown = evaluate_profit(
+            system, alloc, require_all_served=False, check_feasibility=True
+        )
+        oracle = not breakdown.violations and math.isfinite(breakdown.total_profit)
+        state = WorkingState(system, alloc.copy())
+        delta = DeltaScorer(state).feasible()
+        return scalar, oracle, delta
+
+    def test_rho_just_below_one_is_stable_everywhere(self, one_server_system):
+        mu = 1.0 + 1e-9  # rho = 1 / mu < 1
+        alloc = self._system_and_allocation(one_server_system, mu)
+        verdicts = self._verdicts(one_server_system, alloc)
+        assert verdicts == (True, True, True)
+
+    def test_rho_exactly_one_is_unstable_everywhere(self, one_server_system):
+        alloc = self._system_and_allocation(one_server_system, 1.0)
+        verdicts = self._verdicts(one_server_system, alloc)
+        assert verdicts == (False, False, False)
+
+    def test_rho_above_one_is_unstable_everywhere(self, one_server_system):
+        alloc = self._system_and_allocation(one_server_system, 1.0 - 1e-12)
+        verdicts = self._verdicts(one_server_system, alloc)
+        assert verdicts == (False, False, False)
