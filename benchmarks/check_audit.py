@@ -67,25 +67,35 @@ def fail(message: str) -> int:
 
 
 def check_differential_matrix() -> int:
-    reports = list(
-        run_matrix(
-            seeds=MATRIX_SEEDS,
-            num_clients=MATRIX_CLIENTS,
-            config=MATRIX_CONFIG,
+    # Cache-on is the production configuration (the vectorized path also
+    # cross-checks a cache-off solve bitwise); cache-off pins down the
+    # uncached kernels on their own.  Both must come back clean — same
+    # gate the CLI exposes as ``repro-cloud audit --cache/--no-cache``.
+    status = 0
+    for use_cache in (True, False):
+        label = "cache on" if use_cache else "cache off"
+        reports = list(
+            run_matrix(
+                seeds=MATRIX_SEEDS,
+                num_clients=MATRIX_CLIENTS,
+                config=MATRIX_CONFIG,
+                use_cache=use_cache,
+            )
         )
-    )
-    dirty = [report for report in reports if not report.ok]
-    if dirty:
-        for report in dirty:
-            print(report.summary())
-        return fail(
-            f"{len(dirty)}/{len(reports)} differential instances disagree"
+        dirty = [report for report in reports if not report.ok]
+        if dirty:
+            for report in dirty:
+                print(report.summary())
+            status = fail(
+                f"{len(dirty)}/{len(reports)} differential instances "
+                f"disagree ({label})"
+            )
+            continue
+        print(
+            f"ok: differential matrix clean on {len(reports)} instances "
+            f"({label}: scalar, vectorized, delta, service)"
         )
-    print(
-        f"ok: differential matrix clean on {len(reports)} instances "
-        "(scalar, vectorized, delta, service)"
-    )
-    return 0
+    return status
 
 
 def check_recorded_journal() -> int:

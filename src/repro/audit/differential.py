@@ -147,18 +147,36 @@ def run_differential(
     config: Optional[SolverConfig] = None,
     seed: Optional[int] = None,
     tolerance: float = AGREEMENT_TOLERANCE,
+    use_cache: bool = True,
 ) -> DifferentialReport:
-    """Run one instance through all four scoring paths and cross-check."""
+    """Run one instance through all four scoring paths and cross-check.
+
+    ``use_cache`` arms the memo cache (:mod:`repro.core.cache`) on the
+    vectorized/delta/service paths — the production configuration — so
+    the bitwise scalar-vs-vectorized gate simultaneously proves cache
+    transparency.  The scalar oracle never caches.  With the cache on,
+    the vectorized path is additionally re-solved cache-off and the two
+    runs must match bitwise (allocation and profit).
+    """
     base = config or SolverConfig()
     variants: Dict[str, SolverConfig] = {
         "scalar": replace(
-            base, use_vectorized_kernels=False, use_delta_scoring=False
+            base,
+            use_vectorized_kernels=False,
+            use_delta_scoring=False,
+            use_curve_cache=False,
         ),
         "vectorized": replace(
-            base, use_vectorized_kernels=True, use_delta_scoring=False
+            base,
+            use_vectorized_kernels=True,
+            use_delta_scoring=False,
+            use_curve_cache=use_cache,
         ),
         "delta": replace(
-            base, use_vectorized_kernels=True, use_delta_scoring=True
+            base,
+            use_vectorized_kernels=True,
+            use_delta_scoring=True,
+            use_curve_cache=use_cache,
         ),
     }
     paths: Dict[str, PathReport] = {}
@@ -184,6 +202,21 @@ def run_differential(
             "delta-scored solve drifted from scalar solve: "
             f"{delta.reported_profit!r} vs {scalar.reported_profit!r}"
         )
+    if use_cache:
+        uncached_profit, uncached_allocation = _solve_path(
+            system, replace(variants["vectorized"], use_curve_cache=False)
+        )
+        if uncached_profit != vectorized.reported_profit:
+            disagreements.append(
+                "memo cache is not bit-transparent: cached profit "
+                f"{vectorized.reported_profit!r} != uncached "
+                f"{uncached_profit!r}"
+            )
+        if uncached_allocation != vectorized.allocation:
+            disagreements.append(
+                "memo cache is not bit-transparent: cached and uncached "
+                "vectorized allocations differ"
+            )
     return DifferentialReport(seed=seed, paths=paths, disagreements=disagreements)
 
 
@@ -193,6 +226,7 @@ def run_matrix(
     config: Optional[SolverConfig] = None,
     tolerance: float = AGREEMENT_TOLERANCE,
     system_factory: Optional[Callable[[int], CloudSystem]] = None,
+    use_cache: bool = True,
 ) -> List[DifferentialReport]:
     """Differential-verify a matrix of seeded workload instances."""
     from repro.workload.generator import generate_system
@@ -206,7 +240,13 @@ def run_matrix(
         )
         base = config or SolverConfig(seed=seed)
         reports.append(
-            run_differential(system, config=base, seed=seed, tolerance=tolerance)
+            run_differential(
+                system,
+                config=base,
+                seed=seed,
+                tolerance=tolerance,
+                use_cache=use_cache,
+            )
         )
     return reports
 

@@ -76,6 +76,23 @@ class SolverConfig:
             query, recompute the full :func:`repro.model.profit.evaluate_profit`
             score and raise if the two disagree beyond 1e-9.  Slow;
             intended for tests and for diagnosing scorer drift.
+        use_curve_cache: attach a :class:`~repro.core.cache.MemoCache` to
+            the solver's working state so eq.-(16) profit curves, DP
+            combination tables, activation profiles, incumbent share
+            bounds, and dispersion resplits are memoized across candidate
+            moves instead of being rebuilt from scratch on every
+            evaluation.  Pure speed knob: cached objects are stored
+            exactly as the kernels computed them and keys capture every
+            input, so results are bit-identical to a cache-free run
+            (differentially verified).  Only takes effect together with
+            ``use_vectorized_kernels``; the scalar path stays a cache-free
+            reference oracle.
+        curve_cache_max_entries: eviction bound for the per-(client,
+            server-signature) curve store; crossing it clears the curve
+            and DP stores (simple, predictable, never stale).
+        dp_cache_max_entries: eviction bound for the DP combination table
+            store, and for the auxiliary activation/incumbent/dispersion
+            stores.
     """
 
     num_initial_solutions: int = 3
@@ -93,6 +110,9 @@ class SolverConfig:
     use_vectorized_kernels: bool = True
     use_delta_scoring: bool = True
     validate_delta_scoring: bool = False
+    use_curve_cache: bool = True
+    curve_cache_max_entries: int = 200_000
+    dp_cache_max_entries: int = 200_000
 
     def __post_init__(self) -> None:
         if self.num_initial_solutions < 1:
@@ -113,3 +133,7 @@ class SolverConfig:
             raise ConfigurationError("stability_margin must be >= 1")
         if self.num_workers is not None and self.num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1 when given")
+        if self.curve_cache_max_entries < 1:
+            raise ConfigurationError("curve_cache_max_entries must be >= 1")
+        if self.dp_cache_max_entries < 1:
+            raise ConfigurationError("dp_cache_max_entries must be >= 1")

@@ -33,6 +33,19 @@ Two curve kernels implement the same eq.-(16) arithmetic:
 
 ``SolverConfig.use_vectorized_kernels`` selects the kernel (and the
 matching array vs. scalar DP).
+
+When the working state carries a :class:`~repro.core.cache.MemoCache`
+(``SolverConfig.use_curve_cache``), a third path serves curves from a
+per-client :class:`~repro.core.cache.CurveBlock` — the client's curve
+matrix over the whole server universe.  Validation is two-tier: one
+vectorized compare of per-server mutation epochs narrows to rows a
+mutation may have touched, then those rows' stored capacity inputs are
+compared by value, and only rows whose inputs actually changed are
+recomputed.  The per-cluster DP is memoized against the block's per-row
+content versions.  The kernel is element-wise per row, so a patched
+subset batch produces bitwise the rows a full batch would — making the
+cached path bit-identical to the uncached one (differentially
+verified).
 """
 
 from __future__ import annotations
@@ -44,10 +57,12 @@ from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.config import SolverConfig
+from repro.core.cache import CurveBlock, MemoCache
 from repro.core.state import WorkingState
 from repro.model.client import Client
 from repro.optim.dp import (
     NEG_INF,
+    combine_curve_batches,
     combine_server_curves,
     combine_server_curves_scalar,
 )
@@ -155,92 +170,67 @@ def batched_server_curves(
     server_ids: Sequence[int],
     config: SolverConfig,
 ) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
-    """Eq.-(16) curves for many servers at once, deduped by memo key.
+    """Eq.-(16) curves for many servers at once.
 
     Returns ``(rows, values, phi_p, phi_b)`` where ``rows[i]`` indexes the
-    matrix row holding the curve of ``server_ids[i]`` (servers sharing a
-    (class, free capacity, storage-fit, activity) signature share a row),
-    ``values`` is the ``(unique, G + 1)`` profit matrix (``-inf`` marks
-    infeasible points, column 0 is the no-traffic point) and the ``phi``
-    matrices hold the matching share choices.
+    matrix row holding the curve of ``server_ids[i]``, ``values`` is the
+    ``(n, G + 1)`` profit matrix (``-inf`` marks infeasible points, column
+    0 is the no-traffic point) and the ``phi`` matrices hold the matching
+    share choices.  Rows map one-to-one: an earlier version deduped
+    signature-equal servers onto shared rows, but building those Python
+    keys cost more than the duplicate NumPy lanes they saved, and since
+    the kernel is element-wise per row the duplicates are bitwise equal
+    anyway.
+    """
+    idx = state.server_indices(server_ids)
+    values, phi_p_out, phi_b_out = _curves_at_indices(state, client, idx, config)
+    return list(range(len(server_ids))), values, phi_p_out, phi_b_out
+
+
+def _curves_at_indices(
+    state: WorkingState,
+    client: Client,
+    idx: np.ndarray,
+    config: SolverConfig,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Curve matrices for the servers at dense-array rows ``idx``.
+
+    The free-capacity/activity inputs come straight from the state's
+    incrementally maintained aggregate arrays; each output row runs the
+    identical IEEE operation sequence as the scalar kernel on that server,
+    independent of which other rows share the batch — which is what makes
+    subset batches (cache patching) bitwise exact.
     """
     granularity = config.alpha_granularity
 
-    # One pass over the servers builds both the memo keys and the exemplar
-    # parameter columns, reading the raw aggregate dicts and the
-    # pre-resolved ServerStatics directly — the free_*/is_active arithmetic
-    # is byte-for-byte the scalar kernel's, just without per-call method
-    # and property dispatch (this loop dominated the profile otherwise).
-    statics = state.server_statics
-    used_p_map = state._used_p
-    used_b_map = state._used_b
-    used_s_map = state._used_storage
-    active_counts = state._active_entries
-    storage_req = client.storage_req
-    t_proc = client.t_proc
-    t_comm = client.t_comm
-    factor = config.capacity_price_factor
-    shadow = config.bandwidth_shadow_price
+    fp = 1.0 - state._bg_p_arr[idx] - state._used_p_arr[idx]
+    fp = np.where(fp < 0.0, 0.0, fp)
+    fb = 1.0 - state._bg_b_arr[idx] - state._used_b_arr[idx]
+    fb = np.where(fb < 0.0, 0.0, fb)
+    fs = state._fs_base_arr[idx] - state._used_s_arr[idx]
+    fs = np.where(fs < 0.0, 0.0, fs)
+    usable = fs >= client.storage_req
+    active = state._hasbg_arr[idx] | (state._active_arr[idx] > 0)
 
-    key_to_row: Dict[Tuple, int] = {}
-    rows: List[int] = []
-    params: List[Tuple[float, ...]] = []
-    any_usable = False
-    for sid in server_ids:
-        st = statics[sid]
-        fp = 1.0 - st.background_processing - used_p_map[sid]
-        if fp < 0.0:
-            fp = 0.0
-        fb = 1.0 - st.background_bandwidth - used_b_map[sid]
-        if fb < 0.0:
-            fb = 0.0
-        fs = st.free_storage_base - used_s_map[sid]
-        if fs < 0.0:
-            fs = 0.0
-        storage_ok = fs >= storage_req
-        is_active = st.has_background_load or active_counts[sid] > 0
-        key = (st.class_index, fp, fb, storage_ok, is_active)
-        row = key_to_row.get(key)
-        if row is None:
-            row = len(params)
-            key_to_row[key] = row
-            amortized = factor * st.power_fixed
-            params.append(
-                (
-                    1.0 if storage_ok else 0.0,
-                    st.cap_processing / t_proc,
-                    st.cap_bandwidth / t_comm,
-                    fp,
-                    fb,
-                    st.power_per_util + amortized,
-                    shadow + amortized,
-                    st.power_per_util,
-                    st.power_fixed,
-                    1.0 if is_active else 0.0,
-                )
-            )
-            any_usable = any_usable or storage_ok
-        rows.append(row)
-
-    unique = len(params)
-    values = np.full((unique, granularity + 1), NEG_INF)
+    n = len(idx)
+    values = np.full((n, granularity + 1), NEG_INF)
     values[:, 0] = 0.0
-    phi_p_out = np.zeros((unique, granularity + 1))
-    phi_b_out = np.zeros((unique, granularity + 1))
+    phi_p_out = np.zeros((n, granularity + 1))
+    phi_b_out = np.zeros((n, granularity + 1))
+    if not usable.any():
+        return values, phi_p_out, phi_b_out
 
-    if not any_usable:
-        return rows, values, phi_p_out, phi_b_out
-    cols = np.array(params, dtype=np.float64).T
-    usable = cols[0] != 0.0
-    s_p = cols[1]
-    s_b = cols[2]
-    free_p = cols[3]
-    free_b = cols[4]
-    price_p = cols[5]
-    price_b = cols[6]
-    power_per_util = cols[7]
-    power_fixed = cols[8]
-    active = cols[9] != 0.0
+    s_p = state._cap_p_arr[idx] / client.t_proc
+    s_b = state._cap_b_arr[idx] / client.t_comm
+    # Capacity is priced at its opportunity cost, not just the marginal
+    # energy cost (see SolverConfig.capacity_price_factor).
+    amortized = config.capacity_price_factor * state._pfix_arr[idx]
+    power_per_util = state._ppu_arr[idx]
+    power_fixed = state._pfix_arr[idx]
+    price_p = power_per_util + amortized
+    price_b = config.bandwidth_shadow_price + amortized
+    free_p = fp
+    free_b = fb
 
     linear = client.utility_class.linear_approximation()
     weight_base = client.rate_agreed * linear.slope
@@ -291,7 +281,7 @@ def batched_server_curves(
     values[:, 1:] = np.where(ok, value, NEG_INF)
     phi_p_out[:, 1:] = np.where(ok, phi_p, 0.0)
     phi_b_out[:, 1:] = np.where(ok, phi_b, 0.0)
-    return rows, values, phi_p_out, phi_b_out
+    return values, phi_p_out, phi_b_out
 
 
 def assign_distribute(
@@ -317,6 +307,11 @@ def assign_distribute(
         return None
 
     if config.use_vectorized_kernels:
+        cache = state.cache
+        if cache is not None:
+            return _assign_distribute_cached(
+                state, client, cluster_id, eligible, config, cache
+            )
         return _assign_distribute_vectorized(
             state, client, cluster_id, eligible, config
         )
@@ -380,31 +375,225 @@ def _assign_distribute_vectorized(
     before the DP — they could only ever take 0 grid units, so dropping
     them is exact and shrinks the DP when a cluster is mostly full.
     """
-    rows, values, phi_p, phi_b = batched_server_curves(
-        state, client, eligible, config
-    )
-    takes_traffic = values[:, 1:].max(axis=1) > NEG_INF
-    curves: List[np.ndarray] = []
-    server_ids: List[int] = []
-    server_rows: List[int] = []
-    for sid, row in zip(eligible, rows):
-        if takes_traffic[row]:
-            curves.append(values[row])
-            server_ids.append(sid)
-            server_rows.append(row)
+    idx = state.server_indices(eligible)
+    values, phi_p, phi_b = _curves_at_indices(state, client, idx, config)
+    rows = np.nonzero(values[:, 1:].max(axis=1) > NEG_INF)[0]
 
-    total, units = combine_server_curves(curves, config.alpha_granularity)
+    granularity = config.alpha_granularity
+    total, units = combine_server_curves([values[r] for r in rows], granularity)
     if total == NEG_INF:
         return None
 
     entries: Dict[int, EntryTriple] = {}
-    for idx, g in enumerate(units):
+    for row, g in zip(rows, units):
         if g == 0:
             continue
-        alpha = g / config.alpha_granularity
-        row = server_rows[idx]
-        entries[server_ids[idx]] = (alpha, float(phi_p[row, g]), float(phi_b[row, g]))
+        entries[eligible[row]] = (
+            g / granularity,
+            float(phi_p[row, g]),
+            float(phi_b[row, g]),
+        )
     return _finish_placement(client, cluster_id, total, entries)
+
+
+def _client_curve_block(
+    state: WorkingState,
+    client: Client,
+    config: SolverConfig,
+    cache: MemoCache,
+) -> CurveBlock:
+    """The client's memoized curve matrix over the whole server universe.
+
+    Validation is two-tier.  A vectorized compare of the block's stored
+    epoch snapshot against the state's live epoch array narrows to the
+    rows a mutation may have touched; those rows' stored capacity inputs
+    are then compared *by value*, and only rows whose inputs actually
+    changed are recomputed through :func:`_curves_at_indices` and patched
+    in place (bumping their content version for the DP memo).  The curve
+    kernel is a pure element-wise function of the compared inputs, so
+    every row served from the block — including rows whose epoch moved
+    but whose inputs came back, e.g. after a rejected move's rollback or
+    a snapshot restore — is bitwise the row a fresh full evaluation would
+    produce.
+    """
+    token = cache.client_token(client)
+    blocks = cache._blocks
+    epochs = state._epoch_arr
+    stats = cache.stats
+    block = blocks.get(token[0])
+    if block is not None and block.token == token:
+        moved = np.nonzero(block.epochs != epochs)[0]
+        if moved.size == 0:
+            stats["curve_hits"] += 1
+            return block
+        cur_p = state._used_p_arr[moved]
+        cur_b = state._used_b_arr[moved]
+        cur_s = state._used_s_arr[moved]
+        cur_act = state._hasbg_arr[moved] | (state._active_arr[moved] > 0)
+        differs = (
+            (block.in_p[moved] != cur_p)
+            | (block.in_b[moved] != cur_b)
+            | (block.in_s[moved] != cur_s)
+            | (block.in_act[moved] != cur_act)
+        )
+        block.epochs[moved] = epochs[moved]
+        if not differs.any():
+            stats["curve_hits"] += 1
+            return block
+        changed = moved[differs]
+        stats["curve_patches"] += 1
+        values, phi_p, phi_b = _curves_at_indices(state, client, changed, config)
+        block.values[changed] = values
+        block.phi_p[changed] = phi_p
+        block.phi_b[changed] = phi_b
+        block.row_ok[changed] = values[:, 1:].max(axis=1) > NEG_INF
+        block.in_p[changed] = cur_p[differs]
+        block.in_b[changed] = cur_b[differs]
+        block.in_s[changed] = cur_s[differs]
+        block.in_act[changed] = cur_act[differs]
+        block.row_version[changed] += 1
+        return block
+    stats["curve_misses"] += 1
+    idx = np.arange(len(epochs), dtype=np.intp)
+    values, phi_p, phi_b = _curves_at_indices(state, client, idx, config)
+    block = CurveBlock(
+        token,
+        epochs.copy(),
+        state._used_p_arr.copy(),
+        state._used_b_arr.copy(),
+        state._used_s_arr.copy(),
+        state._hasbg_arr | (state._active_arr > 0),
+        values,
+        phi_p,
+        phi_b,
+        values[:, 1:].max(axis=1) > NEG_INF,
+    )
+    if len(blocks) >= cache.max_curve_entries:
+        # The DP memo goes with the blocks: a rebuilt block restarts its
+        # row versions at zero, which must not alias tables computed
+        # against the evicted block's content.
+        blocks.clear()
+        cache._dp.clear()
+        stats["evictions"] += 1
+    blocks[token[0]] = block
+    return block
+
+
+def _block_cluster_solve(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    block: CurveBlock,
+    idx: np.ndarray,
+    granularity: int,
+) -> Optional[CandidatePlacement]:
+    """DP over a block's rows at ``idx`` (unmemoized; exclusion path)."""
+    sel = idx[block.row_ok[idx]]
+    values = block.values
+    total, units = combine_server_curves([values[i] for i in sel], granularity)
+    if total == NEG_INF:
+        return None
+    return _finish_placement(
+        client, cluster_id, total, _block_entries(state, block, sel, units, granularity)
+    )
+
+
+def _block_entries(
+    state: WorkingState,
+    block: CurveBlock,
+    sel: np.ndarray,
+    units: Sequence[int],
+    granularity: int,
+) -> Dict[int, EntryTriple]:
+    sid_order = state._sid_order
+    entries: Dict[int, EntryTriple] = {}
+    for i, g in zip(sel, units):
+        if g == 0:
+            continue
+        entries[sid_order[i]] = (
+            g / granularity,
+            float(block.phi_p[i, g]),
+            float(block.phi_b[i, g]),
+        )
+    return entries
+
+
+def _cached_cluster_solve(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    block: CurveBlock,
+    granularity: int,
+    cache: MemoCache,
+) -> Optional[CandidatePlacement]:
+    """Whole-cluster DP memoized per (client, cluster).
+
+    The memo holds the *finished* :class:`CandidatePlacement` (or
+    ``None`` for an infeasible cluster) and is validated against the
+    block's content-version counters sliced at the cluster's rows: the
+    selection, every curve fed to the DP, and the resulting entries are
+    functions of those rows' content alone, and the versions move
+    exactly when a row's content is recomputed, so version-slice
+    equality replays the exact uncached result without rebuilding it.
+    """
+    arr = state.cluster_index_arrays[cluster_id]
+    token = block.token
+    cluster_versions = block.row_version[arr]
+    memo = cache._dp
+    key = (token[0], cluster_id)
+    hit = memo.get(key)
+    if (
+        hit is not None
+        and hit[0] == token
+        and np.array_equal(hit[1], cluster_versions)
+    ):
+        cache.stats["dp_hits"] += 1
+        return hit[2]
+    cache.stats["dp_misses"] += 1
+    sel = arr[block.row_ok[arr]]
+    if sel.size == 0:
+        placement = None
+    else:
+        values = block.values
+        total, units = combine_server_curves(
+            [values[i] for i in sel], granularity
+        )
+        if total == NEG_INF:
+            placement = None
+        else:
+            placement = _finish_placement(
+                client,
+                cluster_id,
+                total,
+                _block_entries(state, block, sel, units, granularity),
+            )
+    if hit is None and len(memo) >= cache.max_aux_entries:
+        memo.clear()
+        cache.stats["evictions"] += 1
+    memo[key] = (token, cluster_versions, placement)
+    return placement
+
+
+def _assign_distribute_cached(
+    state: WorkingState,
+    client: Client,
+    cluster_id: int,
+    eligible: Sequence[int],
+    config: SolverConfig,
+    cache: MemoCache,
+) -> Optional[CandidatePlacement]:
+    """Memoized production path: block curve rows + per-cluster DP memo."""
+    block = _client_curve_block(state, client, config, cache)
+    granularity = config.alpha_granularity
+    if len(eligible) == len(state.cluster_server_ids[cluster_id]):
+        return _cached_cluster_solve(
+            state, client, cluster_id, block, granularity, cache
+        )
+    # Exclusions change the DP's input set, so bypass the whole-cluster
+    # memo rather than key on arbitrary subsets.
+    return _block_cluster_solve(
+        state, client, cluster_id, block, state.server_indices(eligible), granularity
+    )
 
 
 def _finish_placement(
@@ -448,6 +637,9 @@ def best_placement(
     kids = list(cluster_ids or state.system.cluster_ids())
     excluded = excluded_server_ids or frozenset()
     if config.use_vectorized_kernels:
+        cache = state.cache
+        if cache is not None:
+            return _best_placement_cached(state, client, kids, config, excluded, cache)
         return _best_placement_vectorized(state, client, kids, config, excluded)
     candidates: List[CandidatePlacement] = []
     for cluster_id in kids:
@@ -459,6 +651,106 @@ def best_placement(
     if not candidates:
         return None
     return max(candidates, key=lambda p: p.estimated_profit)
+
+
+def _best_placement_cached(
+    state: WorkingState,
+    client: Client,
+    kids: List[int],
+    config: SolverConfig,
+    excluded: AbstractSet[int],
+    cache: MemoCache,
+) -> Optional[CandidatePlacement]:
+    """Memoized cross-cluster placement.
+
+    Mirrors :func:`_best_placement_vectorized` — one curve fetch across
+    all candidate clusters (cluster membership comes from the state's
+    precomputed lists), then one memoized per-cluster DP with the same
+    first-maximum tie-breaks — so it returns exactly what the uncached
+    path would, while repeat evaluations cost dictionary lookups.
+    """
+    block = _client_curve_block(state, client, config, cache)
+    granularity = config.alpha_granularity
+    cluster_lists = state.cluster_server_ids
+
+    if excluded:
+        best = None
+        for kid in kids:
+            ids = [sid for sid in cluster_lists[kid] if sid not in excluded]
+            if not ids:
+                continue
+            placement = _block_cluster_solve(
+                state, client, kid, block, state.server_indices(ids), granularity
+            )
+            if placement is not None and (
+                best is None or placement.estimated_profit > best.estimated_profit
+            ):
+                best = placement
+        return best
+
+    # Memo pass: resolve every cluster against the (client, cluster)
+    # placement memo first, then solve all misses in one lockstep batch.
+    token = block.token
+    memo = cache._dp
+    cluster_arrays = state.cluster_index_arrays
+    placements: List[Optional[CandidatePlacement]] = []
+    miss_positions: List[int] = []
+    miss_keys: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    groups: List[np.ndarray] = []
+    for kid in kids:
+        arr = cluster_arrays[kid]
+        cluster_versions = block.row_version[arr]
+        hit = memo.get((token[0], kid))
+        if (
+            hit is not None
+            and hit[0] == token
+            and np.array_equal(hit[1], cluster_versions)
+        ):
+            cache.stats["dp_hits"] += 1
+            placements.append(hit[2])
+            continue
+        cache.stats["dp_misses"] += 1
+        sel = arr[block.row_ok[arr]]
+        if sel.size == 0:
+            placements.append(None)
+            if hit is None and len(memo) >= cache.max_aux_entries:
+                memo.clear()
+                cache.stats["evictions"] += 1
+            memo[(token[0], kid)] = (token, cluster_versions, None)
+            continue
+        miss_positions.append(len(placements))
+        miss_keys.append((kid, cluster_versions, sel))
+        groups.append(block.values[sel])
+        placements.append(None)
+    if groups:
+        for position, (kid, versions, sel), (total, units) in zip(
+            miss_positions, miss_keys, combine_curve_batches(groups, granularity)
+        ):
+            if total == NEG_INF:
+                placement = None
+            else:
+                placement = _finish_placement(
+                    client,
+                    kid,
+                    total,
+                    _block_entries(state, block, sel, units, granularity),
+                )
+            placements[position] = placement
+            if (
+                (token[0], kid) not in memo
+                and len(memo) >= cache.max_aux_entries
+            ):
+                memo.clear()
+                cache.stats["evictions"] += 1
+            memo[(token[0], kid)] = (token, versions, placement)
+
+    best = None
+    for placement in placements:
+        if placement is not None and (
+            best is None or placement.estimated_profit > best.estimated_profit
+        ):
+            best = placement
+    return best
 
 
 def _best_placement_vectorized(
@@ -477,49 +769,54 @@ def _best_placement_vectorized(
     first-maximum tie-break are unchanged, so this returns exactly what
     the per-cluster loop would.
     """
-    system = state.system
-    all_ids: List[int] = []
+    cluster_lists = state.cluster_server_ids
+    cluster_arrays = state.cluster_index_arrays
+    parts: List[np.ndarray] = []
     spans: List[Tuple[int, int, int]] = []
+    offset = 0
     for kid in kids:
-        servers = [
-            s for s in system.cluster(kid).servers if s.server_id not in excluded
-        ]
-        if not servers:
-            continue
-        start = len(all_ids)
-        all_ids.extend(s.server_id for s in servers)
-        spans.append((kid, start, len(all_ids)))
-    if not all_ids:
+        if excluded:
+            ids = [sid for sid in cluster_lists[kid] if sid not in excluded]
+            if not ids:
+                continue
+            arr = state.server_indices(ids)
+        else:
+            arr = cluster_arrays[kid]
+            if arr.size == 0:
+                continue
+        parts.append(arr)
+        spans.append((kid, offset, offset + arr.size))
+        offset += arr.size
+    if not parts:
         return None
 
-    rows, values, phi_p, phi_b = batched_server_curves(
-        state, client, all_ids, config
-    )
+    idx = parts[0] if len(parts) == 1 else np.concatenate(parts)
+    values, phi_p, phi_b = _curves_at_indices(state, client, idx, config)
     takes_traffic = values[:, 1:].max(axis=1) > NEG_INF
     granularity = config.alpha_granularity
+    sid_order = state._sid_order
+
+    groups: List[np.ndarray] = []
+    group_rows: List[Tuple[int, np.ndarray]] = []
+    for kid, start, end in spans:
+        rows = start + np.nonzero(takes_traffic[start:end])[0]
+        if rows.size == 0:
+            continue
+        groups.append(values[rows])
+        group_rows.append((kid, rows))
 
     best: Optional[CandidatePlacement] = None
-    for kid, start, end in spans:
-        curves: List[np.ndarray] = []
-        server_ids: List[int] = []
-        server_rows: List[int] = []
-        for i in range(start, end):
-            row = rows[i]
-            if takes_traffic[row]:
-                curves.append(values[row])
-                server_ids.append(all_ids[i])
-                server_rows.append(row)
-        total, units = combine_server_curves(curves, granularity)
+    for (kid, rows), (total, units) in zip(
+        group_rows, combine_curve_batches(groups, granularity)
+    ):
         if total == NEG_INF:
             continue
         entries: Dict[int, EntryTriple] = {}
-        for idx, g in enumerate(units):
+        for row, g in zip(rows, units):
             if g == 0:
                 continue
-            alpha = g / granularity
-            row = server_rows[idx]
-            entries[server_ids[idx]] = (
-                alpha,
+            entries[sid_order[idx[row]]] = (
+                g / granularity,
                 float(phi_p[row, g]),
                 float(phi_b[row, g]),
             )

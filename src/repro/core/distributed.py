@@ -15,71 +15,145 @@ Two layers of parallelism, both semantically transparent:
 The output is the same *kind* of solution as the sequential
 :class:`~repro.core.allocator.ResourceAllocator`; the speedup factor on
 ``K`` clusters is what the paper's complexity paragraph claims.
+
+**Dispatch cost.**  The first version of this module shipped the whole
+:class:`~repro.model.datacenter.CloudSystem` inside *every* task tuple,
+so each of the ``num_initial_solutions + K`` tasks re-pickled the full
+instance (and each cluster task additionally carried a standalone
+sub-system).  The pool is now *persistent*: the system and the worker
+config ride to each worker exactly once through the executor's
+``initializer``, tasks carry only per-task deltas (a seed, or a
+``(cluster_id, allocation rows)`` payload), and the executor itself is
+reused across :meth:`DistributedAllocator.solve` calls on the same
+system.  Results are unchanged — the workers run the same code on the
+same subproblems.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import SolverConfig
 from repro.core.allocator import AllocationResult, ResourceAllocator
+from repro.core.cache import maybe_attach_cache
 from repro.core.initial import greedy_pass
 from repro.core.local_search import reassignment_pass
 from repro.core.state import WorkingState
+from repro.io import dump_canonical, system_to_dict
 from repro.model.allocation import Allocation
 from repro.model.datacenter import CloudSystem
 from repro.model.profit import evaluate_profit
 
+#: One client's branch rows inside a cluster task:
+#: ``(client_id, ((server_id, alpha, phi_p, phi_b), ...))``.
+ClientRows = Tuple[int, Tuple[Tuple[int, float, float, float], ...]]
 
-def _initial_pass_worker(
-    args: Tuple[CloudSystem, SolverConfig, int]
-) -> Tuple[float, Allocation]:
-    """One greedy construction pass in a worker process."""
-    system, config, seed = args
+# Per-worker-process state, installed once by the pool initializer.  The
+# globals live in the *worker* interpreter; the parent only writes them
+# when it is also acting as the inline fallback (num_workers == 0 is not
+# a supported mode, but tests drive the task functions directly).
+_WORKER_SYSTEM: Optional[CloudSystem] = None
+_WORKER_CONFIG: Optional[SolverConfig] = None
+
+
+def _pool_initializer(system: CloudSystem, config: SolverConfig) -> None:
+    """Install the shared instance in a worker (runs once per process)."""
+    global _WORKER_SYSTEM, _WORKER_CONFIG
+    _WORKER_SYSTEM = system
+    _WORKER_CONFIG = config
+
+
+def _initial_pass_task(seed: int) -> Tuple[float, Allocation]:
+    """One greedy construction pass against the worker's shared system."""
+    assert _WORKER_SYSTEM is not None and _WORKER_CONFIG is not None
     rng = np.random.default_rng(seed)
-    state = greedy_pass(system, config, rng)
+    state = greedy_pass(_WORKER_SYSTEM, _WORKER_CONFIG, rng)
     profit = evaluate_profit(
-        system, state.allocation, require_all_served=False
+        _WORKER_SYSTEM, state.allocation, require_all_served=False
     ).total_profit
     return profit, state.allocation
 
 
-def _cluster_subproblem(
-    system: CloudSystem, allocation: Allocation, cluster_id: int
+def _cluster_rows(allocation: Allocation, cluster_id: int) -> Tuple[ClientRows, ...]:
+    """The per-task delta: every entry row of the cluster's clients."""
+    rows: List[ClientRows] = []
+    for cid in allocation.clients_in_cluster(cluster_id):
+        entries = allocation.entries_of_client(cid)
+        rows.append(
+            (
+                cid,
+                tuple(
+                    (sid, entry.alpha, entry.phi_p, entry.phi_b)
+                    for sid, entry in entries.items()
+                ),
+            )
+        )
+    return tuple(rows)
+
+
+def _subproblem_from_rows(
+    system: CloudSystem, cluster_id: int, rows: Sequence[ClientRows]
 ) -> Tuple[CloudSystem, Allocation]:
-    """Extract one cluster and its bound clients as a standalone instance."""
+    """Rebuild one cluster's standalone instance from shared system + delta."""
     cluster = system.cluster(cluster_id)
-    client_ids = allocation.clients_in_cluster(cluster_id)
-    clients = [system.client(cid) for cid in client_ids]
+    clients = [system.client(cid) for cid, _ in rows]
     sub_system = CloudSystem(
         clusters=[cluster],
         clients=clients,
         name=f"{system.name}/cluster-{cluster_id}",
     )
     sub_allocation = Allocation()
-    for cid in client_ids:
+    for cid, entry_rows in rows:
         sub_allocation.assign_client(cid, cluster_id)
-        for sid, entry in allocation.entries_of_client(cid).items():
-            sub_allocation.set_entry(cid, sid, entry.alpha, entry.phi_p, entry.phi_b)
+        for sid, alpha, phi_p, phi_b in entry_rows:
+            sub_allocation.set_entry(cid, sid, alpha, phi_p, phi_b)
     return sub_system, sub_allocation
 
 
-def _improve_cluster_worker(
-    args: Tuple[CloudSystem, Allocation, SolverConfig]
+def _improve_cluster_task(
+    task: Tuple[int, Tuple[ClientRows, ...]]
 ) -> Allocation:
-    """Run the improvement loop on one cluster subproblem."""
-    sub_system, sub_allocation, config = args
-    allocator = ResourceAllocator(config)
+    """Improvement loop on one cluster subproblem (shared system + delta)."""
+    assert _WORKER_SYSTEM is not None and _WORKER_CONFIG is not None
+    cluster_id, rows = task
+    sub_system, sub_allocation = _subproblem_from_rows(
+        _WORKER_SYSTEM, cluster_id, rows
+    )
+    allocator = ResourceAllocator(_WORKER_CONFIG)
     return allocator.improve(sub_system, sub_allocation).allocation
 
 
+def _cluster_subproblem(
+    system: CloudSystem, allocation: Allocation, cluster_id: int
+) -> Tuple[CloudSystem, Allocation]:
+    """Extract one cluster and its bound clients as a standalone instance.
+
+    Kept as the reference construction: the worker-side
+    :func:`_subproblem_from_rows` must build exactly this instance from
+    the compact row payload (regression-tested).
+    """
+    return _subproblem_from_rows(
+        system, cluster_id, _cluster_rows(allocation, cluster_id)
+    )
+
+
 class DistributedAllocator:
-    """Per-cluster parallel variant of :class:`ResourceAllocator`."""
+    """Per-cluster parallel variant of :class:`ResourceAllocator`.
+
+    Holds one persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+    keyed to the system it was primed with; repeated :meth:`solve` calls
+    on the same system reuse the warm workers (and their shipped copy of
+    the instance).  Solving a different system re-primes the pool.  Use
+    as a context manager — or call :meth:`close` — to release the worker
+    processes; an unclosed pool is reaped with the executor's usual
+    atexit handling.
+    """
 
     def __init__(self, config: Optional[SolverConfig] = None) -> None:
         base = config or SolverConfig()
@@ -89,6 +163,45 @@ class DistributedAllocator:
         self._worker_config = replace(
             base, include_cluster_reassignment=False, parallel_clusters=False
         )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_key: Optional[Tuple[str, int]] = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _system_fingerprint(self, system: CloudSystem) -> str:
+        return hashlib.sha256(
+            dump_canonical(system_to_dict(system)).encode("utf-8")
+        ).hexdigest()
+
+    def _acquire_pool(self, system: CloudSystem) -> ProcessPoolExecutor:
+        """The persistent executor primed with ``system``; re-primed on change."""
+        max_workers = self.config.num_workers or max(system.num_clusters, 1)
+        key = (self._system_fingerprint(system), max_workers)
+        if self._pool is not None and self._pool_key == key:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_initializer,
+            initargs=(system, self._worker_config),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+    def __enter__(self) -> "DistributedAllocator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- solving -------------------------------------------------------------
 
     def solve(self, system: CloudSystem) -> AllocationResult:
         started = time.perf_counter()
@@ -97,24 +210,16 @@ class DistributedAllocator:
         seeds = [int(seed_source.integers(0, 2**31 - 1)) for _ in range(
             config.num_initial_solutions
         )]
-        max_workers = config.num_workers or max(system.num_clusters, 1)
 
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            passes = list(
-                pool.map(
-                    _initial_pass_worker,
-                    [(system, self._worker_config, seed) for seed in seeds],
-                )
-            )
-            initial_profit, allocation = max(passes, key=lambda item: item[0])
+        pool = self._acquire_pool(system)
+        passes = list(pool.map(_initial_pass_task, seeds))
+        initial_profit, allocation = max(passes, key=lambda item: item[0])
 
-            tasks = []
-            for cluster_id in system.cluster_ids():
-                sub_system, sub_allocation = _cluster_subproblem(
-                    system, allocation, cluster_id
-                )
-                tasks.append((sub_system, sub_allocation, self._worker_config))
-            improved = list(pool.map(_improve_cluster_worker, tasks))
+        tasks = [
+            (cluster_id, _cluster_rows(allocation, cluster_id))
+            for cluster_id in system.cluster_ids()
+        ]
+        improved = list(pool.map(_improve_cluster_task, tasks))
 
         merged = Allocation()
         for sub_allocation in improved:
@@ -129,6 +234,7 @@ class DistributedAllocator:
                 merged.assign_client(cid, allocation.cluster_of[cid])
 
         state = WorkingState(system, merged)
+        maybe_attach_cache(state, config)
         rng = np.random.default_rng(config.seed)
         history: List[float] = [
             evaluate_profit(system, merged, require_all_served=False).total_profit

@@ -25,17 +25,33 @@ Two optional facilities support the incremental hot-path engine:
   register itself via :meth:`attach_scorer`; every mutation then marks
   the touched client/server dirty so profit queries re-score only what
   changed.
+* **cache attachment** — a :class:`~repro.core.cache.MemoCache` may be
+  attached via :meth:`attach_cache`; the state maintains, per server, a
+  monotone *mutation epoch* (bumped on every entry write, and for every
+  server on ``restore``/``canonicalize``) that the cache uses as a fast
+  staleness filter: rows whose epoch is unchanged are provably
+  untouched, and only the rows whose epoch moved are rechecked against
+  their stored input values.
+
+The usage aggregates are kept twice, deliberately: as dicts (the O(1)
+point queries every move uses) and as dense NumPy arrays in a fixed
+server order (the batched curve kernel reads whole columns without a
+per-server Python loop).  Both run the same IEEE operations in the same
+order, so they are bitwise interchangeable.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import ModelError
 from repro.model.allocation import Allocation, ServerAllocation
 from repro.model.datacenter import CloudSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cache import MemoCache
     from repro.core.delta import DeltaScorer
 
 #: Undo-log record: ("entry", client_id, server_id, previous_entry_or_None)
@@ -89,9 +105,38 @@ class WorkingState:
         self._used_storage: Dict[int, float] = {}
         self._active_entries: Dict[int, int] = {}
         self._scorer: Optional["DeltaScorer"] = None
+        self._cache: Optional["MemoCache"] = None
         self._txn_stack: List[List[_UndoOp]] = []
         self.server_statics: Dict[int, ServerStatics] = {
             s.server_id: ServerStatics(s) for s in system.servers()
+        }
+        #: Fixed server order shared by every dense array below.
+        self._sid_order: List[int] = [s.server_id for s in system.servers()]
+        self._sid_index: Dict[int, int] = {
+            sid: i for i, sid in enumerate(self._sid_order)
+        }
+        statics = [self.server_statics[sid] for sid in self._sid_order]
+        self._bg_p_arr = np.array([st.background_processing for st in statics])
+        self._bg_b_arr = np.array([st.background_bandwidth for st in statics])
+        self._fs_base_arr = np.array([st.free_storage_base for st in statics])
+        self._cap_p_arr = np.array([st.cap_processing for st in statics])
+        self._cap_b_arr = np.array([st.cap_bandwidth for st in statics])
+        self._ppu_arr = np.array([st.power_per_util for st in statics])
+        self._pfix_arr = np.array([st.power_fixed for st in statics])
+        self._hasbg_arr = np.array(
+            [st.has_background_load for st in statics], dtype=bool
+        )
+        #: Monotone per-server mutation counter — never reset, so an
+        #: epoch-keyed cache entry can go unreachable but never stale.
+        self._epoch_arr = np.zeros(len(self._sid_order), dtype=np.int64)
+        #: Static cluster membership, precomputed so the placement loops
+        #: don't rebuild server-id lists on every candidate evaluation.
+        self.cluster_server_ids: Dict[int, List[int]] = {
+            c.cluster_id: [s.server_id for s in c] for c in system.clusters
+        }
+        self.cluster_index_arrays: Dict[int, np.ndarray] = {
+            kid: np.array([self._sid_index[sid] for sid in sids], dtype=np.intp)
+            for kid, sids in self.cluster_server_ids.items()
         }
         self._recompute_aggregates()
 
@@ -106,6 +151,16 @@ class WorkingState:
             self._used_storage[server_id] += self.system.client(client_id).storage_req
             if _entry_counts_active(entry):
                 self._active_entries[server_id] += 1
+        order = self._sid_order
+        self._used_p_arr = np.array([self._used_p[sid] for sid in order])
+        self._used_b_arr = np.array([self._used_b[sid] for sid in order])
+        self._used_s_arr = np.array([self._used_storage[sid] for sid in order])
+        self._active_arr = np.array(
+            [self._active_entries[sid] for sid in order], dtype=np.int64
+        )
+        # A bulk rebuild may reorder per-server aggregation, so every
+        # epoch-keyed cache entry must become unreachable.
+        self._epoch_arr += 1
 
     # -- scorer attachment --------------------------------------------------
 
@@ -123,6 +178,45 @@ class WorkingState:
             self._scorer.mark_client(client_id)
             if server_id is not None:
                 self._scorer.mark_server(server_id)
+
+    # -- cache attachment ---------------------------------------------------
+
+    @property
+    def cache(self) -> Optional["MemoCache"]:
+        """The attached memoization cache, if any."""
+        return self._cache
+
+    def attach_cache(self, cache: Optional["MemoCache"]) -> None:
+        """Register (or detach, with ``None``) a memoization cache."""
+        if cache is not None:
+            cache.attach(self)
+        self._cache = cache
+
+    def server_epoch(self, server_id: int) -> int:
+        """Monotone mutation counter for one server (cache key component)."""
+        return int(self._epoch_arr[self._sid_index[server_id]])
+
+    def server_indices(self, server_ids: Sequence[int]) -> np.ndarray:
+        """Dense-array row indices for a sequence of server ids."""
+        index = self._sid_index
+        return np.fromiter(
+            (index[sid] for sid in server_ids),
+            dtype=np.intp,
+            count=len(server_ids),
+        )
+
+    def note_client_replaced(self, client_id: int) -> None:
+        """The client *object* behind this id changed (e.g. a rate update).
+
+        Cached curves keyed on the old client parameters must become
+        unreachable, and so must epoch-keyed per-server derivations
+        (incumbent stability bounds) on every server currently hosting
+        the client — its entries did not move, but their meaning did.
+        """
+        if self._cache is not None:
+            self._cache.invalidate_client(client_id)
+        for server_id in self.allocation.entries_of_client(client_id):
+            self._epoch_arr[self._sid_index[server_id]] += 1
 
     # -- capacity queries ---------------------------------------------------
 
@@ -210,6 +304,7 @@ class WorkingState:
                 ("entry", client_id, server_id, old.copy() if old else None)
             )
         storage = self.system.client(client_id).storage_req
+        idx = self._sid_index[server_id]
         if old is not None:
             self._used_p[server_id] -= old.phi_p
             self._used_b[server_id] -= old.phi_b
@@ -221,6 +316,11 @@ class WorkingState:
         self._used_b[server_id] += phi_b
         self._used_storage[server_id] += storage
         self._active_entries[server_id] += 1
+        self._used_p_arr[idx] = self._used_p[server_id]
+        self._used_b_arr[idx] = self._used_b[server_id]
+        self._used_s_arr[idx] = self._used_storage[server_id]
+        self._active_arr[idx] = self._active_entries[server_id]
+        self._epoch_arr[idx] += 1
         self._mark(client_id, server_id)
 
     def remove_entry(self, client_id: int, server_id: int) -> None:
@@ -235,6 +335,12 @@ class WorkingState:
         if _entry_counts_active(old):
             self._active_entries[server_id] -= 1
         self.allocation.remove_entry(client_id, server_id)
+        idx = self._sid_index[server_id]
+        self._used_p_arr[idx] = self._used_p[server_id]
+        self._used_b_arr[idx] = self._used_b[server_id]
+        self._used_s_arr[idx] = self._used_storage[server_id]
+        self._active_arr[idx] = self._active_entries[server_id]
+        self._epoch_arr[idx] += 1
         self._mark(client_id, server_id)
 
     def clear_client(self, client_id: int) -> None:
@@ -313,6 +419,12 @@ class WorkingState:
             self._used_storage[server_id] += storage
             if _entry_counts_active(entry):
                 self._active_entries[server_id] += 1
+        idx = self._sid_index[server_id]
+        self._used_p_arr[idx] = self._used_p[server_id]
+        self._used_b_arr[idx] = self._used_b[server_id]
+        self._used_s_arr[idx] = self._used_storage[server_id]
+        self._active_arr[idx] = self._active_entries[server_id]
+        self._epoch_arr[idx] += 1
         self._mark(client_id, server_id)
 
     # -- snapshots --------------------------------------------------------------
@@ -330,6 +442,8 @@ class WorkingState:
             )
         self.allocation = snapshot.copy()
         self._recompute_aggregates()
+        if self._cache is not None:
+            self._cache.note_state_reset()
         if self._scorer is not None:
             # mark_all alone would fold the restored terms into the old
             # running sums, whose Kahan compensation still encodes the
@@ -361,6 +475,8 @@ class WorkingState:
         old_b = self._used_b
         old_storage = self._used_storage
         self._recompute_aggregates()
+        if self._cache is not None:
+            self._cache.note_state_reset()
         if self._scorer is not None:
             for cid in reordered_clients:
                 self._scorer.mark_client(cid)

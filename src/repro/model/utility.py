@@ -202,8 +202,23 @@ class UtilityClass:
             raise ModelError(f"utility class index must be >= 0, got {self.index}")
 
     def linear_approximation(self) -> LinearUtility:
-        """Linear ``v - beta * R`` surrogate used inside the optimizer."""
+        """Linear ``v - beta * R`` surrogate used inside the optimizer.
+
+        The surrogate is a pure function of this (frozen) class, yet the
+        hot paths ask for it on every candidate evaluation — so the first
+        result is cached on the instance.  ``object.__setattr__`` sidesteps
+        the frozen-dataclass guard; ``__eq__``/``__hash__`` ignore
+        ``__dict__`` extras, and pickling simply carries the memo along.
+        """
+        cached = self.__dict__.get("_linear_memo")
+        if cached is not None:
+            return cached
         if isinstance(self.function, LinearUtility):
-            return self.function
-        base = self.function.value(0.0)
-        return LinearUtility(base_value=base, slope=self.function.slope_magnitude())
+            result = self.function
+        else:
+            base = self.function.value(0.0)
+            result = LinearUtility(
+                base_value=base, slope=self.function.slope_magnitude()
+            )
+        object.__setattr__(self, "_linear_memo", result)
+        return result

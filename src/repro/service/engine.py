@@ -56,6 +56,7 @@ from repro.audit.hooks import audit_enabled, audit_point
 from repro.audit.invariants import check_no_entries_on_servers
 from repro.config import SolverConfig
 from repro.core.allocator import ResourceAllocator
+from repro.core.cache import maybe_attach_cache
 from repro.core.delta import AGREEMENT_TOLERANCE, DeltaScorer
 from repro.core.repair import (
     consolidate_servers,
@@ -167,6 +168,7 @@ class AllocationService:
         self.scorer = DeltaScorer(
             self.state, validate=self.config.validate_delta_scoring
         )
+        maybe_attach_cache(self.state, self.config)
         self.journal = journal
         self.metrics = MetricsRegistry()
         self.seq = 0
@@ -349,8 +351,10 @@ class AllocationService:
         )
         self.system.replace_client(updated)
         # The system changed behind the allocation's back; the client's
-        # revenue/stability terms must be re-derived.
+        # revenue/stability terms must be re-derived, and any cached
+        # curves priced against the old rates retired.
         self.scorer.mark_client(updated.client_id)
+        self.state.note_client_replaced(updated.client_id)
         touched = sorted(self.state.allocation.entries_of_client(updated.client_id))
         rebalance_servers(self.state, touched, self.config)
         if math.isinf(self.scorer.profit()):

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.audit import differential
 from repro.audit.differential import (
@@ -135,6 +136,76 @@ class TestJournalAudit:
         mid_doc["profit"] += 1.0
         problems = audit_journal(mid_doc, journal_path, config=SolverConfig(seed=11))
         assert any("replay failed" in p for p in problems)
+
+
+#: One step of state churn: a (possibly rejected) reassignment move, a
+#: snapshot restore, or a canonicalization boundary — the three mutation
+#: shapes the local search and the online service drive a WorkingState
+#: through, and the three the memo cache must be transparent across.
+_interleaving_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("move"), st.integers(0, 7), st.booleans()),
+        st.just(("restore",)),
+        st.just(("canonicalize",)),
+    ),
+    max_size=10,
+)
+
+
+class TestCacheTransparency:
+    """Memoization must be invisible: cache-on == cache-off, bitwise."""
+
+    @staticmethod
+    def _drive(system, config, ops):
+        """Apply one op interleaving to a fresh state; return it."""
+        from repro.core.assign import apply_placement, best_placement
+        from repro.core.cache import maybe_attach_cache
+        from repro.core.state import WorkingState
+
+        state = WorkingState(system)
+        maybe_attach_cache(state, config)
+        start = state.snapshot()
+        for op in ops:
+            if op[0] == "move":
+                _, index, commit = op
+                client = system.clients[index % len(system.clients)]
+                state.begin_txn()
+                state.unassign_client(client.client_id)
+                placement = best_placement(state, client, config)
+                if placement is not None:
+                    apply_placement(state, placement)
+                if commit and placement is not None:
+                    state.commit_txn()
+                else:
+                    state.rollback_txn()
+            elif op[0] == "restore":
+                state.restore(start)
+            else:
+                state.canonicalize()
+        return state
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=_interleaving_ops)
+    def test_interleaved_mutations_bitwise_equal_cache_on_off(self, ops):
+        from repro.core.scoring import score_state
+
+        system = generate_system(num_clients=8, seed=3)
+        base = dict(
+            seed=0,
+            num_initial_solutions=1,
+            alpha_granularity=5,
+            max_improvement_rounds=2,
+        )
+        cached = self._drive(system, SolverConfig(**base), ops)
+        plain = self._drive(
+            system, SolverConfig(use_curve_cache=False, **base), ops
+        )
+        assert score_state(cached) == score_state(plain)  # bitwise
+        assert cached.allocation == plain.allocation
 
 
 class TestPublicSurface:

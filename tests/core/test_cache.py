@@ -1,0 +1,257 @@
+"""Tests for the cross-move memoization cache (MemoCache / CurveBlock).
+
+The cache's contract is *bitwise transparency*: every value served from
+it must be exactly what a fresh evaluation would have produced.  These
+tests pin the machinery that contract rests on — two-tier curve-block
+validation (epoch filter, then value compare), per-row content versions
+gating the DP memo, client rate-epoch tokens, joint block/DP eviction,
+and survival of blocks across snapshot/restore churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.assign import (
+    _client_curve_block,
+    apply_placement,
+    best_placement,
+)
+from repro.core.cache import MemoCache, maybe_attach_cache
+from repro.core.scoring import score_state
+from repro.core.state import WorkingState
+from repro.exceptions import SolverError
+
+
+@pytest.fixture
+def cached_state(two_cluster_system, solver_config):
+    state = WorkingState(two_cluster_system)
+    cache = maybe_attach_cache(state, solver_config)
+    assert cache is not None
+    return state, cache
+
+
+class TestAttachment:
+    def test_attach_requires_cache_and_vectorized(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        assert maybe_attach_cache(state, SolverConfig(seed=0)) is not None
+
+    def test_no_cache_when_disabled(self, two_cluster_system):
+        state = WorkingState(two_cluster_system)
+        cfg = SolverConfig(seed=0, use_curve_cache=False)
+        assert maybe_attach_cache(state, cfg) is None
+        assert state.cache is None
+
+    def test_no_cache_on_scalar_path(self, two_cluster_system):
+        # The scalar path stays cache-free: it is the reference oracle
+        # the differential harness compares the cached path against.
+        state = WorkingState(two_cluster_system)
+        cfg = SolverConfig(seed=0, use_vectorized_kernels=False)
+        assert maybe_attach_cache(state, cfg) is None
+
+    def test_cache_is_single_owner(self, two_cluster_system, solver_config):
+        state = WorkingState(two_cluster_system)
+        cache = maybe_attach_cache(state, solver_config)
+        other = WorkingState(two_cluster_system)
+        with pytest.raises(SolverError):
+            cache.attach(other)
+
+
+class TestCurveBlockValidation:
+    def test_rebuild_then_hit(self, cached_state, solver_config):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        block = _client_curve_block(state, client, solver_config, cache)
+        assert cache.stats["curve_misses"] == 1
+        again = _client_curve_block(state, client, solver_config, cache)
+        assert again is block
+        assert cache.stats["curve_hits"] == 1
+        assert cache.stats["curve_patches"] == 0
+
+    def test_epoch_churn_with_restored_values_is_a_hit(
+        self, cached_state, solver_config
+    ):
+        # A rejected move bumps server epochs but returns the aggregates
+        # to bitwise the same values; the block must revalidate, not
+        # recompute (this is what makes warm replay passes all-hit).
+        state, cache = cached_state
+        client = state.system.clients[0]
+        block = _client_curve_block(state, client, solver_config, cache)
+        state.assign_client(1, 0)
+        state.set_entry(1, 0, 1.0, 0.3, 0.2)
+        state.remove_entry(1, 0)
+        state.unassign_client(1)
+        assert state.server_epoch(0) > 0  # epochs did move
+        again = _client_curve_block(state, client, solver_config, cache)
+        assert again is block
+        assert cache.stats["curve_patches"] == 0
+        assert not block.row_version.any()
+
+    def test_changed_input_patches_only_that_row(
+        self, cached_state, solver_config
+    ):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        block = _client_curve_block(state, client, solver_config, cache)
+        state.assign_client(1, 0)
+        state.set_entry(1, 0, 1.0, 0.3, 0.2)  # server 0 genuinely changed
+        patched = _client_curve_block(state, client, solver_config, cache)
+        assert patched is block
+        assert cache.stats["curve_patches"] == 1
+        idx = state._sid_index[0]
+        assert block.row_version[idx] == 1
+        others = np.delete(np.arange(len(block.row_version)), idx)
+        assert not block.row_version[others].any()
+
+    def test_patched_block_matches_fresh_build_bitwise(
+        self, two_cluster_system, solver_config
+    ):
+        state = WorkingState(two_cluster_system)
+        cache = maybe_attach_cache(state, solver_config)
+        client = two_cluster_system.clients[0]
+        _client_curve_block(state, client, solver_config, cache)
+        state.assign_client(1, 0)
+        state.set_entry(1, 0, 1.0, 0.3, 0.2)
+        patched = _client_curve_block(state, client, solver_config, cache)
+
+        oracle_state = WorkingState(two_cluster_system, state.snapshot())
+        oracle_cache = maybe_attach_cache(oracle_state, solver_config)
+        fresh = _client_curve_block(
+            oracle_state, client, solver_config, oracle_cache
+        )
+        assert np.array_equal(patched.values, fresh.values)
+        assert np.array_equal(patched.phi_p, fresh.phi_p)
+        assert np.array_equal(patched.phi_b, fresh.phi_b)
+        assert np.array_equal(patched.row_ok, fresh.row_ok)
+
+    def test_client_token_bump_forces_rebuild(self, cached_state, solver_config):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        _client_curve_block(state, client, solver_config, cache)
+        cache.invalidate_client(client.client_id)
+        _client_curve_block(state, client, solver_config, cache)
+        assert cache.stats["curve_misses"] == 2
+        assert cache.stats["client_epoch_bumps"] == 1
+
+    def test_eviction_clears_blocks_and_dp_together(
+        self, two_cluster_system, solver_config
+    ):
+        # A rebuilt block restarts row versions at zero; stale DP tables
+        # keyed on the old block's versions must not survive to alias it.
+        state = WorkingState(two_cluster_system)
+        cache = MemoCache(solver_config, max_curve_entries=1)
+        state.attach_cache(cache)
+        cache.attach(state)
+        for client in two_cluster_system.clients[:2]:
+            best_placement(state, client, solver_config)
+        assert cache.stats["evictions"] >= 1
+        assert len(cache._blocks) <= 1
+        surviving = set(cache._blocks)
+        assert all(key[0] in surviving for key in cache._dp)
+
+
+class TestDpMemo:
+    def test_repeat_placement_hits_and_returns_same_result(
+        self, cached_state, solver_config
+    ):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        first = best_placement(state, client, solver_config)
+        misses = cache.stats["dp_misses"]
+        second = best_placement(state, client, solver_config)
+        assert cache.stats["dp_hits"] > 0
+        assert cache.stats["dp_misses"] == misses
+        assert second is first  # memo stores the finished placement
+
+    def test_memoized_placement_matches_uncached_bitwise(
+        self, two_cluster_system, solver_config
+    ):
+        state = WorkingState(two_cluster_system)
+        maybe_attach_cache(state, solver_config)
+        client = two_cluster_system.clients[0]
+        best_placement(state, client, solver_config)  # prime the memo
+        cached = best_placement(state, client, solver_config)
+
+        off = SolverConfig(seed=0, use_curve_cache=False)
+        plain = best_placement(WorkingState(two_cluster_system), client, off)
+        assert cached.entries == plain.entries
+        assert cached.estimated_profit == plain.estimated_profit
+
+    def test_row_change_invalidates_dp(self, cached_state, solver_config):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        placement = best_placement(state, client, solver_config)
+        apply_placement(state, placement)
+        misses = cache.stats["dp_misses"]
+        other = state.system.clients[1]
+        best_placement(state, other, solver_config)
+        assert cache.stats["dp_misses"] > misses  # new rows, no stale reuse
+
+
+class TestStateReset:
+    def test_restore_keeps_blocks_serving(self, cached_state, solver_config):
+        # note_state_reset no longer drops the block store: restore bumps
+        # every epoch, but value validation finds the inputs came back.
+        state, cache = cached_state
+        client = state.system.clients[0]
+        start = state.snapshot()
+        placement = best_placement(state, client, solver_config)
+        apply_placement(state, placement)
+        state.restore(start)
+        assert cache._blocks  # survived the reset
+        patches = cache.stats["curve_patches"]
+        misses = cache.stats["curve_misses"]
+        _client_curve_block(state, client, solver_config, cache)
+        assert cache.stats["curve_misses"] == misses
+        assert cache.stats["curve_patches"] == patches
+
+    def test_restore_drops_incumbent_store(self, cached_state, solver_config):
+        state, cache = cached_state
+        cache.store_incumbent(0, state.server_epoch(0), (0.1, 0.2))
+        state.restore(state.snapshot())
+        assert not cache._incumbent
+
+    def test_cached_solve_is_transparent_after_restore(
+        self, two_cluster_system, solver_config
+    ):
+        state = WorkingState(two_cluster_system)
+        maybe_attach_cache(state, solver_config)
+        start = state.snapshot()
+        for client in two_cluster_system.clients:
+            placement = best_placement(state, client, solver_config)
+            if placement is not None:
+                apply_placement(state, placement)
+        state.restore(start)
+        # Replay against a cache-off state: every step must agree bitwise.
+        off_cfg = SolverConfig(seed=0, use_curve_cache=False)
+        off = WorkingState(two_cluster_system)
+        for client in two_cluster_system.clients:
+            warm = best_placement(state, client, solver_config)
+            plain = best_placement(off, client, off_cfg)
+            assert (warm is None) == (plain is None)
+            if warm is not None:
+                assert warm.entries == plain.entries
+                apply_placement(state, warm)
+                apply_placement(off, plain)
+        assert score_state(state) == score_state(off)
+        assert state.allocation == off.allocation
+
+
+class TestReporting:
+    def test_summary_mentions_every_section(self, cached_state, solver_config):
+        state, cache = cached_state
+        best_placement(state, state.system.clients[0], solver_config)
+        text = cache.summary()
+        for word in ("curve", "dp", "activation", "incumbent", "dispersion",
+                     "patches", "evictions"):
+            assert word in text
+
+    def test_hit_rate_tracks_stats(self, cached_state, solver_config):
+        state, cache = cached_state
+        client = state.system.clients[0]
+        _client_curve_block(state, client, solver_config, cache)
+        assert cache.hit_rate("curve") == 0.0
+        _client_curve_block(state, client, solver_config, cache)
+        assert cache.hit_rate("curve") == 0.5
