@@ -20,6 +20,15 @@ a tight threshold::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --sections curve_cache,dp_combine,pool_dispatch --sizes 60 \
         --threshold 0.10
+
+``--suite scale`` gates the sharded hierarchical solver instead: it
+re-runs ``benchmarks/bench_scale.py`` at the requested sizes (default
+the n=1000 point), which itself asserts the audit-clean merge, the <= 1%
+profit gap and the sharded-vs-unsharded speedup, and then compares wall
+clock against the committed ``BENCH_scale.json``::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --suite scale --sizes 1000 --threshold 0.5
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_scale  # noqa: E402
 from bench_hotpaths import OUTPUT_PATH, SECTIONS, run_benchmarks  # noqa: E402
 
 #: Keys holding the measured-code timing per benchmark section.
@@ -50,10 +60,17 @@ FAST_KEYS = {
 #: so only timer jitter can make the ratio exceed 1.
 DP_ADAPTIVE_TOLERANCE = 0.10
 
+#: Same invariant for the adaptive curve-construction dispatch
+#: (``CURVE_SCALAR_CROSSOVER_CELLS`` in ``repro.core.assign``): below
+#: the crossover it runs the memoized scalar loop, so the measured
+#: "vectorized" path can only lose to the scalar reference by jitter.
+CURVE_ADAPTIVE_TOLERANCE = 0.15
+
 #: Absolute slowdown below which a relative regression is ignored: the
-#: warm-cache sections run in fractions of a millisecond at the small
-#: sizes, where scheduler jitter alone exceeds any percentage threshold.
-NOISE_FLOOR_S = 0.002
+#: warm-cache sections run in single-digit milliseconds at the small
+#: sizes, where scheduler jitter alone (measured at 2-3ms run-to-run on
+#: a loaded single-core host) exceeds any percentage threshold.
+NOISE_FLOOR_S = 0.005
 
 
 def compare(baseline: dict, current: dict, threshold: float) -> list:
@@ -91,6 +108,58 @@ def check_dp_adaptive(current: dict) -> list:
     return problems
 
 
+def check_curve_adaptive(current: dict) -> list:
+    """The adaptive curve construction must never lose to the scalar loop.
+
+    Below ``CURVE_SCALAR_CROSSOVER_CELLS`` the dispatch *is* the scalar
+    loop (modulo memo-key bookkeeping); above it the vectorized kernel
+    wins by construction.  Either way, losing to the scalar reference
+    beyond jitter + noise floor means the crossover constant is wrong
+    for this host.
+    """
+    problems = []
+    for size, row in current["results"].get("curve_construction", {}).items():
+        limit = row["scalar_s"] * (1.0 + CURVE_ADAPTIVE_TOLERANCE)
+        if row["vectorized_s"] > limit and (
+            row["vectorized_s"] - row["scalar_s"] > NOISE_FLOOR_S
+        ):
+            problems.append(
+                f"curve_construction n={size}: adaptive path "
+                f"{row['vectorized_s']:.4f}s slower than scalar "
+                f"{row['scalar_s']:.4f}s"
+            )
+    return problems
+
+
+def check_scale_suite(baseline_path: Path, sizes, threshold: float) -> list:
+    """The sharded-solver gate: re-run small scale points, compare.
+
+    Re-runs ``bench_scale`` at the requested sizes (default: the 1k
+    point only — the big sizes are measured offline and committed).
+    ``bench_scale.run_benchmarks`` already asserts the hard invariants
+    (audit-clean merge, <= 1% gap and speedup > 1 at n <= 1k); this adds
+    a wall-clock comparison against the committed baseline.
+    """
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}; run bench_scale.py first"]
+    baseline = json.loads(baseline_path.read_text())
+    chosen = sizes if sizes is not None else (1000,)
+    current = bench_scale.run_benchmarks(sizes=chosen)
+    problems = []
+    for size, row in current["results"].items():
+        base_row = baseline["results"].get(size)
+        if base_row is None:
+            continue
+        base_s = base_row["sharded_s"]
+        now_s = row["sharded_s"]
+        if base_s > 0 and now_s > base_s * (1.0 + threshold):
+            problems.append(
+                f"scale n={size}: sharded {base_s:.1f}s -> {now_s:.1f}s "
+                f"(+{(now_s / base_s - 1.0) * 100.0:.0f}%)"
+            )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -100,10 +169,18 @@ def main() -> int:
         help="allowed fractional slowdown before failing (default 0.25)",
     )
     parser.add_argument(
+        "--suite",
+        choices=("hotpaths", "scale"),
+        default="hotpaths",
+        help="hotpaths: kernel micro-benchmarks vs BENCH_hotpaths.json; "
+        "scale: sharded-solver points vs BENCH_scale.json",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
-        default=OUTPUT_PATH,
-        help="baseline JSON to compare against (default BENCH_hotpaths.json)",
+        default=None,
+        help="baseline JSON to compare against (default: the suite's "
+        "committed BENCH_*.json)",
     )
     parser.add_argument(
         "--sections",
@@ -120,16 +197,29 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    if not args.baseline.exists():
-        print(f"no baseline at {args.baseline}; run bench_hotpaths.py first")
-        return 1
-    baseline = json.loads(args.baseline.read_text())
-    sections = args.sections.split(",") if args.sections else None
     sizes = (
         tuple(int(n) for n in args.sizes.split(","))
         if args.sizes
         else None
     )
+
+    if args.suite == "scale":
+        baseline_path = args.baseline or bench_scale.OUTPUT_PATH
+        problems = check_scale_suite(baseline_path, sizes, args.threshold)
+        if problems:
+            print("scale-suite regressions beyond threshold:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print(f"scale suite within {args.threshold * 100:.0f}% of baseline")
+        return 0
+
+    baseline_path = args.baseline or OUTPUT_PATH
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run bench_hotpaths.py first")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    sections = args.sections.split(",") if args.sections else None
     current = (
         run_benchmarks(sections=sections)
         if sizes is None
@@ -138,6 +228,7 @@ def main() -> int:
 
     problems = compare(baseline, current, args.threshold)
     problems.extend(check_dp_adaptive(current))
+    problems.extend(check_curve_adaptive(current))
     if problems:
         print("hot-path regressions beyond threshold:")
         for line in problems:

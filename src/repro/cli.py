@@ -91,6 +91,20 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fleet", action="store_true", help="print per-server utilization bars"
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the instance into this many shards and solve them "
+        "on a worker pool with price coordination (1 = unsharded)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded solver "
+        "(default: min(shards, cpu count))",
+    )
 
     p = sub.add_parser("compare", help="heuristic vs baselines on one instance")
     _add_instance_args(p)
@@ -265,8 +279,19 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     _maybe_enable_audit(args)
     system = generate_system(num_clients=args.clients, seed=args.seed)
-    config = SolverConfig(seed=args.seed, max_improvement_rounds=args.rounds)
-    result = ResourceAllocator(config).solve(system)
+    config = SolverConfig(
+        seed=args.seed,
+        max_improvement_rounds=args.rounds,
+        num_shards=args.shards,
+        num_workers=args.workers,
+    )
+    if args.shards > 1:
+        from repro.core.sharded import ShardedAllocator
+
+        with ShardedAllocator(config) as allocator:
+            result = allocator.solve(system)
+    else:
+        result = ResourceAllocator(config).solve(system)
     print(result.breakdown.summary())
     print(
         f"initial profit {result.initial_profit:.4f} -> final "

@@ -9,7 +9,7 @@ engineering knobs documented field by field.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -93,6 +93,31 @@ class SolverConfig:
         dp_cache_max_entries: eviction bound for the DP combination table
             store, and for the auxiliary activation/incumbent/dispersion
             stores.
+        cluster_bandwidth_prices: per-cluster overrides of
+            ``bandwidth_shadow_price`` as a sorted tuple of
+            ``(cluster_id, price)`` pairs; clusters not listed keep the
+            flat price.  This is the coordination signal of the sharded
+            solver: the coordinator raises a congested cluster's price
+            between rounds, and every shard's eq.-(16) curves respond by
+            steering traffic elsewhere.  ``None`` (the default) keeps the
+            flat price and the kernels' arithmetic bit-identical to
+            previous releases.
+        num_shards: client partitions for the sharded hierarchical solver
+            (:class:`~repro.core.sharded.ShardedAllocator`); 1 disables
+            sharding.  Each shard solves a disjoint slice of clients and
+            servers, so merged allocations are feasible by construction.
+        shard_coordination_rounds: price-coordination rounds after the
+            initial shard solves (each round re-prices clusters from the
+            merged usage summary and lets every shard warm-improve).
+        shard_price_gain: sensitivity of the per-cluster price update,
+            ``price_k = base * (1 + gain * utilization_k)``.
+        shard_final_rounds: full improvement rounds run sequentially on
+            the *merged* allocation after coordination ends — the
+            hierarchy's repair step (the per-cluster distributed solver
+            does the same with its final reassignment passes).  Each
+            round sees the whole system, so moves the partition forbade
+            (cross-shard placements, global share rebalancing) become
+            available; this is what closes most of the sharding gap.
     """
 
     num_initial_solutions: int = 3
@@ -113,6 +138,11 @@ class SolverConfig:
     use_curve_cache: bool = True
     curve_cache_max_entries: int = 200_000
     dp_cache_max_entries: int = 200_000
+    cluster_bandwidth_prices: Optional[Tuple[Tuple[int, float], ...]] = None
+    num_shards: int = 1
+    shard_coordination_rounds: int = 1
+    shard_price_gain: float = 0.5
+    shard_final_rounds: int = 3
 
     def __post_init__(self) -> None:
         if self.num_initial_solutions < 1:
@@ -137,3 +167,30 @@ class SolverConfig:
             raise ConfigurationError("curve_cache_max_entries must be >= 1")
         if self.dp_cache_max_entries < 1:
             raise ConfigurationError("dp_cache_max_entries must be >= 1")
+        if self.cluster_bandwidth_prices is not None:
+            seen = set()
+            for pair in self.cluster_bandwidth_prices:
+                if len(pair) != 2:
+                    raise ConfigurationError(
+                        "cluster_bandwidth_prices entries must be "
+                        "(cluster_id, price) pairs"
+                    )
+                cluster_id, price = pair
+                if cluster_id in seen:
+                    raise ConfigurationError(
+                        f"duplicate cluster id {cluster_id} in "
+                        "cluster_bandwidth_prices"
+                    )
+                seen.add(cluster_id)
+                if price < 0:
+                    raise ConfigurationError(
+                        "cluster_bandwidth_prices prices must be >= 0"
+                    )
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        if self.shard_coordination_rounds < 0:
+            raise ConfigurationError("shard_coordination_rounds must be >= 0")
+        if self.shard_price_gain < 0:
+            raise ConfigurationError("shard_price_gain must be >= 0")
+        if self.shard_final_rounds < 0:
+            raise ConfigurationError("shard_final_rounds must be >= 0")

@@ -14,6 +14,9 @@ Module map (section V of the paper):
 * :mod:`repro.core.local_search` — cluster-level client reassignment;
 * :mod:`repro.core.allocator` — the top-level driver tying it together;
 * :mod:`repro.core.distributed` — per-cluster parallel execution;
+* :mod:`repro.core.sharded` — sharded hierarchical solver (disjoint
+  client/server shards + per-cluster price coordination) for instances
+  far beyond the single-state solver's reach;
 * :mod:`repro.core.repair` — the move primitives re-packaged as scoped
   repair operations for the online service (:mod:`repro.service`).
 """
@@ -25,6 +28,7 @@ from repro.core.initial import build_initial_solution
 from repro.core.local_search import cluster_reassignment_search
 from repro.core.admission import AdmissionResult, admission_controlled_solve
 from repro.core.distributed import DistributedAllocator
+from repro.core.sharded import ShardedAllocator
 from repro.core.repair import (
     consolidate_servers,
     drain_server,
@@ -44,6 +48,7 @@ __all__ = [
     "AdmissionResult",
     "admission_controlled_solve",
     "DistributedAllocator",
+    "ShardedAllocator",
     "consolidate_servers",
     "drain_server",
     "place_client",

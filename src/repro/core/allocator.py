@@ -103,6 +103,25 @@ class ResourceAllocator:
         result.runtime_seconds = time.perf_counter() - started
         return result
 
+    def improvement_round(
+        self,
+        state: WorkingState,
+        rng: np.random.Generator,
+        blocked_for_shutdown: Optional[Set[int]] = None,
+    ) -> None:
+        """One improvement round on an externally managed working state.
+
+        The sharded hierarchical solver drives its worker-resident shard
+        states through this: the same move sequence as one iteration of
+        :meth:`solve`'s while-not-steady loop, including the straggler
+        retry pass.
+        """
+        self._improvement_round(
+            state,
+            rng,
+            blocked_for_shutdown if blocked_for_shutdown is not None else set(),
+        )
+
     # -- internals ----------------------------------------------------------
 
     def _improvement_round(

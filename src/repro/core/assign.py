@@ -70,6 +70,16 @@ from repro.optim.dp import (
 #: (alpha, phi_p, phi_b) chosen for one server.
 EntryTriple = Tuple[float, float, float]
 
+#: Below this many curve cells (servers x (G+1)) the memoized scalar loop
+#: beats the batched NumPy kernel, whose fixed broadcast/dispatch
+#: overhead dominates tiny batches (measured on the reference host:
+#: scalar wins to ~66 cells, the array kernel from ~88 cells — the
+#: scalar twin's matrix scatter eats its memo win beyond a handful of
+#: servers).  Mirrors ``SCALAR_CROSSOVER_CELLS`` in
+#: :mod:`repro.optim.dp`; asserted never slower than scalar by
+#: ``benchmarks/check_regression.py``.
+CURVE_SCALAR_CROSSOVER_CELLS = 72
+
 
 @dataclass(frozen=True)
 class CandidatePlacement:
@@ -134,7 +144,7 @@ def _server_curves(
     # server at P0 (see SolverConfig.capacity_price_factor).
     amortized = config.capacity_price_factor * server.server_class.power_fixed
     price_p = server.server_class.power_per_util + amortized
-    price_b = config.bandwidth_shadow_price + amortized
+    price_b = state.bandwidth_price_of(server_id, config) + amortized
 
     for g in range(1, granularity + 1):
         alpha = g / granularity
@@ -200,8 +210,15 @@ def _curves_at_indices(
     identical IEEE operation sequence as the scalar kernel on that server,
     independent of which other rows share the batch — which is what makes
     subset batches (cache patching) bitwise exact.
+
+    Small batches (below :data:`CURVE_SCALAR_CROSSOVER_CELLS` cells)
+    dispatch to the signature-memoized scalar kernel, which produces the
+    same matrices bit-for-bit (the two kernels are property-tested
+    identical) without NumPy's per-expression launch overhead.
     """
     granularity = config.alpha_granularity
+    if len(idx) * (granularity + 1) <= CURVE_SCALAR_CROSSOVER_CELLS:
+        return _curves_scalar_at_indices(state, client, idx, config)
 
     fp = 1.0 - state._bg_p_arr[idx] - state._used_p_arr[idx]
     fp = np.where(fp < 0.0, 0.0, fp)
@@ -228,7 +245,7 @@ def _curves_at_indices(
     power_per_util = state._ppu_arr[idx]
     power_fixed = state._pfix_arr[idx]
     price_p = power_per_util + amortized
-    price_b = config.bandwidth_shadow_price + amortized
+    price_b = state.bandwidth_prices_at(idx, config) + amortized
     free_p = fp
     free_b = fb
 
@@ -281,6 +298,51 @@ def _curves_at_indices(
     values[:, 1:] = np.where(ok, value, NEG_INF)
     phi_p_out[:, 1:] = np.where(ok, phi_p, 0.0)
     phi_b_out[:, 1:] = np.where(ok, phi_b, 0.0)
+    return values, phi_p_out, phi_b_out
+
+
+def _curves_scalar_at_indices(
+    state: WorkingState,
+    client: Client,
+    idx: np.ndarray,
+    config: SolverConfig,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scalar twin of the batched curve kernel for small batches.
+
+    Runs :func:`_server_curves` per memo-unique signature (class, free
+    capacities, storage fit, activity, bandwidth price) and scatters the
+    resulting rows into the same matrices the vectorized kernel returns.
+    Signature-equal servers — typically the still-empty ones of one SKU —
+    share a single curve evaluation, which is where the scalar path's win
+    on small clusters comes from.
+    """
+    granularity = config.alpha_granularity
+    count = len(idx)
+    values = np.full((count, granularity + 1), NEG_INF)
+    values[:, 0] = 0.0
+    phi_p_out = np.zeros((count, granularity + 1))
+    phi_b_out = np.zeros((count, granularity + 1))
+    sid_order = state._sid_order
+    memo: Dict[Tuple, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+    for row in range(count):
+        sid = sid_order[idx[row]]
+        key = (
+            state.server_statics[sid].class_index,
+            state.free_processing(sid),
+            state.free_bandwidth(sid),
+            state.free_storage(sid) >= client.storage_req,
+            state.server_is_active(sid),
+            state.bandwidth_price_of(sid, config),
+        )
+        rows = memo.get(key)
+        if rows is None:
+            curve, shares = _server_curves(state, client, sid, config)
+            share_arr = np.asarray(shares)
+            rows = (np.asarray(curve), share_arr[:, 0], share_arr[:, 1])
+            memo[key] = rows
+        values[row] = rows[0]
+        phi_p_out[row] = rows[1]
+        phi_b_out[row] = rows[2]
     return values, phi_p_out, phi_b_out
 
 

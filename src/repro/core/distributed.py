@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import hashlib
 import time
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -67,6 +68,87 @@ def _pool_initializer(system: CloudSystem, config: SolverConfig) -> None:
     global _WORKER_SYSTEM, _WORKER_CONFIG
     _WORKER_SYSTEM = system
     _WORKER_CONFIG = config
+
+
+# -- system fingerprint -------------------------------------------------------
+
+#: id(system) -> (weakref to the system, membership epoch, sha256 digest).
+#: Keyed on object identity + membership epoch: recomputing the canonical
+#: dump of a 100k-client system costs seconds, and pool acquisition does
+#: it on *every* solve call.  The weakref callback evicts the slot when
+#: the system dies, so a recycled id() can never alias a stale digest.
+_FINGERPRINT_MEMO: Dict[int, Tuple["weakref.ref", int, str]] = {}
+
+
+def system_fingerprint(system: CloudSystem) -> str:
+    """Content hash of a system, memoized per live object.
+
+    The memo is invalidated by client membership edits (tracked through
+    :attr:`CloudSystem.membership_epoch`); topology is immutable, so the
+    epoch fully covers the mutable surface the canonical dump sees.
+    """
+    key = id(system)
+    slot = _FINGERPRINT_MEMO.get(key)
+    if (
+        slot is not None
+        and slot[0]() is system
+        and slot[1] == system.membership_epoch
+    ):
+        return slot[2]
+    digest = hashlib.sha256(
+        dump_canonical(system_to_dict(system)).encode("utf-8")
+    ).hexdigest()
+    ref = weakref.ref(system, lambda _, k=key: _FINGERPRINT_MEMO.pop(k, None))
+    _FINGERPRINT_MEMO[key] = (ref, system.membership_epoch, digest)
+    return digest
+
+
+class WorkerPool:
+    """A persistent ProcessPoolExecutor primed once per (system, size).
+
+    The system and worker config ride to each worker exactly once through
+    the executor initializer; repeated :meth:`acquire` calls with the
+    same system and size return the warm pool.  Shared by the per-cluster
+    :class:`DistributedAllocator` and the sharded hierarchical solver.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key: Optional[Tuple[str, int]] = None
+
+    @property
+    def pool(self) -> Optional[ProcessPoolExecutor]:
+        return self._pool
+
+    @property
+    def key(self) -> Optional[Tuple[str, int]]:
+        return self._key
+
+    def acquire(
+        self,
+        system: CloudSystem,
+        worker_config: SolverConfig,
+        max_workers: int,
+    ) -> ProcessPoolExecutor:
+        """The persistent executor primed with ``system``; re-primed on change."""
+        key = (system_fingerprint(system), max_workers)
+        if self._pool is not None and self._key == key:
+            return self._pool
+        self.close()
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_initializer,
+            initargs=(system, worker_config),
+        )
+        self._key = key
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._key = None
 
 
 def _initial_pass_task(seed: int) -> Tuple[float, Allocation]:
@@ -163,37 +245,29 @@ class DistributedAllocator:
         self._worker_config = replace(
             base, include_cluster_reassignment=False, parallel_clusters=False
         )
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_key: Optional[Tuple[str, int]] = None
+        self._pool_manager = WorkerPool()
 
     # -- pool lifecycle ------------------------------------------------------
 
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        return self._pool_manager.pool
+
+    @property
+    def _pool_key(self) -> Optional[Tuple[str, int]]:
+        return self._pool_manager.key
+
     def _system_fingerprint(self, system: CloudSystem) -> str:
-        return hashlib.sha256(
-            dump_canonical(system_to_dict(system)).encode("utf-8")
-        ).hexdigest()
+        return system_fingerprint(system)
 
     def _acquire_pool(self, system: CloudSystem) -> ProcessPoolExecutor:
         """The persistent executor primed with ``system``; re-primed on change."""
         max_workers = self.config.num_workers or max(system.num_clusters, 1)
-        key = (self._system_fingerprint(system), max_workers)
-        if self._pool is not None and self._pool_key == key:
-            return self._pool
-        self.close()
-        self._pool = ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_pool_initializer,
-            initargs=(system, self._worker_config),
-        )
-        self._pool_key = key
-        return self._pool
+        return self._pool_manager.acquire(system, self._worker_config, max_workers)
 
     def close(self) -> None:
         """Shut down the persistent worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_key = None
+        self._pool_manager.close()
 
     def __enter__(self) -> "DistributedAllocator":
         return self

@@ -42,17 +42,38 @@ order, so they are bitwise interchangeable.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.model.allocation import Allocation, ServerAllocation
+from repro.model.allocation import Allocation, AllocationRows, ServerAllocation
 from repro.model.datacenter import CloudSystem
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cache import MemoCache
     from repro.core.delta import DeltaScorer
+
+
+class ClusterUsage(NamedTuple):
+    """Aggregate capacity picture of one cluster (coordination summary)."""
+
+    used_processing: float
+    used_bandwidth: float
+    free_processing: float
+    free_bandwidth: float
+    active_servers: int
+    total_servers: int
 
 #: Undo-log record: ("entry", client_id, server_id, previous_entry_or_None)
 #: or ("cluster", client_id, previous_cluster_or_None).
@@ -138,9 +159,14 @@ class WorkingState:
             kid: np.array([self._sid_index[sid] for sid in sids], dtype=np.intp)
             for kid, sids in self.cluster_server_ids.items()
         }
+        #: Per-(price-override, base) dense price vectors, built lazily.
+        self._cluster_price_arrays: Dict[Tuple, np.ndarray] = {}
         self._recompute_aggregates()
 
-    def _recompute_aggregates(self) -> None:
+    def _recompute_aggregates(self, rows: Optional[AllocationRows] = None) -> None:
+        if rows is not None:
+            self._recompute_aggregates_from_rows(rows)
+            return
         self._used_p = {s.server_id: 0.0 for s in self.system.servers()}
         self._used_b = dict(self._used_p)
         self._used_storage = dict(self._used_p)
@@ -160,6 +186,45 @@ class WorkingState:
         )
         # A bulk rebuild may reorder per-server aggregation, so every
         # epoch-keyed cache entry must become unreachable.
+        self._epoch_arr += 1
+
+    def _recompute_aggregates_from_rows(self, rows: AllocationRows) -> None:
+        """Array-built twin of the dict recount above.
+
+        ``np.add.at`` is unbuffered — each occurrence adds sequentially in
+        row order, so per-server partial-sum sequences are identical to
+        the dict loop over ``iter_entries`` (whose order the rows mirror)
+        and both layouts stay bitwise interchangeable.
+        """
+        count = len(self._sid_order)
+        used_p = np.zeros(count)
+        used_b = np.zeros(count)
+        used_s = np.zeros(count)
+        active = np.zeros(count, dtype=np.int64)
+        if rows.num_entries:
+            sidx = self.server_indices(rows.entry_servers.tolist())
+            np.add.at(used_p, sidx, rows.phi_p)
+            np.add.at(used_b, sidx, rows.phi_b)
+            storage = np.fromiter(
+                (
+                    self.system.client(cid).storage_req
+                    for cid in rows.entry_clients.tolist()
+                ),
+                dtype=np.float64,
+                count=rows.num_entries,
+            )
+            np.add.at(used_s, sidx, storage)
+            counts_active = (rows.alpha > 0.0) | (rows.phi_p > 0.0) | (rows.phi_b > 0.0)
+            np.add.at(active, sidx[counts_active], 1)
+        self._used_p_arr = used_p
+        self._used_b_arr = used_b
+        self._used_s_arr = used_s
+        self._active_arr = active
+        order = self._sid_order
+        self._used_p = dict(zip(order, used_p.tolist()))
+        self._used_b = dict(zip(order, used_b.tolist()))
+        self._used_storage = dict(zip(order, used_s.tolist()))
+        self._active_entries = dict(zip(order, active.tolist()))
         self._epoch_arr += 1
 
     # -- scorer attachment --------------------------------------------------
@@ -451,6 +516,103 @@ class WorkingState:
             # scratch so a restored scorer is bit-identical to a fresh one.
             self._scorer.mark_all()
             self._scorer.resync()
+
+    def export_rows(self) -> AllocationRows:
+        """Flat row-table snapshot of the allocation (shard shipping)."""
+        return self.allocation.to_rows()
+
+    def restore_rows(self, rows: AllocationRows) -> None:
+        """Replace the allocation from row tables and rebuild aggregates.
+
+        The O(rows) twin of :meth:`restore`: aggregates are rebuilt by
+        unbuffered array scatter-adds instead of the per-entry dict loop,
+        bitwise identical because the rows mirror iteration order.  Same
+        cache/scorer reset discipline as :meth:`restore`.
+        """
+        if self._txn_stack:
+            raise ModelError(
+                "restore_rows() during an open transaction would corrupt the "
+                "undo log; rollback_txn/commit_txn first"
+            )
+        self.allocation = Allocation.from_rows(rows)
+        self._recompute_aggregates(rows)
+        if self._cache is not None:
+            self._cache.note_state_reset()
+        if self._scorer is not None:
+            self._scorer.mark_all()
+            self._scorer.resync()
+
+    def cluster_usage_summary(self) -> Dict[int, ClusterUsage]:
+        """Per-cluster capacity aggregates, read off the dense arrays.
+
+        This is the coordination payload the sharded solver ships upward:
+        O(servers) NumPy reductions, no per-entry traversal.
+        """
+        summary: Dict[int, ClusterUsage] = {}
+        for kid, cidx in self.cluster_index_arrays.items():
+            free_p = np.maximum(
+                1.0 - self._bg_p_arr[cidx] - self._used_p_arr[cidx], 0.0
+            )
+            free_b = np.maximum(
+                1.0 - self._bg_b_arr[cidx] - self._used_b_arr[cidx], 0.0
+            )
+            active = self._hasbg_arr[cidx] | (self._active_arr[cidx] > 0)
+            summary[kid] = ClusterUsage(
+                used_processing=float(self._used_p_arr[cidx].sum()),
+                used_bandwidth=float(self._used_b_arr[cidx].sum()),
+                free_processing=float(free_p.sum()),
+                free_bandwidth=float(free_b.sum()),
+                active_servers=int(active.sum()),
+                total_servers=int(len(cidx)),
+            )
+        return summary
+
+    # -- cluster-level shadow prices ----------------------------------------
+
+    def bandwidth_price_of(self, server_id: int, config) -> float:
+        """The bandwidth shadow price charged on one server.
+
+        ``config.cluster_bandwidth_prices`` (when set) overrides the flat
+        ``config.bandwidth_shadow_price`` per cluster — the coordination
+        signal of the sharded solver.  Scalar twin of
+        :meth:`bandwidth_prices_at`; both read the same dense vector, so
+        the two eq.-(16) kernels keep seeing identical operands.
+        """
+        overrides = config.cluster_bandwidth_prices
+        if overrides is None:
+            return config.bandwidth_shadow_price
+        arr = self._bandwidth_price_array(overrides, config.bandwidth_shadow_price)
+        return float(arr[self._sid_index[server_id]])
+
+    def bandwidth_prices_at(self, idx: np.ndarray, config):
+        """Bandwidth shadow prices for dense-array rows ``idx``.
+
+        Returns the flat scalar when no per-cluster overrides are set (so
+        the vectorized kernel's arithmetic is unchanged bit-for-bit), and
+        a per-row float64 vector otherwise.
+        """
+        overrides = config.cluster_bandwidth_prices
+        if overrides is None:
+            return config.bandwidth_shadow_price
+        arr = self._bandwidth_price_array(overrides, config.bandwidth_shadow_price)
+        return arr[idx]
+
+    def _bandwidth_price_array(
+        self, overrides: Tuple[Tuple[int, float], ...], base: float
+    ) -> np.ndarray:
+        key = (overrides, base)
+        arr = self._cluster_price_arrays.get(key)
+        if arr is None:
+            if len(self._cluster_price_arrays) >= 8:
+                self._cluster_price_arrays.pop(next(iter(self._cluster_price_arrays)))
+            lookup = dict(overrides)
+            arr = np.full(len(self._sid_order), base, dtype=np.float64)
+            for kid, cidx in self.cluster_index_arrays.items():
+                price = lookup.get(kid)
+                if price is not None:
+                    arr[cidx] = price
+            self._cluster_price_arrays[key] = arr
+        return arr
 
     def canonicalize(self) -> None:
         """Normalize history-dependent internal state into canonical form.

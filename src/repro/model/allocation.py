@@ -29,7 +29,9 @@ into a loud :class:`~repro.exceptions.SolverError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.exceptions import ModelError
 
@@ -79,6 +81,56 @@ class ServerAllocation:
 
     def copy(self) -> "ServerAllocation":
         return ServerAllocation(self.alpha, self.phi_p, self.phi_b)
+
+
+class AllocationRows(NamedTuple):
+    """Struct-of-arrays snapshot of an :class:`Allocation`.
+
+    Two parallel tables: the *assignment* table binds clients to clusters
+    (``x_ik``) and the *entry* table holds one row per (client, server)
+    decision triple, in the allocation's client-major iteration order.
+    The arrays pickle as flat buffers, concatenate with
+    :meth:`concatenate`, and rebuild into dict form with
+    :meth:`Allocation.from_rows` — which is what makes shard shipping and
+    shard merging O(rows) NumPy work instead of per-client dict traversal.
+    """
+
+    assign_clients: np.ndarray  # int64 (A,) client ids with a cluster binding
+    assign_clusters: np.ndarray  # int64 (A,) their cluster ids
+    entry_clients: np.ndarray  # int64 (E,) client id per entry row
+    entry_servers: np.ndarray  # int64 (E,) server id per entry row
+    alpha: np.ndarray  # float64 (E,)
+    phi_p: np.ndarray  # float64 (E,)
+    phi_b: np.ndarray  # float64 (E,)
+
+    @property
+    def num_assigned(self) -> int:
+        return int(self.assign_clients.shape[0])
+
+    @property
+    def num_entries(self) -> int:
+        return int(self.entry_clients.shape[0])
+
+    @staticmethod
+    def concatenate(parts: Sequence["AllocationRows"]) -> "AllocationRows":
+        """Merge row tables whose client sets are disjoint (shard merge)."""
+        if not parts:
+            return _empty_rows()
+        return AllocationRows(
+            *(np.concatenate([getattr(p, f) for p in parts]) for f in AllocationRows._fields)
+        )
+
+
+def _empty_rows() -> AllocationRows:
+    return AllocationRows(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.float64),
+    )
 
 
 class Allocation:
@@ -250,6 +302,75 @@ class Allocation:
         self.cluster_of = {cid: self.cluster_of[cid] for cid in sorted(self.cluster_of)}
         self._epoch.value += 1
         return reordered
+
+    # -- struct-of-arrays interchange ---------------------------------------
+
+    def to_rows(self) -> AllocationRows:
+        """Export the allocation as flat row tables (see AllocationRows).
+
+        Row order is the allocation's iteration order, so a canonicalized
+        allocation exports sorted rows and ``from_rows`` rebuilds it with
+        identical dict insertion order — the property the bit-determinism
+        machinery (scorer resync, aggregate recounts) relies on.
+        """
+        num_assigned = len(self.cluster_of)
+        num_entries = sum(len(per_client) for per_client in self._entries.values())
+        rows = AllocationRows(
+            np.fromiter(self.cluster_of.keys(), dtype=np.int64, count=num_assigned),
+            np.fromiter(self.cluster_of.values(), dtype=np.int64, count=num_assigned),
+            np.empty(num_entries, dtype=np.int64),
+            np.empty(num_entries, dtype=np.int64),
+            np.empty(num_entries, dtype=np.float64),
+            np.empty(num_entries, dtype=np.float64),
+            np.empty(num_entries, dtype=np.float64),
+        )
+        pos = 0
+        for client_id, per_client in self._entries.items():
+            for server_id, entry in per_client.items():
+                rows.entry_clients[pos] = client_id
+                rows.entry_servers[pos] = server_id
+                rows.alpha[pos] = entry.alpha
+                rows.phi_p[pos] = entry.phi_p
+                rows.phi_b[pos] = entry.phi_b
+                pos += 1
+        return rows
+
+    @classmethod
+    def from_rows(cls, rows: AllocationRows) -> "Allocation":
+        """Rebuild dict form from row tables produced by :meth:`to_rows`.
+
+        Every entry row's client must appear in the assignment table (true
+        for any exported allocation; enforced here so a corrupted merge
+        fails loudly instead of producing dangling entries).
+        """
+        alloc = cls()
+        alloc.cluster_of = dict(
+            zip(rows.assign_clients.tolist(), rows.assign_clusters.tolist())
+        )
+        if len(alloc.cluster_of) != rows.num_assigned:
+            raise ModelError("duplicate client ids in assignment rows")
+        entries: Dict[int, Dict[int, ServerAllocation]] = {}
+        on_server: Dict[int, Set[int]] = {}
+        box = alloc._epoch
+        for client_id, server_id, alpha, phi_p, phi_b in zip(
+            rows.entry_clients.tolist(),
+            rows.entry_servers.tolist(),
+            rows.alpha.tolist(),
+            rows.phi_p.tolist(),
+            rows.phi_b.tolist(),
+        ):
+            if client_id not in alloc.cluster_of:
+                raise ModelError(
+                    f"entry row for client {client_id} lacks an assignment row"
+                )
+            entry = ServerAllocation(alpha=alpha, phi_p=phi_p, phi_b=phi_b)
+            entry._epoch_box = box
+            entries.setdefault(client_id, {})[server_id] = entry
+            on_server.setdefault(server_id, set()).add(client_id)
+        alloc._entries = entries
+        alloc._clients_on_server = on_server
+        box.value += 1
+        return alloc
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -28,8 +28,10 @@ class CloudSystem:
     _clients_by_id: Dict[int, Client] = field(init=False, repr=False)
     _clusters_by_id: Dict[int, Cluster] = field(init=False, repr=False)
     _cluster_of_server: Dict[int, int] = field(init=False, repr=False)
+    _membership_epoch: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        self._membership_epoch = 0
         if not self.clusters:
             raise ModelError("a cloud system needs at least one cluster")
         self._clusters_by_id = {}
@@ -100,12 +102,23 @@ class CloudSystem:
     # arrive and depart while a long-lived WorkingState is attached, so
     # membership edits must be O(1)-ish and keep every id index in sync.
 
+    @property
+    def membership_epoch(self) -> int:
+        """Monotone counter bumped by every client membership edit.
+
+        Identity-keyed derivations over the system (the distributed
+        solvers' content fingerprint) use this to detect that a system
+        object has changed since they last saw it.
+        """
+        return self._membership_epoch
+
     def add_client(self, client: Client) -> None:
         """Register a new client (online admission)."""
         if client.client_id in self._clients_by_id:
             raise ModelError(f"duplicate client_id {client.client_id}")
         self.clients.append(client)
         self._clients_by_id[client.client_id] = client
+        self._membership_epoch += 1
 
     def remove_client(self, client_id: int) -> Client:
         """Drop a client (online departure); returns the removed spec."""
@@ -114,6 +127,7 @@ class CloudSystem:
         except KeyError:
             raise ModelError(f"unknown client_id {client_id}") from None
         self.clients.remove(client)
+        self._membership_epoch += 1
         return client
 
     def replace_client(self, client: Client) -> Client:
@@ -129,6 +143,7 @@ class CloudSystem:
             raise ModelError(f"unknown client_id {client.client_id}") from None
         self.clients[self.clients.index(previous)] = client
         self._clients_by_id[client.client_id] = client
+        self._membership_epoch += 1
         return previous
 
     @property

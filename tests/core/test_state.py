@@ -4,7 +4,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.state import WorkingState
-from repro.model.allocation import Allocation
+from repro.io import allocation_to_dict
+from repro.model.allocation import Allocation, AllocationRows
 
 
 class TestCapacityQueries:
@@ -133,3 +134,90 @@ def test_aggregates_never_drift(two_cluster_system, ops):
         else:
             state.set_entry(client_id, server_id, alpha, phi, phi)
     state.check_consistency()  # raises on drift
+
+
+def _assert_soa_parity(state: WorkingState) -> None:
+    """Dict aggregates and dense arrays must be *bitwise* interchangeable."""
+    for idx, sid in enumerate(state._sid_order):
+        assert state._used_p[sid] == state._used_p_arr[idx]
+        assert state._used_b[sid] == state._used_b_arr[idx]
+        assert state._used_storage[sid] == state._used_s_arr[idx]
+        assert state._active_entries[sid] == state._active_arr[idx]
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),   # op kind
+            st.integers(min_value=0, max_value=2),   # client
+            st.integers(min_value=0, max_value=3),   # server (cluster = sid // 2)
+            st.floats(min_value=0.1, max_value=1.0),
+            st.floats(min_value=0.0, max_value=0.3),
+        ),
+        max_size=25,
+    )
+)
+def test_dict_and_array_aggregates_interchangeable(two_cluster_system, ops):
+    """Property: the struct-of-arrays mirror never diverges from the dicts.
+
+    Interleaves plain mutations, transaction rollbacks, snapshot/restore,
+    row-table restore (the shard shipping path) and a final shard-style
+    split/merge, asserting bitwise dict/array parity after every step —
+    the invariant the sharded solver's O(rows) merge relies on.
+    """
+    state = WorkingState(two_cluster_system)
+    for kind, client_id, server_id, alpha, phi in ops:
+        cluster_id = two_cluster_system.cluster_of_server(server_id)
+        if kind == 0:
+            state.assign_client(client_id, cluster_id)
+            state.set_entry(client_id, server_id, alpha, phi, phi)
+        elif kind == 1:
+            state.assign_client(client_id, cluster_id)
+            state.remove_entry(client_id, server_id)
+        elif kind == 2:
+            # Mutate inside a transaction, then roll everything back.
+            state.begin_txn()
+            state.assign_client(client_id, cluster_id)
+            state.set_entry(client_id, server_id, alpha, phi, phi)
+            state.rollback_txn()
+        elif kind == 3:
+            # Snapshot, perturb, restore.
+            snapshot = state.snapshot()
+            state.assign_client(client_id, cluster_id)
+            state.set_entry(client_id, server_id, alpha, phi, phi)
+            state.restore(snapshot)
+        else:
+            # Ship through the struct-of-arrays row table and back.
+            state.restore_rows(state.export_rows())
+        _assert_soa_parity(state)
+    state.check_consistency()
+
+    # Shard-style merge: split the rows by client parity, concatenate the
+    # halves, and rebuild -- the merged state must equal the original.
+    rows = state.export_rows()
+    manifest_before = allocation_to_dict(state.allocation)
+    parts = []
+    for parity in (0, 1):
+        keep_a = rows.assign_clients % 2 == parity
+        keep_e = rows.entry_clients % 2 == parity
+        parts.append(
+            AllocationRows(
+                rows.assign_clients[keep_a],
+                rows.assign_clusters[keep_a],
+                rows.entry_clients[keep_e],
+                rows.entry_servers[keep_e],
+                rows.alpha[keep_e],
+                rows.phi_p[keep_e],
+                rows.phi_b[keep_e],
+            )
+        )
+    merged = WorkingState(two_cluster_system)
+    merged.restore_rows(AllocationRows.concatenate(parts))
+    _assert_soa_parity(merged)
+    merged.check_consistency()
+    assert allocation_to_dict(merged.allocation) == manifest_before
