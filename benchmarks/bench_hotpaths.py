@@ -22,7 +22,10 @@ Times the kernels the perf work targeted, at three instance sizes:
 * **pool dispatch** — per-task payload serialization for the
   distributed allocator: the legacy full-subproblem pickle (standalone
   ``CloudSystem`` per task) vs the persistent-pool delta payload
-  (``(cluster_id, entry rows)`` riding on a once-shipped system).
+  (``(cluster_id, entry rows)`` riding on a once-shipped system);
+* **pending queue** — the service engine's admission-queue bookkeeping:
+  linear-scan list membership (the pre-fix idiom) vs the id-indexed
+  :class:`~repro.service.engine.PendingQueue`.
 
 Run as a script to (re)generate ``BENCH_hotpaths.json`` at the repo
 root::
@@ -72,6 +75,7 @@ from repro.optim.dp import (  # noqa: E402
     combine_server_curves,
     combine_server_curves_scalar,
 )
+from repro.service.engine import PendingQueue  # noqa: E402
 from repro.workload.generator import generate_system  # noqa: E402
 
 SIZES = (60, 140, 240)
@@ -303,6 +307,58 @@ def bench_local_search_pass(num_clients: int, repeats: int = 3) -> Dict[str, flo
     }
 
 
+def bench_pending_queue(num_clients: int, repeats: int = 5) -> Dict[str, float]:
+    """Admission-queue bookkeeping: linear-scan list vs id-indexed queue.
+
+    Replays the engine's admission hot path — a membership probe per
+    event (``_validate``), a lookup per rate update, and a scan-remove
+    per departure — against a queue of ``num_clients`` waiting clients.
+    ``scan_s`` is the pre-fix idiom (plain list, every probe O(n));
+    ``indexed_s`` is :class:`repro.service.engine.PendingQueue`.
+    """
+    system = generate_system(num_clients=num_clients, seed=SEED)
+    clients = list(system.clients)
+    rounds = 40
+
+    def scan() -> None:
+        pending: List = []
+        for client in clients:
+            if all(q.client_id != client.client_id for q in pending):
+                pending.append(client)
+        for _ in range(rounds):
+            for client in clients:
+                any(q.client_id == client.client_id for q in pending)
+                next(
+                    (q for q in pending if q.client_id == client.client_id),
+                    None,
+                )
+        for client in clients[::2]:
+            for idx, queued in enumerate(pending):
+                if queued.client_id == client.client_id:
+                    pending.pop(idx)
+                    break
+
+    def indexed() -> None:
+        pending = PendingQueue()
+        for client in clients:
+            if client.client_id not in pending:
+                pending.add(client)
+        for _ in range(rounds):
+            for client in clients:
+                client.client_id in pending
+                pending.get(client.client_id)
+        for client in clients[::2]:
+            pending.remove(client.client_id)
+
+    scan_s = _best_of(scan, repeats)
+    indexed_s = _best_of(indexed, repeats)
+    return {
+        "scan_s": scan_s,
+        "indexed_s": indexed_s,
+        "speedup": scan_s / indexed_s,
+    }
+
+
 #: Section name -> measurement function; ``run_benchmarks`` preserves
 #: this order in the output JSON.
 SECTIONS: Dict[str, Callable[[int], Dict[str, float]]] = {
@@ -311,6 +367,7 @@ SECTIONS: Dict[str, Callable[[int], Dict[str, float]]] = {
     "curve_cache": bench_curve_cache,
     "local_search_pass": bench_local_search_pass,
     "pool_dispatch": bench_pool_dispatch,
+    "pending_queue": bench_pending_queue,
 }
 
 

@@ -97,25 +97,40 @@ class ShardRoundResult:
     nonce: Tuple[int, int]
 
 
+def deal_servers(system: CloudSystem, num_shards: int) -> List[Tuple[int, ...]]:
+    """Deal the cluster-ordered server list round-robin into ``num_shards`` hands.
+
+    Striding the (cluster-contiguous) server list deals each cluster's
+    servers round-robin, so every hand holds ~1/S of every cluster's
+    capacity — a balanced capacity miniature of the full fleet.  Clamped
+    so every hand owns at least one server.  Shared by the batch
+    hierarchy (:func:`plan_shards`) and the online service tier
+    (:class:`repro.service.router.ServiceRouter`), which partitions only
+    servers because its clients arrive later, as events.
+    """
+    servers = [s.server_id for s in system.servers()]
+    count = max(1, min(num_shards, len(servers)))
+    return [tuple(servers[s::count]) for s in range(count)]
+
+
 def plan_shards(system: CloudSystem, num_shards: int) -> List[ShardSpec]:
     """Partition clients and servers into balanced disjoint shards.
 
     Both partitions stride sorted id order: shard ``s`` takes every
     ``S``-th client and every ``S``-th server of the cluster-ordered
-    server list.  Striding the (cluster-contiguous) server list deals
-    each cluster's servers round-robin, so every shard holds ~1/S of
+    server list (:func:`deal_servers`), so every shard holds ~1/S of
     every cluster's capacity and a demand-representative client sample —
     a balanced miniature of the full instance.  ``num_shards`` is
     clamped so every shard owns at least one client and one server.
     """
     clients = sorted(system.client_ids())
-    servers = [s.server_id for s in system.servers()]
-    count = max(1, min(num_shards, len(clients), len(servers)))
+    count = max(1, min(num_shards, len(clients), system.num_servers))
+    hands = deal_servers(system, count)
     return [
         ShardSpec(
             shard_id=s,
             client_ids=tuple(clients[s::count]),
-            server_ids=tuple(servers[s::count]),
+            server_ids=hands[s],
         )
         for s in range(count)
     ]

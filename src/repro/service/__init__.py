@@ -14,6 +14,9 @@ Module map:
 * :mod:`repro.service.journal` — append-only event journal and
   snapshot+journal crash recovery;
 * :mod:`repro.service.driver` — replay workload traces as event streams;
+* :mod:`repro.service.router` — :class:`ServiceRouter`, the sharded
+  async tier (bounded queues, backpressure, load shedding, failover);
+* :mod:`repro.service.loadgen` — open-loop Poisson burst generator;
 * :mod:`repro.service.metrics` — counters, repair-latency histogram,
   profit timeline.
 """
@@ -40,26 +43,47 @@ from repro.service.events import (
     event_to_dict,
 )
 from repro.service.journal import EventJournal, recover
-from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.loadgen import (
+    Burst,
+    LoadGenConfig,
+    flatten_bursts,
+    generate_load,
+)
+from repro.service.metrics import LatencyHistogram, MetricsRegistry, merged_quantiles
+from repro.service.router import (
+    RouterPolicy,
+    ServiceRouter,
+    ShedRecord,
+    admit_priority,
+)
 
 __all__ = [
     "AllocationService",
+    "Burst",
     "ClientAdmit",
     "ClientDepart",
     "EventJournal",
     "EventOutcome",
     "LatencyHistogram",
+    "LoadGenConfig",
     "MetricsRegistry",
     "RateUpdate",
+    "RouterPolicy",
     "ServerFail",
     "ServerRecover",
     "ServiceEvent",
     "ServicePolicy",
+    "ServiceRouter",
+    "ShedRecord",
     "TraceDriverConfig",
+    "admit_priority",
     "event_from_dict",
     "event_to_dict",
+    "flatten_bursts",
     "flatten_events",
     "generate_epoch_events",
+    "generate_load",
+    "merged_quantiles",
     "recover",
     "run_service_trace",
 ]

@@ -50,7 +50,7 @@ import hashlib
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, Iterator, List, Optional, Set
 
 from repro.audit.hooks import audit_enabled, audit_point
 from repro.audit.invariants import check_no_entries_on_servers
@@ -127,6 +127,81 @@ class ServicePolicy:
             )
 
 
+class PendingQueue:
+    """FIFO admission queue indexed by client id.
+
+    The engine's original pending list made every membership probe an
+    O(n) scan, so one queue-retry pass under overload was O(n²).  This
+    keeps the same FIFO iteration order (dict insertion order) while
+    membership, lookup, in-place replace and removal are O(1).
+
+    ``on_change`` fires with the new depth after every mutation; the
+    engine wires it to ``metrics.queue_depth``, so the gauge is updated
+    at the single point where the queue actually changes and can never
+    go stale, whichever event path touched it.
+    """
+
+    def __init__(self, on_change: Optional[Callable[[int], None]] = None) -> None:
+        self._clients: Dict[int, Client] = {}
+        self._on_change = on_change
+
+    def _changed(self) -> None:
+        if self._on_change is not None:
+            self._on_change(len(self._clients))
+
+    def add(self, client: Client) -> None:
+        if client.client_id in self._clients:
+            raise ServiceError(
+                f"client {client.client_id} is already pending"
+            )
+        self._clients[client.client_id] = client
+        self._changed()
+
+    def remove(self, client_id: int) -> Client:
+        try:
+            client = self._clients.pop(client_id)
+        except KeyError:
+            raise ServiceError(f"client {client_id} is not pending") from None
+        self._changed()
+        return client
+
+    def replace(self, client: Client) -> None:
+        """Swap a queued client's spec without losing its queue position."""
+        if client.client_id not in self._clients:
+            raise ServiceError(f"client {client.client_id} is not pending")
+        self._clients[client.client_id] = client
+        self._changed()
+
+    def get(self, client_id: int) -> Optional[Client]:
+        return self._clients.get(client_id)
+
+    def clear(self) -> None:
+        self._clients.clear()
+        self._changed()
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._clients
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def __iter__(self) -> Iterator[Client]:
+        return iter(self._clients.values())
+
+    def __getitem__(self, index: int) -> Client:
+        return list(self._clients.values())[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PendingQueue):
+            return list(self) == list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PendingQueue({sorted(self._clients)})"
+
+
 @dataclass
 class EventOutcome:
     """What one :meth:`AllocationService.apply` call did."""
@@ -173,7 +248,7 @@ class AllocationService:
         self.metrics = MetricsRegistry()
         self.seq = 0
         self.failed: Set[int] = set()
-        self.pending: List[Client] = []
+        self.pending = PendingQueue(on_change=self._note_queue_depth)
         self._drift_ref: Dict[int, float] = {}
         self._events_since_oracle = 0
 
@@ -181,11 +256,14 @@ class AllocationService:
             if self.state.allocation.entries_of_client(client.client_id):
                 self._drift_ref[client.client_id] = client.rate_predicted
             elif not self._try_place(client):
-                self.pending.append(self._evict(client.client_id))
+                self.pending.add(self._evict(client.client_id))
         self._boundary()
         if math.isinf(self.scorer.profit()):
             raise ServiceError("initial allocation is infeasible")
-        self.metrics.queue_depth = len(self.pending)
+
+    def _note_queue_depth(self, depth: int) -> None:
+        """Single queue-depth sink: every PendingQueue mutation lands here."""
+        self.metrics.queue_depth = depth
 
     # -- public surface ------------------------------------------------------
 
@@ -239,7 +317,6 @@ class AllocationService:
         outcome.repair_seconds = time.perf_counter() - started
         self.metrics.incr(f"events_{_EVENT_TAGS[type(event)]}")
         self.metrics.record_event(self.seq, profit, outcome.repair_seconds)
-        self.metrics.queue_depth = len(self.pending)
         return outcome
 
     def apply_many(self, events) -> List[EventOutcome]:
@@ -247,20 +324,14 @@ class AllocationService:
 
     # -- validation ----------------------------------------------------------
 
-    def _pending_index(self, client_id: int) -> Optional[int]:
-        for index, client in enumerate(self.pending):
-            if client.client_id == client_id:
-                return index
-        return None
-
     def _validate(self, event: ServiceEvent) -> None:
         if isinstance(event, ClientAdmit):
             cid = event.client.client_id
-            if self.system.has_client(cid) or self._pending_index(cid) is not None:
+            if self.system.has_client(cid) or cid in self.pending:
                 raise ServiceError(f"client {cid} is already known to the service")
         elif isinstance(event, (ClientDepart, RateUpdate)):
             cid = event.client_id
-            if not self.system.has_client(cid) and self._pending_index(cid) is None:
+            if not self.system.has_client(cid) and cid not in self.pending:
                 raise ServiceError(f"client {cid} is not known to the service")
         elif isinstance(event, ServerFail):
             if event.server_id not in self.state.server_statics:
@@ -313,7 +384,7 @@ class AllocationService:
             return
         self.scorer.deregister_client(client.client_id)
         self.system.remove_client(client.client_id)
-        self.pending.append(client)
+        self.pending.add(client)
         outcome.accepted = False
         outcome.queued = True
         self.metrics.incr("admits_queued")
@@ -326,9 +397,8 @@ class AllocationService:
         return self.system.remove_client(client_id)
 
     def _depart(self, client_id: int) -> None:
-        index = self._pending_index(client_id)
-        if index is not None:
-            del self.pending[index]
+        if client_id in self.pending:
+            self.pending.remove(client_id)
             return
         touched = sorted(self.state.allocation.entries_of_client(client_id))
         self._evict(client_id)
@@ -339,12 +409,18 @@ class AllocationService:
         self._retry_pending()
 
     def _rate_update(self, event: RateUpdate, outcome: EventOutcome) -> None:
-        index = self._pending_index(event.client_id)
-        if index is not None:
-            self.pending[index] = dataclasses.replace(
-                self.pending[index], rate_predicted=event.rate_predicted
+        queued = self.pending.get(event.client_id)
+        if queued is not None:
+            updated = dataclasses.replace(
+                queued, rate_predicted=event.rate_predicted
             )
-            self._retry_pending()
+            self.pending.replace(updated)
+            # No capacity was freed, so every *other* pending client is
+            # still unplaceable (retry passes are exhaustive after each
+            # event); only the updated client's feasibility can have
+            # changed.  Retrying just it is equivalent to a full pass —
+            # and keeps overload rate-churn O(1) instead of O(pending).
+            self._retry_one(updated)
             return
         updated = dataclasses.replace(
             self.system.client(event.client_id), rate_predicted=event.rate_predicted
@@ -364,7 +440,7 @@ class AllocationService:
             rebalance_servers(self.state, touched, self.config)
             if not self._try_place(updated):
                 self._evict(updated.client_id)
-                self.pending.append(updated)
+                self.pending.add(updated)
                 outcome.queued = True
                 outcome.stranded.append(updated.client_id)
                 self.metrics.incr("clients_stranded")
@@ -394,7 +470,7 @@ class AllocationService:
         )
         for client_id in stranded:
             client = self._evict(client_id)
-            self.pending.append(client)
+            self.pending.add(client)
             outcome.stranded.append(client_id)
             self.metrics.incr("clients_stranded")
         # Post-drain audit (defense in depth): no surviving row may
@@ -416,7 +492,7 @@ class AllocationService:
             if client_id in rehomed:
                 rehomed.remove(client_id)
             if not self._try_place(client):
-                self.pending.append(self._evict(client_id))
+                self.pending.add(self._evict(client_id))
                 outcome.stranded.append(client_id)
                 self.metrics.incr("clients_stranded")
         receiving: Set[int] = set()
@@ -428,19 +504,22 @@ class AllocationService:
         self.failed.discard(server_id)
         self._retry_pending()
 
+    def _retry_one(self, client: Client) -> bool:
+        """Attempt to place one queued client; True iff it left the queue."""
+        self.system.add_client(client)
+        self.scorer.register_client(client.client_id)
+        if self._try_place(client):
+            self.pending.remove(client.client_id)
+            self.metrics.incr("pending_placed")
+            return True
+        self.scorer.deregister_client(client.client_id)
+        self.system.remove_client(client.client_id)
+        return False
+
     def _retry_pending(self) -> None:
         """One FIFO pass over the queue; admits every client that now fits."""
-        still_waiting: List[Client] = []
-        for client in self.pending:
-            self.system.add_client(client)
-            self.scorer.register_client(client.client_id)
-            if self._try_place(client):
-                self.metrics.incr("pending_placed")
-            else:
-                self.scorer.deregister_client(client.client_id)
-                self.system.remove_client(client.client_id)
-                still_waiting.append(client)
-        self.pending = still_waiting
+        for client in list(self.pending):
+            self._retry_one(client)
 
     # -- drift-triggered re-optimization -------------------------------------
 
@@ -511,7 +590,7 @@ class AllocationService:
         # served), then the queue gets a retry against the new allocation.
         for client in list(self.system.clients):
             if not self.state.allocation.entries_of_client(client.client_id):
-                self.pending.append(self._evict(client.client_id))
+                self.pending.add(self._evict(client.client_id))
         self._retry_pending()
         return True
 
@@ -582,13 +661,14 @@ class AllocationService:
             )
             service.seq = doc["seq"]
             service.failed = set(doc["failed_servers"])
-            service.pending = [client_from_dict(d) for d in doc["pending"]]
+            service.pending.clear()
+            for entry in doc["pending"]:
+                service.pending.add(client_from_dict(entry))
             service._drift_ref = {
                 int(cid): rate for cid, rate in doc["drift_ref"].items()
             }
             service._events_since_oracle = doc["events_since_oracle"]
             service.metrics.seed_counters(doc["counters"])
-            service.metrics.queue_depth = len(service.pending)
             stored_profit = doc["profit"]
         except ServiceError:
             raise

@@ -1,0 +1,156 @@
+"""Open-loop load generator: Poisson bursts of service events.
+
+A closed-loop driver (like :func:`repro.service.driver.run_service_trace`)
+waits for the engine between batches, so it can never overload it.  Real
+arrival processes don't wait — load arrives whether or not the service
+is keeping up.  This module synthesizes that: bursts arrive at
+exponential interarrival times, each carrying a Poisson-sized batch of
+Admit / Depart / RateUpdate events drawn from a template client pool.
+The stream is fed to :meth:`repro.service.router.ServiceRouter.offer`,
+which must shed when it falls behind — exactly the regime the shedding
+policy exists for.
+
+Generation is deterministic for a given seed (one ``numpy`` generator
+draws everything) and *engine-blind*: departures and rate updates target
+clients the generator admitted earlier, without knowing whether the
+router shed them.  Orphaned events are part of the workload — the
+engine rejects them pre-journal and the router counts them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.model.datacenter import CloudSystem
+from repro.service.events import (
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    ServiceEvent,
+)
+
+#: Generated client ids start here so they never collide with template ids.
+GENERATED_ID_BASE = 1_000_000
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of the synthetic arrival process.
+
+    ``arrival_rate`` is bursts per unit time (interarrivals are
+    exponential with mean ``1/arrival_rate``); each burst carries
+    ``1 + Poisson(burst_mean - 1)`` events split between event types by
+    the three weights.  ``num_events`` is the total event budget — the
+    last burst is truncated to land on it exactly.
+    """
+
+    num_events: int = 1000
+    arrival_rate: float = 100.0
+    burst_mean: float = 4.0
+    admit_weight: float = 0.6
+    depart_weight: float = 0.2
+    rate_update_weight: float = 0.2
+    rate_drift: float = 0.25
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_events < 1:
+            raise ConfigurationError("num_events must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be > 0")
+        if self.burst_mean < 1:
+            raise ConfigurationError("burst_mean must be >= 1")
+        weights = (self.admit_weight, self.depart_weight, self.rate_update_weight)
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ConfigurationError(
+                "event-type weights must be >= 0 and sum to > 0"
+            )
+        if not 0.0 <= self.rate_drift < 1.0:
+            raise ConfigurationError("rate_drift must lie in [0, 1)")
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One arrival instant: everything that lands at time ``at``."""
+
+    at: float
+    events: Tuple[ServiceEvent, ...]
+
+
+def generate_load(system: CloudSystem, config: LoadGenConfig) -> List[Burst]:
+    """Synthesize a burst stream using ``system``'s clients as templates.
+
+    Admits clone a template client under a fresh id (perturbing the
+    predicted rate by ±``rate_drift``); departures and rate updates
+    target a uniformly random *live* generated client (admitted and not
+    yet departed).  When no client is live, the draw falls back to an
+    admit, so the stream is always well-formed.
+    """
+    templates = list(system.clients)
+    if not templates:
+        raise ConfigurationError("load generation needs at least one template client")
+    rng = np.random.default_rng(config.seed)
+    weights = np.array(
+        [config.admit_weight, config.depart_weight, config.rate_update_weight],
+        dtype=float,
+    )
+    weights /= weights.sum()
+
+    live_ids: List[int] = []
+    live_rate: Dict[int, float] = {}
+    next_id = GENERATED_ID_BASE
+    clock = 0.0
+    emitted = 0
+    bursts: List[Burst] = []
+
+    def make_admit() -> ClientAdmit:
+        nonlocal next_id
+        template = templates[int(rng.integers(len(templates)))]
+        factor = 1.0 + config.rate_drift * float(rng.uniform(-1.0, 1.0))
+        client = dataclasses.replace(
+            template,
+            client_id=next_id,
+            rate_predicted=max(1e-9, template.rate_agreed * factor),
+        )
+        live_ids.append(next_id)
+        live_rate[next_id] = template.rate_agreed
+        next_id += 1
+        return ClientAdmit(client=client)
+
+    def make_event() -> ServiceEvent:
+        kind = int(rng.choice(3, p=weights))
+        if kind != 0 and not live_ids:
+            kind = 0  # nothing live to depart/update: fall back to admit
+        if kind == 0:
+            return make_admit()
+        slot = int(rng.integers(len(live_ids)))
+        cid = live_ids[slot]
+        if kind == 1:
+            # swap-remove keeps the live pool O(1) per draw
+            live_ids[slot] = live_ids[-1]
+            live_ids.pop()
+            del live_rate[cid]
+            return ClientDepart(client_id=cid)
+        factor = 1.0 + config.rate_drift * float(rng.uniform(-1.0, 1.0))
+        return RateUpdate(
+            client_id=cid, rate_predicted=max(1e-9, live_rate[cid] * factor)
+        )
+
+    while emitted < config.num_events:
+        clock += float(rng.exponential(1.0 / config.arrival_rate))
+        size = 1 + int(rng.poisson(config.burst_mean - 1.0))
+        size = min(size, config.num_events - emitted)
+        events = tuple(make_event() for _ in range(size))
+        bursts.append(Burst(at=clock, events=events))
+        emitted += size
+    return bursts
+
+
+def flatten_bursts(bursts: List[Burst]) -> List[ServiceEvent]:
+    """The burst stream as one flat event list (for closed-loop feeding)."""
+    return [event for burst in bursts for event in burst.events]

@@ -18,29 +18,105 @@ regenerates it exactly).
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Default reservoir size.  4096 samples put the nearest-rank p99 of a
+#: long stream within a few percent of the exact value while bounding a
+#: shard's histogram to ~32 KiB no matter how many events it has served.
+DEFAULT_HISTOGRAM_CAPACITY = 4096
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
 
 
 class LatencyHistogram:
-    """Latency samples with nearest-rank quantiles (p50/p90/p99)."""
+    """Latency quantiles (p50/p90/p99) over a bounded reservoir.
 
-    def __init__(self) -> None:
+    A long-running shard records one sample per event; storing them all
+    grows memory and quantile-sort cost linearly with uptime.  The
+    histogram instead keeps a fixed-size uniform sample of the stream
+    (Vitter's Algorithm R, driven by an internal 64-bit LCG so the
+    choice of survivors is deterministic for a given record sequence and
+    never touches the global RNG).  ``count``, ``mean`` and ``max`` are
+    exact over the whole stream; quantiles are estimates over the
+    reservoir — exact until ``capacity`` samples have been seen.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_HISTOGRAM_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lcg = 0x9E3779B97F4A7C15  # fixed seed: deterministic survivors
+
+    @classmethod
+    def from_state(
+        cls,
+        samples: Iterable[float],
+        count: int,
+        sum_seconds: float,
+        max_seconds: float,
+        capacity: int = DEFAULT_HISTOGRAM_CAPACITY,
+    ) -> "LatencyHistogram":
+        """Rebuild a histogram from shipped state (e.g. from a worker
+        process) so reservoirs can be pooled across process boundaries."""
+        histogram = cls(capacity)
+        histogram._samples = list(samples)[:capacity]
+        histogram._count = count
+        histogram._sum = sum_seconds
+        histogram._max = max_seconds
+        return histogram
+
+    def state(self) -> Dict[str, Any]:
+        """The picklable counterpart of :meth:`from_state`."""
+        return {
+            "samples": list(self._samples),
+            "count": self._count,
+            "sum_seconds": self._sum,
+            "max_seconds": self._max,
+            "capacity": self.capacity,
+        }
+
+    def _next_index(self, bound: int) -> int:
+        self._lcg = (self._lcg * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        return (self._lcg >> 33) % bound
 
     def record(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self._sorted = None
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+            self._sorted = None
+            return
+        # Algorithm R: the new sample replaces a random slot with
+        # probability capacity/count, keeping the reservoir uniform.
+        slot = self._next_index(self._count)
+        if slot < self.capacity:
+            self._samples[slot] = seconds
+            self._sorted = None
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        """Total samples recorded (not the reservoir occupancy)."""
+        return self._count
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        """The current reservoir contents (for merging across shards)."""
+        return tuple(self._samples)
 
     def mean(self) -> float:
-        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Nearest-rank quantile; 0.0 on an empty histogram."""
+        """Nearest-rank quantile over the reservoir; 0.0 when empty."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must lie in [0, 1], got {q}")
         if not self._samples:
@@ -57,8 +133,48 @@ class LatencyHistogram:
             "p50_seconds": self.quantile(0.50),
             "p90_seconds": self.quantile(0.90),
             "p99_seconds": self.quantile(0.99),
-            "max_seconds": max(self._samples) if self._samples else 0.0,
+            "max_seconds": self._max,
         }
+
+
+def merged_quantiles(histograms: Iterable[LatencyHistogram]) -> Dict[str, float]:
+    """Pooled quantiles across shards: one sorted pass over all reservoirs.
+
+    Each reservoir is a uniform sample of its own stream, so the merge
+    weights shards by their reservoir occupancy — exact while every
+    shard is below capacity, an estimate after.
+    """
+    pooled: List[float] = []
+    total = 0
+    mean_sum = 0.0
+    peak = 0.0
+    for histogram in histograms:
+        pooled.extend(histogram.samples)
+        total += histogram.count
+        mean_sum += histogram.mean() * histogram.count
+        peak = max(peak, histogram.to_dict()["max_seconds"])
+    if not pooled:
+        return {
+            "count": 0,
+            "mean_seconds": 0.0,
+            "p50_seconds": 0.0,
+            "p90_seconds": 0.0,
+            "p99_seconds": 0.0,
+            "max_seconds": 0.0,
+        }
+    pooled.sort()
+
+    def rank(q: float) -> float:
+        return pooled[min(len(pooled) - 1, max(0, round(q * len(pooled)) - 1))]
+
+    return {
+        "count": total,
+        "mean_seconds": mean_sum / total if total else 0.0,
+        "p50_seconds": rank(0.50),
+        "p90_seconds": rank(0.90),
+        "p99_seconds": rank(0.99),
+        "max_seconds": peak,
+    }
 
 
 class MetricsRegistry:

@@ -4,6 +4,7 @@ import dataclasses
 import math
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.config import SolverConfig
 from repro.exceptions import ConfigurationError, ServiceError
@@ -368,3 +369,45 @@ class TestReplayDeterminism:
             restored = AllocationService.restore(live.snapshot(), config=config)
             restored.apply_many(events[kill_at:])
             assert restored.snapshot_hash() == expected, f"diverged at {kill_at}"
+
+
+class TestQueueDepthGauge:
+    """The ``queue_depth`` gauge is maintained by the pending queue itself,
+    so it can never go stale — asserted here over arbitrary event soup."""
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["admit", "depart", "rate", "fail", "recover"]),
+                st.integers(min_value=0, max_value=5),
+                st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_queue_depth_always_equals_pending_length(self, steps):
+        # One small server: admits overflow into pending fast, and server
+        # failures drain/refill it, exercising every depth transition.
+        service = AllocationService(
+            _one_server_system(cap_storage=1.0), config=SolverConfig(seed=0)
+        )
+        for kind, cid, rate in steps:
+            try:
+                if kind == "admit":
+                    service.apply(ClientAdmit(client=_client(cid, rate=rate)))
+                elif kind == "depart":
+                    service.apply(ClientDepart(client_id=cid))
+                elif kind == "rate":
+                    service.apply(RateUpdate(client_id=cid, rate_predicted=rate))
+                elif kind == "fail":
+                    service.apply(ServerFail(server_id=0))
+                else:
+                    service.apply(ServerRecover(server_id=0))
+            except ServiceError:
+                pass  # invalid transitions still must not desync the gauge
+            assert service.metrics.queue_depth == len(service.pending)

@@ -1,0 +1,125 @@
+"""Tests for the open-loop Poisson load generator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import LoadGenConfig, flatten_bursts, generate_load
+from repro.service.events import (
+    ClientAdmit,
+    ClientDepart,
+    RateUpdate,
+    event_to_dict,
+)
+from repro.service.loadgen import GENERATED_ID_BASE
+from repro.workload import generate_system
+
+
+def _system():
+    return generate_system(num_clients=6, seed=3)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_events": 0},
+            {"arrival_rate": 0.0},
+            {"burst_mean": 0.5},
+            {"admit_weight": -1.0},
+            {"admit_weight": 0.0, "depart_weight": 0.0, "rate_update_weight": 0.0},
+            {"rate_drift": 1.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadGenConfig(**kwargs)
+
+    def test_rejects_clientless_template_system(self):
+        system = generate_system(num_clients=6, seed=3)
+        empty = type(system)(clusters=system.clusters, clients=[])
+        with pytest.raises(ConfigurationError):
+            generate_load(empty, LoadGenConfig(seed=0))
+
+
+class TestDeterminismAndShape:
+    def test_same_seed_same_stream(self):
+        system = _system()
+        config = LoadGenConfig(num_events=200, seed=5)
+        first = generate_load(system, config)
+        second = generate_load(system, config)
+        assert [b.at for b in first] == [b.at for b in second]
+        assert [
+            event_to_dict(e) for e in flatten_bursts(first)
+        ] == [event_to_dict(e) for e in flatten_bursts(second)]
+
+    def test_different_seeds_differ(self):
+        system = _system()
+        first = flatten_bursts(
+            generate_load(system, LoadGenConfig(num_events=200, seed=5))
+        )
+        second = flatten_bursts(
+            generate_load(system, LoadGenConfig(num_events=200, seed=6))
+        )
+        assert [event_to_dict(e) for e in first] != [
+            event_to_dict(e) for e in second
+        ]
+
+    def test_event_budget_is_exact_and_time_advances(self):
+        bursts = generate_load(
+            _system(), LoadGenConfig(num_events=157, seed=2)
+        )
+        assert len(flatten_bursts(bursts)) == 157
+        times = [b.at for b in bursts]
+        assert times == sorted(times)
+        assert all(b.events for b in bursts)
+
+    def test_generated_ids_are_fresh_and_unique(self):
+        events = flatten_bursts(
+            generate_load(_system(), LoadGenConfig(num_events=300, seed=8))
+        )
+        admit_ids = [
+            e.client.client_id for e in events if isinstance(e, ClientAdmit)
+        ]
+        assert len(admit_ids) == len(set(admit_ids))
+        assert all(cid >= GENERATED_ID_BASE for cid in admit_ids)
+
+
+class TestLiveTargetConsistency:
+    def test_departs_and_updates_target_live_clients(self):
+        """The generator never references a client it hasn't admitted,
+        and never departs the same client twice."""
+        events = flatten_bursts(
+            generate_load(
+                _system(),
+                LoadGenConfig(
+                    num_events=400,
+                    seed=13,
+                    admit_weight=0.4,
+                    depart_weight=0.3,
+                    rate_update_weight=0.3,
+                ),
+            )
+        )
+        live = set()
+        for event in events:
+            if isinstance(event, ClientAdmit):
+                cid = event.client.client_id
+                assert cid not in live
+                live.add(cid)
+            elif isinstance(event, ClientDepart):
+                assert event.client_id in live
+                live.remove(event.client_id)
+            elif isinstance(event, RateUpdate):
+                assert event.client_id in live
+                assert event.rate_predicted > 0
+
+    def test_admit_rates_stay_positive_under_drift(self):
+        events = flatten_bursts(
+            generate_load(
+                _system(),
+                LoadGenConfig(num_events=300, seed=21, rate_drift=0.99),
+            )
+        )
+        for event in events:
+            if isinstance(event, ClientAdmit):
+                assert event.client.rate_predicted > 0

@@ -1,0 +1,121 @@
+"""Tests for the bounded latency histogram and cross-shard merging."""
+
+import random
+
+import pytest
+
+from repro.service.metrics import (
+    DEFAULT_HISTOGRAM_CAPACITY,
+    LatencyHistogram,
+    MetricsRegistry,
+    merged_quantiles,
+)
+
+
+class TestReservoirBound:
+    def test_memory_is_bounded_regardless_of_stream_length(self):
+        histogram = LatencyHistogram(capacity=128)
+        for i in range(10_000):
+            histogram.record(i / 10_000)
+        assert len(histogram.samples) == 128
+        assert histogram.count == 10_000
+
+    def test_count_mean_max_stay_exact(self):
+        histogram = LatencyHistogram(capacity=16)
+        values = [float(i) for i in range(1, 1001)]
+        for value in values:
+            histogram.record(value)
+        assert histogram.count == 1000
+        assert histogram.mean() == pytest.approx(sum(values) / 1000)
+        assert histogram.to_dict()["max_seconds"] == 1000.0
+
+    def test_rejects_bad_capacity_and_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_empty_histogram_reports_zeros(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.mean() == 0.0
+
+
+class TestQuantileAccuracy:
+    def test_exact_below_capacity(self):
+        histogram = LatencyHistogram(capacity=1000)
+        values = [i / 1000 for i in range(1000)]
+        random.Random(0).shuffle(values)
+        for value in values:
+            histogram.record(value)
+        assert histogram.quantile(0.50) == pytest.approx(0.5, abs=2e-3)
+        assert histogram.quantile(0.99) == pytest.approx(0.99, abs=2e-3)
+
+    def test_estimates_within_tolerance_above_capacity(self):
+        """20k samples through a 4k reservoir: p50/p99 within a few %.
+
+        The stream is a known uniform grid, so the exact quantiles are
+        known; the reservoir's nearest-rank estimates must land within
+        the sampling tolerance (a few percent at capacity 4096).
+        """
+        histogram = LatencyHistogram(capacity=DEFAULT_HISTOGRAM_CAPACITY)
+        values = [i / 20_000 for i in range(20_000)]
+        random.Random(1).shuffle(values)
+        for value in values:
+            histogram.record(value)
+        assert len(histogram.samples) == DEFAULT_HISTOGRAM_CAPACITY
+        assert histogram.quantile(0.50) == pytest.approx(0.50, abs=0.03)
+        assert histogram.quantile(0.99) == pytest.approx(0.99, abs=0.03)
+
+    def test_deterministic_for_a_given_stream(self):
+        def fill():
+            histogram = LatencyHistogram(capacity=64)
+            for i in range(5000):
+                histogram.record((i * 37 % 1000) / 1000)
+            return histogram
+
+        assert fill().samples == fill().samples
+        assert fill().quantile(0.99) == fill().quantile(0.99)
+
+
+class TestStateRoundTrip:
+    def test_state_round_trips(self):
+        histogram = LatencyHistogram(capacity=32)
+        for i in range(100):
+            histogram.record(i / 100)
+        clone = LatencyHistogram.from_state(**histogram.state())
+        assert clone.samples == histogram.samples
+        assert clone.count == histogram.count
+        assert clone.capacity == histogram.capacity
+        assert clone.to_dict() == histogram.to_dict()
+
+
+class TestMergedQuantiles:
+    def test_merge_matches_pooled_sort_below_capacity(self):
+        left = LatencyHistogram(capacity=1000)
+        right = LatencyHistogram(capacity=1000)
+        left_values = [i / 100 for i in range(100)]
+        right_values = [5 + i / 50 for i in range(50)]
+        for value in left_values:
+            left.record(value)
+        for value in right_values:
+            right.record(value)
+        merged = merged_quantiles([left, right])
+        pooled = sorted(left_values + right_values)
+        assert merged["count"] == 150
+        assert merged["max_seconds"] == max(pooled)
+        rank = min(len(pooled) - 1, round(0.99 * len(pooled)) - 1)
+        assert merged["p99_seconds"] == pooled[rank]
+
+    def test_merge_of_nothing_is_zeros(self):
+        merged = merged_quantiles([])
+        assert merged["count"] == 0
+        assert merged["p99_seconds"] == 0.0
+
+
+class TestRegistryQueueDepth:
+    def test_queue_depth_starts_at_zero_and_is_plain_state(self):
+        registry = MetricsRegistry()
+        assert registry.to_dict()["queue_depth"] == 0
+        registry.queue_depth = 3
+        assert registry.to_dict()["queue_depth"] == 3
