@@ -1,0 +1,117 @@
+"""CI gate: the gap harness certifies the heuristic on every cell.
+
+Three checks, all merge gates:
+
+1. the **seeded gap matrix** — exact tier (branch-and-bound with a
+   MIP-style certificate at n = 20 and 24) and dual tier (Lagrangian
+   bound at n = 1000); every cell must satisfy the sandwich
+   ``dual_bound >= certified optimum >= heuristic`` and its tier's gap
+   threshold, and every exact cell must come back ``certified`` within
+   its node budget;
+2. **exact-vs-exhaustive parity** — at a size flat enumeration can still
+   reach, branch-and-bound with zero tolerance must return the
+   *bit-identical* optimum while evaluating strictly fewer leaves;
+3. the **scaling claim** — on the dual-tier cell, computing the bound
+   must cost less wall-clock than the single heuristic solve it
+   certifies.
+
+Everything except the wall-clock comparison (3) is deterministic: the
+matrix is seeded, the exact tier prunes on a node budget (never the
+clock), and the heuristic is configured with fixed seeds.
+
+Exit status 0 on success, 1 with a diagnostic on any finding::
+
+    PYTHONPATH=src python benchmarks/check_gap.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # script usage without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.baselines.exhaustive import exhaustive_search  # noqa: E402
+from repro.config import SolverConfig  # noqa: E402
+from repro.gap import branch_and_bound, default_matrix, run_gap_cell  # noqa: E402
+from repro.workload.scenarios import certification_scenario  # noqa: E402
+
+#: Parity check instance: 2 ** 12 = 4096 assignments, still enumerable.
+PARITY_CLIENTS = 12
+PARITY_SEED = 4242
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}")
+    return 1
+
+
+def check_matrix() -> int:
+    status = 0
+    dual_cells = []
+    for spec in default_matrix():
+        result = run_gap_cell(spec)
+        print(result.summary())
+        if not result.ok:
+            status = fail(f"cell {spec.key} breached {len(result.failures)} check(s)")
+        if spec.tier == "dual":
+            dual_cells.append(result)
+    if status == 0:
+        print("ok: gap matrix clean (dual >= exact >= heuristic everywhere)")
+
+    for result in dual_cells:
+        if result.dual_seconds >= result.heuristic_seconds:
+            status = fail(
+                f"dual bound at n={result.spec.num_clients} took "
+                f"{result.dual_seconds:.3f}s, slower than the heuristic "
+                f"solve it certifies ({result.heuristic_seconds:.3f}s)"
+            )
+        else:
+            ratio = result.heuristic_seconds / max(result.dual_seconds, 1e-9)
+            print(
+                f"ok: dual bound at n={result.spec.num_clients} is "
+                f"{ratio:.0f}x faster than one heuristic solve "
+                f"({result.dual_seconds:.3f}s vs {result.heuristic_seconds:.1f}s)"
+            )
+    return status
+
+
+def check_exact_parity() -> int:
+    system = certification_scenario(PARITY_CLIENTS, PARITY_SEED)
+    config = SolverConfig(seed=0)
+    exhaustive = exhaustive_search(system, config)
+    bnb = branch_and_bound(system, config, node_budget=20_000)
+    if not bnb.certified:
+        return fail(
+            f"branch-and-bound failed to certify the n={PARITY_CLIENTS} "
+            f"parity instance (termination={bnb.termination!r})"
+        )
+    if bnb.best_profit != exhaustive.best_profit:
+        return fail(
+            "branch-and-bound optimum is not bit-identical to exhaustive: "
+            f"{bnb.best_profit!r} != {exhaustive.best_profit!r}"
+        )
+    if bnb.leaves_evaluated >= exhaustive.assignments_tried:
+        return fail(
+            f"branch-and-bound evaluated {bnb.leaves_evaluated} leaves, "
+            f"no fewer than flat enumeration "
+            f"({exhaustive.assignments_tried}) — the bound prunes nothing"
+        )
+    print(
+        f"ok: exact parity at n={PARITY_CLIENTS} — bit-identical optimum "
+        f"{bnb.best_profit:.6f}, {bnb.leaves_evaluated}/"
+        f"{exhaustive.assignments_tried} leaves evaluated"
+    )
+    return 0
+
+
+def main() -> int:
+    status = check_matrix()
+    status = check_exact_parity() or status
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

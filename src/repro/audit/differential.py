@@ -148,6 +148,7 @@ def run_differential(
     seed: Optional[int] = None,
     tolerance: float = AGREEMENT_TOLERANCE,
     use_cache: bool = True,
+    check_dual_bound: bool = False,
 ) -> DifferentialReport:
     """Run one instance through all four scoring paths and cross-check.
 
@@ -157,6 +158,15 @@ def run_differential(
     transparency.  The scalar oracle never caches.  With the cache on,
     the vectorized path is additionally re-solved cache-off and the two
     runs must match bitwise (allocation and profit).
+
+    ``check_dual_bound`` adds the Lagrangian upper bound
+    (:func:`repro.gap.dual.dual_bound`) as a fifth, *independent* judge:
+    no feasible allocation can earn more than the bound, so any path
+    whose reported profit exceeds it is provably mis-scoring — the one
+    failure mode the four paths cannot catch by agreeing with each
+    other (a bug in shared scoring machinery shifts them all together).
+    Breaches are reported as structured ``(dual-bound)`` violations on
+    the offending path.
     """
     base = config or SolverConfig()
     variants: Dict[str, SolverConfig] = {
@@ -217,7 +227,34 @@ def run_differential(
                 "memo cache is not bit-transparent: cached and uncached "
                 "vectorized allocations differ"
             )
+    if check_dual_bound:
+        _check_dual_bound(system, paths)
     return DifferentialReport(seed=seed, paths=paths, disagreements=disagreements)
+
+
+#: Numerical slack for the dual-bound sanity check: the bound is a float
+#: computation on a different code path, so exact comparison is wrong,
+#: but any real mis-scoring overshoots by whole profit units.
+DUAL_BOUND_TOLERANCE = 1e-6
+
+
+def _check_dual_bound(system: CloudSystem, paths: Dict[str, PathReport]) -> None:
+    """Flag any path whose reported profit exceeds the Lagrangian bound."""
+    from repro.gap.dual import dual_bound
+
+    bound = dual_bound(system).bound
+    for report in paths.values():
+        if report.reported_profit > bound + DUAL_BOUND_TOLERANCE:
+            report.violations.append(
+                Violation(
+                    "(dual-bound)",
+                    f"path {report.name}",
+                    f"reported profit {report.reported_profit!r} exceeds "
+                    f"the Lagrangian upper bound {bound!r} — no feasible "
+                    "allocation can earn that much, the path is mis-scoring",
+                    slack=bound - report.reported_profit,
+                )
+            )
 
 
 def run_matrix(
@@ -227,6 +264,7 @@ def run_matrix(
     tolerance: float = AGREEMENT_TOLERANCE,
     system_factory: Optional[Callable[[int], CloudSystem]] = None,
     use_cache: bool = True,
+    check_dual_bound: bool = False,
 ) -> List[DifferentialReport]:
     """Differential-verify a matrix of seeded workload instances."""
     from repro.workload.generator import generate_system
@@ -246,6 +284,7 @@ def run_matrix(
                 seed=seed,
                 tolerance=tolerance,
                 use_cache=use_cache,
+                check_dual_bound=check_dual_bound,
             )
         )
     return reports

@@ -4,13 +4,20 @@ The Monte Carlo "best found" is only an empirical yardstick; this module
 provides a *certificate*: no feasible allocation of the instance can earn
 more than :func:`profit_upper_bound`.  Two relaxations, both sound:
 
-* **Revenue bound** — a client's mean response time can never fall below
-  its zero-queueing service time on the best hardware in the datacenter:
+* **Revenue bound** — constraint (6) pins every client inside a single
+  cluster, so its mean response time can never fall below its
+  zero-queueing service time on the best hardware *of its best cluster*:
   splitting traffic over ``k`` fully-dedicated servers drives the
-  queueing delay toward zero but each branch still needs its service
-  time, so ``R_i >= t^p_i / C^p_best + t^b_i / C^b_best``.  Utilities are
-  non-increasing, hence
-  ``revenue_i <= lambda^a_i * U_i(R_min_i)``.
+  queueing delay toward zero but each branch still needs its processing
+  time on that cluster's best ``C^p`` **and** its communication time on
+  that cluster's best ``C^b``, so
+  ``R_i >= min_k (t^p_i / C^p_best(k) + t^b_i / C^b_best(k))``.
+  Utilities are non-increasing, hence
+  ``revenue_i <= lambda^a_i * U_i(R_min_i)``.  (The old bound paired the
+  fleet-wide best processing capacity with the fleet-wide best bandwidth
+  even when no cluster offers both; the per-cluster pairing is never
+  looser and strictly tighter whenever the two maxima live in different
+  clusters.)
 * **Cost bound** — stability forces every feasible allocation to commit
   processing capacity of at least ``lambda_i * t^p_i`` per client.  For
   any server, ``P0 + P1 * u >= (P0 + P1) * u`` for ``u in [0, 1]``, so the
@@ -47,8 +54,13 @@ def profit_upper_bound(
     system: CloudSystem, require_all_served: bool = True
 ) -> UpperBound:
     """Sound upper bound on the profit of any feasible allocation."""
-    best_cap_p = max(s.cap_processing for s in system.servers())
-    best_cap_b = max(s.cap_bandwidth for s in system.servers())
+    cluster_best_caps = [
+        (
+            max(s.cap_processing for s in cluster),
+            max(s.cap_bandwidth for s in cluster),
+        )
+        for cluster in system.clusters
+    ]
     cheapest_capacity_cost = min(
         (s.server_class.power_fixed + s.server_class.power_per_util)
         / s.cap_processing
@@ -60,7 +72,10 @@ def profit_upper_bound(
     revenue_total = 0.0
     cost_total = 0.0
     for client in system.clients:
-        r_min = client.t_proc / best_cap_p + client.t_comm / best_cap_b
+        r_min = min(
+            client.t_proc / cap_p + client.t_comm / cap_b
+            for cap_p, cap_b in cluster_best_caps
+        )
         revenue_cap = client.rate_agreed * client.utility_class.function.value(r_min)
         cost_floor = (
             client.rate_predicted * client.t_proc * cheapest_capacity_cost

@@ -16,7 +16,7 @@ from typing import Dict, Optional
 
 from repro.config import SolverConfig
 from repro.baselines.assignment import build_allocation_for_assignment
-from repro.exceptions import SolverError
+from repro.exceptions import SearchSpaceError
 from repro.model.allocation import Allocation
 from repro.model.datacenter import CloudSystem
 from repro.model.profit import evaluate_profit
@@ -32,6 +32,15 @@ class ExhaustiveResult:
     best_assignment: Optional[Dict[int, int]]
     assignments_tried: int
 
+    @property
+    def nodes_evaluated(self) -> int:
+        """Search effort in the gap harness's uniform vocabulary.
+
+        Flat enumeration has no interior nodes: every node it touches is a
+        fully built leaf, so effort equals ``assignments_tried``.
+        """
+        return self.assignments_tried
+
 
 def exhaustive_search(
     system: CloudSystem,
@@ -40,17 +49,21 @@ def exhaustive_search(
 ) -> ExhaustiveResult:
     """Try every client -> cluster assignment; keep the most profitable.
 
-    Raises :class:`SolverError` when the search space exceeds
-    ``MAX_ASSIGNMENTS`` — this reference is for tests and tiny demos only.
+    Raises :class:`SearchSpaceError` carrying the computed ``K ** N`` when
+    the space exceeds ``MAX_ASSIGNMENTS`` — this reference is for tests
+    and tiny demos only.
     """
     config = config or SolverConfig()
     client_ids = system.client_ids()
     cluster_ids = system.cluster_ids()
     total = len(cluster_ids) ** len(client_ids)
     if total > MAX_ASSIGNMENTS:
-        raise SolverError(
+        raise SearchSpaceError(
             f"{total} assignments exceed the exhaustive-search cap "
-            f"({MAX_ASSIGNMENTS}); use MonteCarloSearch instead"
+            f"({MAX_ASSIGNMENTS}); use branch_and_bound or MonteCarloSearch "
+            "instead",
+            total_assignments=total,
+            cap=MAX_ASSIGNMENTS,
         )
     best_profit = -math.inf
     best_allocation: Optional[Allocation] = None

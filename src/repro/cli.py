@@ -10,11 +10,14 @@ Subcommands::
     epochs      epoch-driven re-allocation vs a static allocation
     serve       replay a workload trace through the online service
     audit       differential verification + feasibility audit
+    gap         optimality-gap certification (exact + dual bounds)
 
 Library errors (:class:`repro.exceptions.ReproError`) are reported as a
 one-line message on stderr with exit status 2; tracebacks are reserved
 for genuine bugs.  ``audit`` exits 1 when it finds violations or
-cross-path disagreement.
+cross-path disagreement; ``gap`` exits 1 when any cell breaches the
+``dual >= certified optimum >= heuristic`` sandwich, fails to certify
+within its node budget, or exceeds its gap threshold.
 
 ``solve``, ``epochs``, ``serve``, and ``simulate`` accept ``--audit``
 (equivalent to ``REPRO_AUDIT=1``): every solver pass, repair op, and
@@ -246,12 +249,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "vectorized solves bitwise",
     )
     p.add_argument(
+        "--dual-bound",
+        action="store_true",
+        help="additionally check every path's reported profit against "
+        "the Lagrangian upper bound (an independent judge: no feasible "
+        "allocation can exceed it)",
+    )
+    p.add_argument(
         "--snapshot", default=None, help="audit a saved service snapshot"
     )
     p.add_argument(
         "--journal",
         default=None,
         help="replay this journal on top of --snapshot with auditing armed",
+    )
+
+    p = sub.add_parser(
+        "gap", help="certify the heuristic's optimality gap (exact + dual)"
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        nargs="+",
+        default=[20, 24],
+        metavar="N",
+        help="exact-tier instance sizes (branch-and-bound certificates)",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=2, help="seeded instances per size"
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=40_000,
+        help="branch-and-bound node budget per exact cell",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.18,
+        help="relative MIP-gap tolerance for the exact certificates",
+    )
+    p.add_argument(
+        "--dual-clients",
+        type=int,
+        default=1000,
+        help="dual-tier instance size (0 skips the dual-only cell)",
+    )
+    p.add_argument(
+        "--scenario",
+        choices=["certification", "paper"],
+        default="certification",
+        help="instance family the matrix draws from",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["bnb", "cpsat"],
+        default="bnb",
+        help="exact engine: the built-in branch-and-bound, or OR-tools "
+        "CP-SAT as an independent cross-check (optional dependency; "
+        "tiny instances only)",
     )
 
     p = sub.add_parser("multitier", help="solve a multi-tier application instance")
@@ -662,7 +719,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         return 2
 
     reports = differential.run_matrix(
-        seeds=range(args.seeds), num_clients=args.clients, use_cache=args.cache
+        seeds=range(args.seeds),
+        num_clients=args.clients,
+        use_cache=args.cache,
+        check_dual_bound=args.dual_bound,
     )
     failures = [r for r in reports if not r.ok]
     for report in failures:
@@ -675,6 +735,65 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         f"({cache_mode})"
     )
     return 1 if failures else 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.gap import GapCellSpec, cpsat_cross_check, run_gap_cell
+
+    if args.backend == "cpsat":
+        # Independent enumeration engine; tiny sizes only, so it reuses
+        # the smallest requested size and certifies by exhaustion.
+        num_clients = min(args.clients)
+        spec = GapCellSpec(
+            tier="exact",
+            num_clients=num_clients,
+            scenario=args.scenario,
+            seed_index=0,
+        )
+        result = cpsat_cross_check(spec.build_system(), SolverConfig(seed=0))
+        print(
+            f"cp-sat n={num_clients}: optimum {result.best_profit:.6f} over "
+            f"{result.assignments_tried} assignments"
+        )
+        return 0
+
+    breaches = 0
+    specs: List[GapCellSpec] = []
+    for point, num_clients in enumerate(args.clients):
+        for seed_index in range(args.seeds):
+            specs.append(
+                GapCellSpec(
+                    tier="exact",
+                    num_clients=num_clients,
+                    scenario=args.scenario,
+                    point_index=point,
+                    seed_index=seed_index,
+                    node_budget=args.budget,
+                    relative_gap_tolerance=args.tolerance,
+                )
+            )
+    if args.dual_clients > 0:
+        specs.append(
+            GapCellSpec(
+                tier="dual",
+                num_clients=args.dual_clients,
+                scenario=args.scenario,
+                point_index=len(args.clients),
+                seed_index=0,
+            )
+        )
+    for spec in specs:
+        result = run_gap_cell(spec)
+        print(result.summary())
+        breaches += len(result.failures)
+    if breaches:
+        print(f"gap harness: {breaches} breached check(s)")
+        return 1
+    print(
+        f"gap harness: {len(specs)} cells clean "
+        "(dual >= certified optimum >= heuristic)"
+    )
+    return 0
 
 
 def _cmd_multitier(args: argparse.Namespace) -> int:
@@ -742,6 +861,7 @@ _COMMANDS = {
     "epochs": _cmd_epochs,
     "serve": _cmd_serve,
     "audit": _cmd_audit,
+    "gap": _cmd_gap,
     "multitier": _cmd_multitier,
     "admission": _cmd_admission,
     "predict": _cmd_predict,

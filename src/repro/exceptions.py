@@ -48,6 +48,21 @@ class SolverError(ReproError):
     """A numerical routine failed to converge or was given bad bracketing."""
 
 
+class SearchSpaceError(SolverError):
+    """An exact solver was asked to enumerate an intractably large space.
+
+    Carries the computed search-space size and the cap it exceeded, so
+    callers (the gap harness, tests) can report search effort and decide
+    programmatically whether to fall back to branch-and-bound or the
+    heuristic instead of parsing the message.
+    """
+
+    def __init__(self, message: str, total_assignments: int, cap: int) -> None:
+        super().__init__(message)
+        self.total_assignments = total_assignments
+        self.cap = cap
+
+
 class WorkloadError(ReproError):
     """A workload/scenario specification is invalid."""
 

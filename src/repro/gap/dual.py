@@ -1,0 +1,564 @@
+"""Lagrangian dual upper bound on the section-IV profit program.
+
+:mod:`repro.baselines.bounds` certifies profit with a zero-queueing
+relaxation that ignores capacity contention and server activation
+entirely.  This module prices both: it dualizes the per-server capacity
+constraints (4)-(5) with multipliers ``mu >= 0`` while keeping each
+server's ON/OFF decision *inside* the Lagrangian (resolved in closed
+form), and solves the relaxed problem exactly — so every evaluation of
+the dual function ``D(mu)``, at any ``mu >= 0``, converged or not, is a
+sound upper bound on the profit of every feasible allocation.
+Subgradient steps then tighten the bound; the reported certificate is
+the minimum over all iterates.
+
+Derivation sketch (ALGORITHMS.md section 17 has the full argument):
+
+1. **Activation-aware cost floor.**  With ``y_j`` the ON indicator,
+   every feasible allocation satisfies ``sum_i phi^p_ij <= (1 - bg^p_j)
+   y_j`` (same for bandwidth) and costs at least
+   ``P0_j y_j + P1_j sum_i phi^p_ij`` per optional server (servers with
+   background load are pinned ON and additionally pay ``P1 bg^p``).
+2. **Utility majorant.**  Each utility is replaced by a linear majorant
+   ``U(R) <= max(v_hat - beta_hat * R, 0)`` (:func:`linear_majorant`),
+   exact for the linear/clipped-linear forms the generator emits.
+3. **Lagrangian.**  Multipliers ``mu^p, mu^b >= 0`` on the capacity
+   constraints give per-server prices ``p_j = P1_j + mu^p_j`` and
+   ``q_j = mu^b_j``, plus a per-server activation term maximized over
+   ``y_j in {0, 1}``: ``max(0, mu^p_j + mu^b_j - P0_j)``.  Idle capacity
+   therefore never earns dual revenue below its activation cost — this
+   is what keeps the bound tight on over-provisioned fleets, where the
+   binding economics is which servers to switch ON at all.
+4. **Client decomposition.**  The relaxed problem decomposes per client;
+   for a fixed traffic split the optimal GPS share per branch is the
+   eq.-(16) interior stationary point ``phi* = (a + sqrt(W s / p)) / s``
+   (the same closed form ``core/assign.py`` evaluates), giving branch
+   value ``g_j(x) = -(lambda x (p_j t^p / C^p_j + q_j t^b / C^b_j)
+   + 2 sqrt(lambda^a beta_hat x) (sqrt(p_j t^p / C^p_j)
+   + sqrt(q_j t^b / C^b_j)))``.
+5. **Vertex argument.**  ``g_j`` is convex in the traffic fraction ``x``
+   (linear minus a concave square root, negated), so the per-client
+   maximum over the traffic simplex sits on a vertex: all traffic on the
+   single best-priced server.  The per-client relaxed value is
+   ``max(0, lambda^a v_hat + max_j g_j(1))`` — the outer ``max(0, .)``
+   covers the client staying unserved (the leaf builder's fallback when
+   a cluster cannot host it) and the clipped utility.
+
+**Server aggregation.**  Servers of the same hardware class in the same
+cluster are interchangeable in ``g_j`` (it only reads SKU parameters),
+so multipliers are tied per ``(cluster, server class)`` group and the
+capacity constraints are summed over each group.  A summed constraint
+set is a further relaxation — the bound stays sound — and the
+evaluation cost drops from ``O(n * servers)`` to ``O(n * groups)`` per
+iteration, which is what lets the bound run on the sharded 100k-client
+instances in well under one heuristic solve.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.model.datacenter import CloudSystem
+from repro.model.utility import (
+    ClippedLinearUtility,
+    LinearUtility,
+    UtilityClass,
+)
+
+#: Cell budget per evaluation chunk (clients x groups), keeps peak memory flat.
+MAX_CHUNK_CELLS = 4_000_000
+
+#: Default starting price for the bandwidth multipliers.  The bandwidth
+#: cost term has an infinite one-sided derivative at ``mu^b = 0`` (the
+#: sqrt), so starting exactly at zero would freeze a clamped subgradient;
+#: any positive start works, and soundness never depends on it.
+DEFAULT_BANDWIDTH_START = 0.25
+
+
+def linear_majorant(utility_class: UtilityClass) -> Tuple[float, float]:
+    """``(v_hat, beta_hat)`` with ``U(R) <= max(v_hat - beta_hat * R, 0)``.
+
+    Exact (the majorant is the utility itself) for
+    :class:`LinearUtility` and :class:`ClippedLinearUtility`.  Every
+    other non-increasing form falls back to the sound constant majorant
+    ``(U(0), 0)``: step and piecewise-linear utilities are flat at their
+    peak before the first breakpoint and may stay positive after the
+    last one, so no sloped linear function can majorize them exactly.
+    """
+    fn = utility_class.function
+    if isinstance(fn, (LinearUtility, ClippedLinearUtility)):
+        return fn.base_value, fn.slope
+    return fn.value(0.0), 0.0
+
+
+@dataclass(frozen=True)
+class _DualArrays:
+    """Vectorized instance view: clients flat, servers grouped by SKU."""
+
+    # clients, in system order
+    lam_agreed: np.ndarray
+    lam_pred: np.ndarray
+    t_proc: np.ndarray
+    t_comm: np.ndarray
+    v_hat: np.ndarray
+    beta_hat: np.ndarray
+    # (cluster, server-class) groups
+    cap_p: np.ndarray
+    cap_b: np.ndarray
+    power_fixed: np.ndarray  # P0 per group member
+    power_util: np.ndarray  # P1 per group member
+    pinned_free_p: np.ndarray  # sum of (1 - bg^p_j) over pinned-ON members
+    pinned_free_b: np.ndarray  # sum of (1 - bg^b_j) over pinned-ON members
+    optional_count: np.ndarray  # members free to stay OFF
+    pinned_cost: float  # sum of (P0_j + P1_j bg^p_j) over pinned-ON servers
+    group_cluster: np.ndarray  # cluster index per group
+    cluster_ids: Tuple[int, ...]
+    client_ids: Tuple[int, ...]
+    group_keys: Tuple[Tuple[int, int], ...]  # (cluster_id, class index)
+
+
+def build_dual_arrays(system: CloudSystem) -> _DualArrays:
+    clients = system.clients
+    majorants = [linear_majorant(c.utility_class) for c in clients]
+    cluster_ids = tuple(system.cluster_ids())
+    cluster_index = {cid: pos for pos, cid in enumerate(cluster_ids)}
+
+    groups: Dict[Tuple[int, int], Dict[str, float]] = {}
+    pinned_cost = 0.0
+    for cluster in system.clusters:
+        for server in cluster:
+            sku = server.server_class
+            key = (cluster.cluster_id, sku.index)
+            slot = groups.setdefault(
+                key,
+                {
+                    "cap_p": sku.cap_processing,
+                    "cap_b": sku.cap_bandwidth,
+                    "p0": sku.power_fixed,
+                    "p1": sku.power_per_util,
+                    "pinned_free_p": 0.0,
+                    "pinned_free_b": 0.0,
+                    "optional": 0.0,
+                },
+            )
+            if server.has_background_load:
+                # Pinned ON: pays its fixed + background cost regardless.
+                pinned_cost += (
+                    sku.power_fixed
+                    + sku.power_per_util * server.background_processing
+                )
+                slot["pinned_free_p"] += server.free_processing_share
+                slot["pinned_free_b"] += server.free_bandwidth_share
+            else:
+                slot["optional"] += 1.0
+    if not groups:
+        raise SolverError("cannot build a dual bound for an empty fleet")
+    keys = sorted(groups)
+    return _DualArrays(
+        lam_agreed=np.array([c.rate_agreed for c in clients]),
+        lam_pred=np.array([c.rate_predicted for c in clients]),
+        t_proc=np.array([c.t_proc for c in clients]),
+        t_comm=np.array([c.t_comm for c in clients]),
+        v_hat=np.array([m[0] for m in majorants]),
+        beta_hat=np.array([m[1] for m in majorants]),
+        cap_p=np.array([groups[k]["cap_p"] for k in keys]),
+        cap_b=np.array([groups[k]["cap_b"] for k in keys]),
+        power_fixed=np.array([groups[k]["p0"] for k in keys]),
+        power_util=np.array([groups[k]["p1"] for k in keys]),
+        pinned_free_p=np.array([groups[k]["pinned_free_p"] for k in keys]),
+        pinned_free_b=np.array([groups[k]["pinned_free_b"] for k in keys]),
+        optional_count=np.array([groups[k]["optional"] for k in keys]),
+        pinned_cost=pinned_cost,
+        group_cluster=np.array([cluster_index[k[0]] for k in keys]),
+        cluster_ids=cluster_ids,
+        client_ids=tuple(system.client_ids()),
+        group_keys=tuple(keys),
+    )
+
+
+def _capacity_terms(
+    arrays: _DualArrays, mu_p: np.ndarray, mu_b: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Constant part of ``D(mu)`` and each group's priced-in capacity.
+
+    Pinned servers always sell their free capacity to the dual; optional
+    servers sell theirs only when the price beats their activation cost
+    (the closed-form ``max`` over ``y_j``).
+    """
+    activation = mu_p + mu_b - arrays.power_fixed
+    active = activation > 0.0
+    constant = (
+        float(mu_p @ arrays.pinned_free_p)
+        + float(mu_b @ arrays.pinned_free_b)
+        + float((arrays.optional_count * np.maximum(activation, 0.0)).sum())
+        - arrays.pinned_cost
+    )
+    return constant, active
+
+
+def _queueing_floor(w: np.ndarray, price: np.ndarray) -> np.ndarray:
+    """Minimum queueing-plus-headroom cost of one served client on one
+    branch of one server, with GPS headroom capped at a full server.
+
+    Writing ``h = phi - lambda r`` for the headroom share, the branch's
+    M/M/1 delay is ``r / h`` and the combined cost is ``price * h +
+    w / h`` with ``w = lambda^a beta_hat r``.  Unconstrained, AM-GM gives
+    ``2 sqrt(price w)`` (the eq.-(16) stationary point) — but ``h <= 1``
+    physically, so when ``w > price`` the true floor is ``price + w``
+    (buy the whole server, eat the residual delay), which is strictly
+    larger.  Without the cap a zero price would buy infinite capacity
+    and erase the queueing cost entirely — the dominant looseness on
+    under-priced resources.  Traffic splitting cannot beat this floor:
+    the per-branch cost is concave in the branch's traffic share (the
+    ``sqrt`` piece joins the linear piece with matching slope ``w`` at
+    ``w = price``), so the minimum over the traffic simplex sits on a
+    vertex — one branch.
+    """
+    return np.where(
+        w <= price, 2.0 * np.sqrt(price * w), price + w
+    )
+
+
+def _branch_values(
+    arrays: _DualArrays,
+    rows: slice,
+    price_p: np.ndarray,
+    price_q: np.ndarray,
+) -> np.ndarray:
+    """``g_ij(1)`` for a chunk of clients: value of routing everything to
+    one group-``j`` server under prices ``(p, q)``, queueing priced via
+    the linear-majorant slope and the capped-headroom floor."""
+    rp = arrays.t_proc[rows, None] / arrays.cap_p[None, :]
+    rb = arrays.t_comm[rows, None] / arrays.cap_b[None, :]
+    linear = arrays.lam_pred[rows, None] * (price_p * rp + price_q * rb)
+    root = (arrays.lam_agreed[rows] * arrays.beta_hat[rows])[:, None]
+    curve = _queueing_floor(root * rp, price_p) + _queueing_floor(
+        root * rb, price_q
+    )
+    return -(linear + curve)
+
+
+def _evaluate(
+    arrays: _DualArrays,
+    mu_p: np.ndarray,
+    mu_b: np.ndarray,
+    max_chunk_cells: int = MAX_CHUNK_CELLS,
+    allowed: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """``D(mu)`` plus a (clamped) subgradient of it.
+
+    The value is exact — that is where soundness lives.  The direction
+    clamps each chosen share to [0, 1] so a zero price cannot launch an
+    unbounded step; a clamped direction only affects convergence speed,
+    never the validity of any evaluated bound.
+
+    ``allowed`` (clients x groups, bool) restricts each client's group
+    choice — the conditional dual of a partial client -> cluster
+    assignment.  Restricting a maximization can only lower the value, so
+    the conditional ``D`` stays a sound bound for every completion of the
+    partial assignment.
+    """
+    num_clients = arrays.lam_agreed.shape[0]
+    num_groups = arrays.cap_p.shape[0]
+    price_p = arrays.power_util + mu_p
+    price_q = mu_b
+
+    total_value = 0.0
+    load_p = np.zeros(num_groups)
+    load_b = np.zeros(num_groups)
+    chunk = max(1, max_chunk_cells // max(1, num_groups))
+    for start in range(0, num_clients, chunk):
+        rows = slice(start, min(start + chunk, num_clients))
+        g = _branch_values(arrays, rows, price_p, price_q)
+        if allowed is not None:
+            g = np.where(allowed[rows], g, -np.inf)
+        j_star = np.argmax(g, axis=1)
+        picked = g[np.arange(g.shape[0]), j_star]
+        value = arrays.lam_agreed[rows] * arrays.v_hat[rows] + picked
+        served = value > 0.0
+        total_value += float(value[served].sum())
+
+        if served.any():
+            idx = j_star[served]
+            lam = arrays.lam_pred[rows][served]
+            lam_a = arrays.lam_agreed[rows][served]
+            beta = arrays.beta_hat[rows][served]
+            rp = arrays.t_proc[rows][served] / arrays.cap_p[idx]
+            rb = arrays.t_comm[rows][served] / arrays.cap_b[idx]
+            # Optimal headroom: sqrt(w / price) interior, capped at one
+            # full server (matches the _queueing_floor pieces).
+            w_p = lam_a * beta * rp
+            w_b = lam_a * beta * rb
+            with np.errstate(divide="ignore", invalid="ignore"):
+                head_p = np.where(
+                    w_p <= price_p[idx],
+                    np.sqrt(
+                        np.where(price_p[idx] > 0.0, w_p / price_p[idx], 0.0)
+                    ),
+                    1.0,
+                )
+                head_b = np.where(
+                    w_b <= price_q[idx],
+                    np.sqrt(
+                        np.where(price_q[idx] > 0.0, w_b / price_q[idx], 0.0)
+                    ),
+                    1.0,
+                )
+            phi_p = lam * rp + head_p
+            phi_b = lam * rb + head_b
+            np.add.at(load_p, idx, np.clip(phi_p, 0.0, 1.0))
+            np.add.at(load_b, idx, np.clip(phi_b, 0.0, 1.0))
+
+    constant, active = _capacity_terms(arrays, mu_p, mu_b)
+    sold_p = arrays.pinned_free_p + arrays.optional_count * active
+    sold_b = arrays.pinned_free_b + arrays.optional_count * active
+    grad_p = sold_p - load_p
+    grad_b = sold_b - load_b
+    return constant + total_value, grad_p, grad_b
+
+
+@dataclass
+class DualBoundResult:
+    """A sound profit certificate plus the trace that produced it.
+
+    ``bound`` is the minimum of ``trace`` — every trace entry is itself a
+    valid upper bound, so the trace doubles as the duality-gap trajectory
+    against any feasible profit.
+    """
+
+    bound: float
+    trace: List[float]
+    mu_processing: np.ndarray
+    mu_bandwidth: np.ndarray
+    iterations: int
+    runtime_seconds: float
+    group_keys: Tuple[Tuple[int, int], ...]
+
+    def gap_to(self, feasible_profit: float) -> float:
+        """Relative duality gap against a feasible profit (>= 0 if sound)."""
+        scale = max(abs(self.bound), abs(feasible_profit), 1e-12)
+        return (self.bound - feasible_profit) / scale
+
+
+def dual_bound(
+    system: CloudSystem,
+    iterations: int = 60,
+    target: Optional[float] = None,
+    step_scale: float = 1.0,
+    initial_bandwidth_price: float = DEFAULT_BANDWIDTH_START,
+    max_chunk_cells: int = MAX_CHUNK_CELLS,
+    arrays: Optional[_DualArrays] = None,
+) -> DualBoundResult:
+    """Subgradient-optimized Lagrangian upper bound on achievable profit.
+
+    Steps follow a Polyak-style rule towards ``target`` (a known feasible
+    profit, e.g. the heuristic's) or towards zero without one, moderated
+    by a trust coefficient that halves whenever an iterate overshoots and
+    grows while iterates keep descending — the duality gap is unknown a
+    priori, so a raw Polyak step (which assumes the target is attainable)
+    can oscillate.  Every iterate's ``D(mu)`` lands in ``trace`` and the
+    returned ``bound`` is their minimum, so a bad step can only waste an
+    iteration, never invalidate the certificate.
+    """
+    if iterations < 1:
+        raise SolverError(f"dual_bound needs iterations >= 1, got {iterations}")
+    started = time.perf_counter()
+    arrays = arrays if arrays is not None else build_dual_arrays(system)
+    num_groups = arrays.cap_p.shape[0]
+    mu_p = np.zeros(num_groups)
+    mu_b = np.full(num_groups, max(0.0, initial_bandwidth_price))
+
+    trace: List[float] = []
+    best = math.inf
+    best_mu = (mu_p.copy(), mu_b.copy())
+    trust = step_scale
+    previous = math.inf
+    for step_index in range(iterations):
+        value, grad_p, grad_b = _evaluate(
+            arrays, mu_p, mu_b, max_chunk_cells=max_chunk_cells
+        )
+        trace.append(value)
+        if value < best:
+            best = value
+            best_mu = (mu_p.copy(), mu_b.copy())
+        if step_index == iterations - 1:
+            break
+        if value > previous:
+            trust *= 0.5
+            # Restart the walk from the best point seen: oscillation past
+            # it carries no information worth keeping.
+            mu_p, mu_b = best_mu[0].copy(), best_mu[1].copy()
+        else:
+            trust = min(trust * 1.2, 2.0 * step_scale)
+        previous = value
+        norm_sq = float(grad_p @ grad_p + grad_b @ grad_b)
+        if norm_sq <= 1e-18:
+            break  # relaxed solution saturates the fleet exactly; done
+        overshoot = best - (target if target is not None else 0.0)
+        if overshoot <= 0.0:
+            overshoot = 0.01 * abs(best) + 1e-9
+        step = trust * overshoot / norm_sq
+        mu_p = np.maximum(mu_p - step * grad_p, 0.0)
+        mu_b = np.maximum(mu_b - step * grad_b, 0.0)
+
+    return DualBoundResult(
+        bound=best,
+        trace=trace,
+        mu_processing=best_mu[0],
+        mu_bandwidth=best_mu[1],
+        iterations=len(trace),
+        runtime_seconds=time.perf_counter() - started,
+        group_keys=arrays.group_keys,
+    )
+
+
+def refine_conditional_bound(
+    arrays: _DualArrays,
+    allowed: np.ndarray,
+    mu_p: np.ndarray,
+    mu_b: np.ndarray,
+    iterations: int = 6,
+    incumbent: float = -math.inf,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Tighten the conditional dual of a partial assignment.
+
+    ``allowed`` restricts each client's group choice (see
+    :func:`_evaluate`); ``(mu_p, mu_b)`` warm-start the multipliers —
+    in branch-and-bound, the parent node's point, which is usually
+    near-optimal for the child too.  Runs a handful of Polyak steps
+    aimed at ``incumbent`` (a known feasible profit: the perfect target,
+    since proving the conditional bound below it is all a pruner needs)
+    and returns ``(bound, mu_p, mu_b)`` at the best point seen.  Exits
+    early the moment the bound crosses the incumbent.
+
+    Every returned bound is some ``D(mu)`` of the restricted instance,
+    hence sound for every completion of the partial assignment.
+    """
+    cur_p, cur_b = mu_p.copy(), mu_b.copy()
+    best = math.inf
+    best_mu = (cur_p, cur_b)
+    trust = 1.0
+    previous = math.inf
+    for step_index in range(max(1, iterations)):
+        value, grad_p, grad_b = _evaluate(arrays, cur_p, cur_b, allowed=allowed)
+        if value < best:
+            best = value
+            best_mu = (cur_p.copy(), cur_b.copy())
+        if best <= incumbent or step_index == iterations - 1:
+            break
+        trust = trust * 0.5 if value > previous else min(trust * 1.2, 2.0)
+        previous = value
+        norm_sq = float(grad_p @ grad_p + grad_b @ grad_b)
+        if norm_sq <= 1e-18:
+            break
+        overshoot = value - incumbent
+        if not math.isfinite(overshoot) or overshoot <= 0.0:
+            overshoot = 0.01 * abs(value) + 1e-9
+        step = trust * overshoot / norm_sq
+        cur_p = np.maximum(cur_p - step * grad_p, 0.0)
+        cur_b = np.maximum(cur_b - step * grad_b, 0.0)
+    return best, best_mu[0], best_mu[1]
+
+
+@dataclass(frozen=True)
+class AssignmentBoundModel:
+    """Separable per-(client, cluster) caps for branch-and-bound pruning.
+
+    For any feasible allocation whose client -> cluster map is ``A``:
+    ``profit <= constant + sum_i contrib[i, A(i)]``, and unassigned
+    clients may be scored with their row maximum.  ``contrib`` is
+    elementwise ``>= 0`` because every client may stay unserved.
+    """
+
+    contrib: np.ndarray  # (num_clients, num_clusters)
+    constant: float
+    client_ids: Tuple[int, ...]
+    cluster_ids: Tuple[int, ...]
+
+    def root_bound(self) -> float:
+        return self.constant + float(self.contrib.max(axis=1).sum())
+
+
+def assignment_bound_model(
+    system: CloudSystem,
+    mu_p: Optional[Sequence[float]] = None,
+    mu_b: Optional[Sequence[float]] = None,
+) -> AssignmentBoundModel:
+    """Admissible per-node bound ingredients for :mod:`repro.gap.exact`.
+
+    Each cell is the *minimum* of two upper bounds on the client's
+    ``revenue - priced cost`` inside one cluster, both written against
+    the same per-client cost attribution
+    ``sum_j ((P1_j + mu^p_j) phi^p_ij + mu^b_j phi^b_ij)`` (the fleet's
+    activation and pinned-capacity terms live in ``constant``), so the
+    minimum is valid:
+
+    * the zero-queueing bound of ``baselines.bounds`` restricted to the
+      cluster (true utility at the cluster's best-hardware service time,
+      minus the committed-capacity floor: stability forces
+      ``sum_j phi^p_ij C^p_j >= lambda_i t^p_i`` and likewise for
+      bandwidth, priced at the cluster's cheapest ``(P1 + mu^p) / C^p``
+      and ``mu^b / C^b`` rates), and
+    * the closed-form relaxed value ``max_j g_ij`` from the Lagrangian
+      decomposition at multiplier ``mu`` (capacity-priced queueing).
+
+    With ``mu`` from a converged :func:`dual_bound`, ``root_bound()``
+    matches ``D(mu)`` refined by the zero-queueing term.
+    """
+    arrays = build_dual_arrays(system)
+    num_groups = arrays.cap_p.shape[0]
+    mu_p_arr = (
+        np.zeros(num_groups) if mu_p is None else np.asarray(mu_p, dtype=float)
+    )
+    mu_b_arr = (
+        np.zeros(num_groups) if mu_b is None else np.asarray(mu_b, dtype=float)
+    )
+    if mu_p_arr.shape != (num_groups,) or mu_b_arr.shape != (num_groups,):
+        raise SolverError(
+            "multiplier shape mismatch: expected "
+            f"({num_groups},), got {mu_p_arr.shape} / {mu_b_arr.shape}"
+        )
+    price_p = arrays.power_util + mu_p_arr
+    price_q = mu_b_arr
+
+    num_clients = arrays.lam_agreed.shape[0]
+    num_clusters = len(arrays.cluster_ids)
+    g = _branch_values(arrays, slice(0, num_clients), price_p, price_q)
+
+    contrib = np.zeros((num_clients, num_clusters))
+    for cluster_pos in range(num_clusters):
+        members = np.flatnonzero(arrays.group_cluster == cluster_pos)
+        best_cap_p = float(arrays.cap_p[members].max())
+        best_cap_b = float(arrays.cap_b[members].max())
+        cheapest_p = float(
+            ((arrays.power_util[members] + mu_p_arr[members]) / arrays.cap_p[members]).min()
+        )
+        cheapest_b = float((mu_b_arr[members] / arrays.cap_b[members]).min())
+        relaxed = arrays.lam_agreed * arrays.v_hat + g[:, members].max(axis=1)
+        r_min = arrays.t_proc / best_cap_p + arrays.t_comm / best_cap_b
+        for row, client in enumerate(system.clients):
+            zero_queue = (
+                client.rate_agreed
+                * client.utility_class.function.value(float(r_min[row]))
+                - client.rate_predicted
+                * (
+                    client.t_proc * cheapest_p
+                    + client.t_comm * cheapest_b
+                )
+            )
+            contrib[row, cluster_pos] = max(
+                0.0, min(zero_queue, float(relaxed[row]))
+            )
+
+    constant, _ = _capacity_terms(arrays, mu_p_arr, mu_b_arr)
+    return AssignmentBoundModel(
+        contrib=contrib,
+        constant=constant,
+        client_ids=arrays.client_ids,
+        cluster_ids=arrays.cluster_ids,
+    )

@@ -1,0 +1,401 @@
+"""Exact branch-and-bound over client -> cluster assignments.
+
+:mod:`repro.baselines.exhaustive` walks all ``K ** N`` assignments and is
+dead at ``n`` around 12.  This solver searches the same space — same leaf
+evaluator, same ground truth — but best-first with an admissible bound,
+so it certifies optima at ``n`` around 20-40 instead.
+
+**Search space and ground truth.**  A *leaf* is a full client -> cluster
+map ``A``; its value ``F(A)`` is the profit of the allocation built by
+:func:`repro.baselines.assignment.build_allocation_for_assignment` (the
+heuristic's own cluster-level machinery: ``Assign_Distribute`` per
+client, squeeze fallback, one polish round) — bit-identical to what
+``exhaustive_search`` scores, which is what makes the two comparable
+bitwise wherever both complete.
+
+**Node bound.**  Each node's bound is its *conditional Lagrangian dual*
+(:func:`repro.gap.dual.refine_conditional_bound`): clients committed by
+the prefix may only buy capacity in their assigned cluster, open clients
+keep free choice, and a few warm-started subgradient steps (from the
+parent's multipliers) re-price the crowding the prefix creates.  A
+fixed-multiplier separable bound cannot do this — at the root dual
+optimum, prices equalize marginal values across clusters and every
+client looks indifferent, so no decomposable bound discriminates
+prefixes.  Restricting a client's choice only shrinks the relaxed
+feasible set, so the conditional dual stays admissible for every
+completion; and since a child's feasible set is contained in its
+parent's, ``min(parent_bound, child_dual)`` is admissible and gives
+monotone non-increasing bounds down every path.
+
+**Certification semantics.**  ``certified=True`` means the frontier was
+exhausted down to ``gap_tolerance``: no assignment's ``F`` value exceeds
+``best_profit + gap_tolerance``.  The default tolerance is zero — exact
+optimality.  A positive tolerance is the MIP-gap notion every
+branch-and-bound solver ships: the Lagrangian bound has an intrinsic
+duality gap (activation integrality plus the utility majorant), so on
+larger instances the frontier can be emptied only down to that gap —
+still a sound two-sided certificate, just with an explicit width.  With
+an
+``initial_incumbent`` seeded from the full heuristic (whose converged
+local search may beat the one-shot leaf builder), ``best_profit`` is
+``max(seed, best leaf)`` — still a feasible profit and still an upper
+envelope of every ``F`` leaf, i.e. exactly the "certified optimum" the
+gap harness reports.  Leave the seed out to recover pure ``F``-space
+optimality (the property tests do).
+
+A node budget and wall-clock budget bound the search; on exhaustion the
+result carries the open frontier (resume with ``resume_from=``) and
+``best_bound``, a sound upper bound on the true optimum, so even a
+truncated run yields a certificate interval
+``[best_profit, best_bound]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.assignment import build_allocation_for_assignment
+from repro.config import SolverConfig
+from repro.exceptions import SearchSpaceError, SolverError
+from repro.gap.dual import (
+    assignment_bound_model,
+    build_dual_arrays,
+    dual_bound,
+    refine_conditional_bound,
+)
+from repro.model.allocation import Allocation
+from repro.model.datacenter import CloudSystem
+from repro.model.profit import evaluate_profit
+
+#: Default cap on expanded nodes (pops from the frontier).
+DEFAULT_NODE_BUDGET = 200_000
+
+#: Frontier entry:
+#: (-bound, -depth, tiebreak, prefix clusters, mu_processing, mu_bandwidth).
+_Node = Tuple[float, int, int, Tuple[int, ...], np.ndarray, np.ndarray]
+
+
+@dataclass
+class BranchAndBoundResult:
+    """Outcome of one (possibly resumed) branch-and-bound run."""
+
+    best_profit: float
+    best_allocation: Optional[Allocation]
+    best_assignment: Optional[Dict[int, int]]
+    certified: bool
+    best_bound: float  # sound upper bound on the true optimum
+    nodes_expanded: int
+    leaves_evaluated: int
+    termination: str  # "optimal" | "node_budget" | "time_budget"
+    runtime_seconds: float
+    root_bound: float
+    seeded: bool
+    frontier: List[_Node] = field(default_factory=list, repr=False)
+
+    @property
+    def nodes_evaluated(self) -> int:
+        """Search effort in the harness's uniform vocabulary (see
+        :class:`repro.baselines.exhaustive.ExhaustiveResult`)."""
+        return self.nodes_expanded
+
+    def gap_interval(self) -> Tuple[float, float]:
+        """``[best feasible profit, certified upper bound]``."""
+        return self.best_profit, self.best_bound
+
+
+def _client_order(system: CloudSystem) -> List[int]:
+    """Branch on heavy clients first: committing a large load is what
+    shifts the conditional dual's crowding prices, so spending shallow
+    tree levels on high-load clients makes bounds diverge (and prune)
+    earliest.  Deterministic: ties fall back to client position."""
+    load = [
+        client.rate_predicted * (client.t_proc + client.t_comm)
+        for client in system.clients
+    ]
+    return sorted(range(len(load)), key=lambda row: (-load[row], row))
+
+
+def _leaf_value(
+    system: CloudSystem,
+    assignment: Dict[int, int],
+    config: SolverConfig,
+    polish: bool,
+) -> Tuple[float, Allocation]:
+    state = build_allocation_for_assignment(system, assignment, config, polish=polish)
+    profit = evaluate_profit(
+        system, state.allocation, require_all_served=False
+    ).total_profit
+    return profit, state.allocation
+
+
+def branch_and_bound(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+    *,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    time_budget: Optional[float] = None,
+    polish: bool = True,
+    dual_iterations: int = 48,
+    dual_target: Optional[float] = None,
+    refine_iterations: int = 6,
+    gap_tolerance: float = 0.0,
+    initial_incumbent: Optional[Tuple[float, Optional[Allocation], Dict[int, int]]] = None,
+    resume_from: Optional[BranchAndBoundResult] = None,
+) -> BranchAndBoundResult:
+    """Best-first branch-and-bound; see the module docstring.
+
+    ``dual_iterations`` controls the root multiplier optimization;
+    ``refine_iterations`` the per-child conditional-dual steps (more
+    steps = tighter child bounds = fewer nodes, at more time per node).
+    ``gap_tolerance`` is the absolute MIP-gap: subtrees that cannot beat
+    the incumbent by more than it are pruned, and ``certified=True``
+    asserts optimality up to it (0.0 = exact).
+    ``initial_incumbent`` is ``(profit, allocation, assignment)`` — pass
+    the heuristic's solution for maximum pruning, or nothing for pure
+    assignment-space optimality.  ``resume_from`` continues a
+    budget-terminated run; it must be called with the same system and
+    bound parameters (the frontier stores bound values computed under
+    them).
+    """
+    config = config or SolverConfig()
+    started = time.perf_counter()
+    if node_budget < 1:
+        raise SolverError(f"node_budget must be >= 1, got {node_budget}")
+    if gap_tolerance < 0.0:
+        raise SolverError(f"gap_tolerance must be >= 0, got {gap_tolerance}")
+
+    arrays = build_dual_arrays(system)
+    dual = dual_bound(
+        system,
+        iterations=max(1, dual_iterations),
+        target=dual_target,
+        arrays=arrays,
+    )
+    model = assignment_bound_model(system, dual.mu_processing, dual.mu_bandwidth)
+    root_bound = min(dual.bound, model.root_bound())
+
+    order = _client_order(system)
+    ordered_ids = [arrays.client_ids[row] for row in order]
+    contrib = model.contrib[order, :]  # (n, K) in branching order
+    num_clients, num_clusters = contrib.shape
+    cluster_ids = arrays.cluster_ids
+    group_cluster = arrays.group_cluster
+    num_groups = group_cluster.shape[0]
+
+    best_profit = -math.inf
+    best_allocation: Optional[Allocation] = None
+    best_assignment: Optional[Dict[int, int]] = None
+    seeded = False
+
+    def consider(profit: float, allocation: Optional[Allocation], assignment: Dict[int, int]) -> None:
+        nonlocal best_profit, best_allocation, best_assignment
+        if profit > best_profit:
+            best_profit = profit
+            best_allocation = allocation
+            best_assignment = dict(assignment)
+
+    nodes_expanded = 0
+    leaves_evaluated = 0
+
+    if resume_from is not None:
+        heap: List[_Node] = list(resume_from.frontier)
+        heapq.heapify(heap)
+        consider(
+            resume_from.best_profit,
+            resume_from.best_allocation,
+            resume_from.best_assignment or {},
+        )
+        seeded = resume_from.seeded
+        counter = itertools.count(
+            max((entry[2] for entry in heap), default=0) + 1
+        )
+    else:
+        # Greedy dive: the per-client argmax assignment is a real leaf and
+        # a decent incumbent, so pruning is armed from the first pop.
+        greedy = {
+            cid: cluster_ids[int(np.argmax(contrib[row_pos])) ]
+            for row_pos, cid in enumerate(ordered_ids)
+        }
+        profit, allocation = _leaf_value(system, greedy, config, polish)
+        leaves_evaluated += 1
+        consider(profit, allocation, greedy)
+        heap = [
+            (-root_bound, 0, 0, (), dual.mu_processing, dual.mu_bandwidth)
+        ]
+        counter = itertools.count(1)
+
+    if initial_incumbent is not None:
+        seed_profit, seed_allocation, seed_assignment = initial_incumbent
+        if seed_profit > best_profit:
+            seeded = True
+            consider(seed_profit, seed_allocation, seed_assignment)
+
+    termination = "optimal"
+    while heap:
+        top_bound = -heap[0][0]
+        if top_bound <= best_profit + gap_tolerance:
+            heap = []  # nothing left beats incumbent + tolerance: certified
+            break
+        if nodes_expanded >= node_budget:
+            termination = "node_budget"
+            break
+        if time_budget is not None and time.perf_counter() - started > time_budget:
+            termination = "time_budget"
+            break
+        neg_bound, _neg_depth, _tie, prefix, mu_p, mu_b = heapq.heappop(heap)
+        nodes_expanded += 1
+        depth = len(prefix)
+        if -neg_bound <= best_profit + gap_tolerance:
+            continue  # incumbent improved since this node was pushed
+        if depth == num_clients:
+            assignment = {
+                ordered_ids[pos]: cluster_ids[cluster_pos]
+                for pos, cluster_pos in enumerate(prefix)
+            }
+            profit, allocation = _leaf_value(system, assignment, config, polish)
+            leaves_evaluated += 1
+            consider(profit, allocation, assignment)
+            continue
+        # Group mask of this node's prefix; each child restricts one more
+        # client (the one at `depth` in branching order) to one cluster.
+        mask = np.ones((num_clients, num_groups), dtype=bool)
+        for pos, cluster_pos in enumerate(prefix):
+            mask[order[pos]] = group_cluster == cluster_pos
+        child_row = order[depth]
+        for cluster_pos in range(num_clusters):
+            mask[child_row] = group_cluster == cluster_pos
+            refined, child_mu_p, child_mu_b = refine_conditional_bound(
+                arrays,
+                mask,
+                mu_p,
+                mu_b,
+                iterations=refine_iterations,
+                incumbent=best_profit + gap_tolerance,
+            )
+            child_bound = min(-neg_bound, refined)
+            if child_bound > best_profit + gap_tolerance:
+                heapq.heappush(
+                    heap,
+                    (
+                        -child_bound,
+                        -(depth + 1),
+                        next(counter),
+                        prefix + (cluster_pos,),
+                        child_mu_p,
+                        child_mu_b,
+                    ),
+                )
+
+    certified = not heap and termination == "optimal"
+    open_bound = -heap[0][0] if heap else -math.inf
+    return BranchAndBoundResult(
+        best_profit=best_profit,
+        best_allocation=best_allocation,
+        best_assignment=best_assignment,
+        certified=certified,
+        best_bound=(
+            best_profit + gap_tolerance
+            if certified
+            else max(best_profit, open_bound)
+        ),
+        nodes_expanded=nodes_expanded,
+        leaves_evaluated=leaves_evaluated,
+        termination=termination,
+        runtime_seconds=time.perf_counter() - started,
+        root_bound=root_bound,
+        seeded=seeded,
+        frontier=heap,
+    )
+
+
+#: Refuse to enumerate more than this many assignments through CP-SAT.
+CPSAT_MAX_ASSIGNMENTS = 4096
+
+
+def cpsat_cross_check(
+    system: CloudSystem,
+    config: Optional[SolverConfig] = None,
+    *,
+    max_assignments: int = CPSAT_MAX_ASSIGNMENTS,
+    polish: bool = True,
+):
+    """Cross-check the search space through OR-tools CP-SAT (optional).
+
+    Builds the one-hot client -> cluster model in CP-SAT and enumerates
+    every feasible assignment through the solver's solution callback,
+    scoring each with the same leaf evaluator as branch-and-bound — an
+    independent enumeration engine agreeing with B&B/exhaustive on the
+    smallest instances.  Returns an
+    :class:`repro.baselines.exhaustive.ExhaustiveResult`.
+
+    Raises :class:`SolverError` when ``ortools`` is not installed (it is
+    an optional dependency; nothing else in the library needs it) and
+    :class:`SearchSpaceError` beyond ``max_assignments``.
+    """
+    try:
+        from ortools.sat.python import cp_model
+    except ImportError as exc:  # pragma: no cover - exercised where installed
+        raise SolverError(
+            "ortools is not installed; the CP-SAT gap backend is optional — "
+            "use branch_and_bound or exhaustive_search instead"
+        ) from exc
+
+    from repro.baselines.exhaustive import ExhaustiveResult
+
+    config = config or SolverConfig()
+    client_ids = system.client_ids()
+    cluster_ids = system.cluster_ids()
+    total = len(cluster_ids) ** len(client_ids)
+    if total > max_assignments:
+        raise SearchSpaceError(
+            f"{total} assignments exceed the CP-SAT cross-check cap "
+            f"({max_assignments}); it exists to verify the smallest instances",
+            total_assignments=total,
+            cap=max_assignments,
+        )
+
+    model = cp_model.CpModel()
+    choice = {
+        cid: [model.NewBoolVar(f"x_{cid}_{k}") for k in cluster_ids]
+        for cid in client_ids
+    }
+    for cid in client_ids:
+        model.AddExactlyOne(choice[cid])
+
+    best = {"profit": -math.inf, "assignment": None, "allocation": None, "tried": 0}
+
+    class _Collector(cp_model.CpSolverSolutionCallback):
+        def on_solution_callback(self) -> None:
+            assignment = {
+                cid: cluster_ids[
+                    next(
+                        k
+                        for k, var in enumerate(choice[cid])
+                        if self.Value(var)
+                    )
+                ]
+                for cid in client_ids
+            }
+            profit, allocation = _leaf_value(system, assignment, config, polish)
+            best["tried"] += 1
+            if profit > best["profit"]:
+                best["profit"] = profit
+                best["assignment"] = assignment
+                best["allocation"] = allocation
+
+    solver = cp_model.CpSolver()
+    solver.parameters.enumerate_all_solutions = True
+    solver.Solve(model, _Collector())
+    return ExhaustiveResult(
+        best_profit=best["profit"],
+        best_allocation=best["allocation"],
+        best_assignment=best["assignment"],
+        assignments_tried=best["tried"],
+    )

@@ -1,0 +1,406 @@
+"""The gap harness: seeded matrix of heuristic / exact / dual comparisons.
+
+One *cell* is a single instance pushed through up to three solvers:
+
+* the **heuristic** (:class:`repro.core.allocator.ResourceAllocator`) —
+  the paper's force-directed algorithm, the thing being certified;
+* the **exact tier** (:func:`repro.gap.exact.branch_and_bound`) — an
+  admissible best-first search over client -> cluster assignments that
+  certifies the optimum of the builder's ``F`` space down to a MIP-style
+  ``gap_tolerance``;
+* the **dual tier** (:func:`repro.gap.dual.dual_bound`) — a Lagrangian
+  upper bound that is sound at *any* scale, used alone where exact
+  search is hopeless (``n`` in the thousands).
+
+Every cell then asserts the sandwich ordering::
+
+    dual_bound  >=  certified optimum  >=  heuristic profit
+
+(up to ``ORDERING_TOLERANCE``) plus a tier-specific quality threshold:
+exact cells must come back ``certified`` with the heuristic within
+``heuristic_gap_threshold`` of the certified optimum; dual cells must
+keep the heuristic within ``dual_gap_threshold`` of the dual bound (the
+dual has an intrinsic duality gap, so its threshold is looser — it
+guards against regressions, not optimality).
+
+``certified optimum`` is ``max(branch-and-bound best, heuristic)``: the
+branch-and-bound is seeded with the heuristic's allocation, so its best
+incumbent can never fall below it, but the ``max`` keeps the semantics
+explicit — the harness certifies the best *feasible profit anyone
+found*, and the certificate says no ``F``-leaf beats it by more than
+the tolerance.
+
+**Seeding.**  The harness owns branch ``GAP_EXPERIMENT_KEY = 3`` of the
+repo's seeding tree (fig4/fig5/scalability take 0-2, see
+:mod:`repro.analysis.runner`).  A cell's instance seed is the uint64
+word of ``SeedSequence(root, spawn_key=(3, point, scenario, index))`` —
+named children, never seed arithmetic — so the matrix is reproducible
+from ``root_seed`` alone and no cell shares a stream with any other
+experiment in the repo.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import ExperimentError
+from repro.gap.dual import dual_bound
+from repro.gap.exact import branch_and_bound
+from repro.model.datacenter import CloudSystem
+from repro.workload.generator import generate_system
+from repro.workload.scenarios import certification_scenario
+
+#: The gap harness's branch of the repo-wide seeding tree.
+GAP_EXPERIMENT_KEY = 3
+
+#: Slack allowed on the sandwich ordering checks — numerical noise only,
+#: matches the audit feasibility tolerance.
+ORDERING_TOLERANCE = 1e-6
+
+#: Scenario families the matrix can draw cells from.
+SCENARIO_BUILDERS: Dict[str, Callable[[int, int], CloudSystem]] = {
+    "certification": lambda n, seed: certification_scenario(n, seed),
+    "paper": lambda n, seed: generate_system(num_clients=n, seed=seed),
+}
+_SCENARIO_INDEX = {name: i for i, name in enumerate(sorted(SCENARIO_BUILDERS))}
+
+
+@dataclass(frozen=True)
+class GapCellSpec:
+    """One cell of the gap matrix; a pure value, fully determines the run."""
+
+    tier: str  # "exact" | "dual"
+    num_clients: int
+    scenario: str = "certification"
+    point_index: int = 0
+    seed_index: int = 0
+    root_seed: int = 0
+    node_budget: int = 40_000
+    time_budget: Optional[float] = None
+    relative_gap_tolerance: float = 0.18
+    dual_iterations: int = 60
+    refine_iterations: int = 8
+    heuristic_gap_threshold: float = 0.15
+    dual_gap_threshold: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.tier not in ("exact", "dual"):
+            raise ExperimentError(
+                f"unknown gap tier {self.tier!r}; known: exact, dual"
+            )
+        if self.scenario not in SCENARIO_BUILDERS:
+            raise ExperimentError(
+                f"unknown gap scenario {self.scenario!r}; "
+                f"known: {sorted(SCENARIO_BUILDERS)}"
+            )
+
+    @property
+    def key(self) -> str:
+        return (
+            f"gap/{self.tier}/{self.scenario}/"
+            f"n{self.num_clients:05d}/s{self.seed_index:03d}"
+        )
+
+    def instance_seed(self) -> int:
+        """uint64 word of this cell's node in the seeding tree."""
+        child = np.random.SeedSequence(
+            self.root_seed,
+            spawn_key=(
+                GAP_EXPERIMENT_KEY,
+                self.point_index,
+                _SCENARIO_INDEX[self.scenario],
+                self.seed_index,
+            ),
+        )
+        return int(child.generate_state(1, dtype=np.uint64)[0])
+
+    def build_system(self) -> CloudSystem:
+        return SCENARIO_BUILDERS[self.scenario](
+            self.num_clients, self.instance_seed()
+        )
+
+
+@dataclass
+class GapCellResult:
+    """Everything one cell measured, plus the checks it failed."""
+
+    spec: GapCellSpec
+    instance_seed: int
+    heuristic_profit: float
+    heuristic_seconds: float
+    dual_bound: float
+    dual_seconds: float
+    dual_iterations: int
+    exact_profit: Optional[float] = None  # certified optimum (exact tier)
+    exact_bound: Optional[float] = None
+    certified: Optional[bool] = None
+    gap_tolerance: Optional[float] = None
+    nodes_expanded: Optional[int] = None
+    leaves_evaluated: Optional[int] = None
+    exact_seconds: Optional[float] = None
+    termination: Optional[str] = None
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def heuristic_gap(self) -> float:
+        """Relative gap of the heuristic against the cell's reference.
+
+        Exact tier: against the certified optimum (a true optimality
+        gap, up to the certificate width).  Dual tier: against the dual
+        bound (an upper bound on the true gap).
+        """
+        reference = (
+            self.exact_profit if self.exact_profit is not None else self.dual_bound
+        )
+        if reference <= 0:
+            return 0.0 if self.heuristic_profit >= reference else float("inf")
+        return max(0.0, (reference - self.heuristic_profit) / reference)
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        parts = [
+            f"{self.spec.key:<42} heur={self.heuristic_profit:+.4f}",
+            f"dual={self.dual_bound:+.4f}",
+        ]
+        if self.exact_profit is not None:
+            parts.append(
+                f"exact={self.exact_profit:+.4f}"
+                f"(+/-{self.gap_tolerance:.3f},"
+                f" certified={self.certified},"
+                f" nodes={self.nodes_expanded})"
+            )
+        parts.append(f"gap={self.heuristic_gap:.2%}")
+        parts.append(f"[{status}]")
+        line = "  ".join(parts)
+        for failure in self.failures:
+            line += f"\n    FAIL: {failure}"
+        return line
+
+
+def run_gap_cell(spec: GapCellSpec) -> GapCellResult:
+    """Run one cell: heuristic always, dual always, exact per tier."""
+    instance_seed = spec.instance_seed()
+    system = spec.build_system()
+    if spec.tier == "dual":
+        # At dual-tier sizes the full-strength heuristic is the dominant
+        # cost of the whole matrix; the bound only needs *a* feasible
+        # profit to sandwich, so use the light settings the audit matrix
+        # already standardizes on.
+        config = SolverConfig(
+            seed=spec.seed_index,
+            num_initial_solutions=1,
+            max_improvement_rounds=2,
+        )
+    else:
+        config = SolverConfig(seed=spec.seed_index)
+
+    started = time.perf_counter()
+    heuristic = ResourceAllocator(config).solve(system)
+    heuristic_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dual = dual_bound(
+        system, iterations=spec.dual_iterations, target=heuristic.profit
+    )
+    dual_seconds = time.perf_counter() - started
+
+    result = GapCellResult(
+        spec=spec,
+        instance_seed=instance_seed,
+        heuristic_profit=heuristic.profit,
+        heuristic_seconds=heuristic_seconds,
+        dual_bound=dual.bound,
+        dual_seconds=dual_seconds,
+        dual_iterations=dual.iterations,
+    )
+
+    if spec.tier == "exact":
+        assignment = {}
+        for client_id in system.client_ids():
+            entries = list(heuristic.allocation.entries_of_client(client_id))
+            if entries:
+                assignment[client_id] = system.cluster_of_server(entries[0])
+        tolerance = spec.relative_gap_tolerance * abs(heuristic.profit)
+        started = time.perf_counter()
+        bnb = branch_and_bound(
+            system,
+            config,
+            node_budget=spec.node_budget,
+            time_budget=spec.time_budget,
+            dual_iterations=spec.dual_iterations,
+            refine_iterations=spec.refine_iterations,
+            gap_tolerance=tolerance,
+            initial_incumbent=(
+                heuristic.profit,
+                heuristic.allocation,
+                assignment,
+            ),
+        )
+        result.exact_seconds = time.perf_counter() - started
+        result.exact_profit = max(bnb.best_profit, heuristic.profit)
+        result.exact_bound = bnb.best_bound
+        result.certified = bnb.certified
+        result.gap_tolerance = tolerance
+        result.nodes_expanded = bnb.nodes_expanded
+        result.leaves_evaluated = bnb.leaves_evaluated
+        result.termination = bnb.termination
+
+    _check_cell(result)
+    return result
+
+
+def _check_cell(result: GapCellResult) -> None:
+    """Append every breached invariant/threshold to ``result.failures``."""
+    spec = result.spec
+    tol = ORDERING_TOLERANCE
+    if result.exact_profit is not None:
+        if result.dual_bound < result.exact_profit - tol:
+            result.failures.append(
+                "ordering breach: dual bound "
+                f"{result.dual_bound!r} < certified optimum "
+                f"{result.exact_profit!r} — the dual is supposed to be "
+                "sound, this is a bug"
+            )
+        if result.exact_profit < result.heuristic_profit - tol:
+            result.failures.append(
+                "ordering breach: certified optimum "
+                f"{result.exact_profit!r} < heuristic "
+                f"{result.heuristic_profit!r}"
+            )
+        if not result.certified:
+            result.failures.append(
+                f"branch-and-bound failed to certify within "
+                f"node_budget={spec.node_budget} "
+                f"(termination={result.termination!r}, "
+                f"bound={result.exact_bound!r})"
+            )
+        if result.heuristic_gap > spec.heuristic_gap_threshold:
+            result.failures.append(
+                f"heuristic gap {result.heuristic_gap:.2%} exceeds the "
+                f"exact-tier threshold {spec.heuristic_gap_threshold:.2%}"
+            )
+    else:
+        if result.dual_bound < result.heuristic_profit - tol:
+            result.failures.append(
+                "ordering breach: dual bound "
+                f"{result.dual_bound!r} < heuristic profit "
+                f"{result.heuristic_profit!r} — the dual is supposed to "
+                "be sound, this is a bug"
+            )
+        if result.heuristic_gap > spec.dual_gap_threshold:
+            result.failures.append(
+                f"heuristic-vs-dual gap {result.heuristic_gap:.2%} "
+                f"exceeds the dual-tier threshold "
+                f"{spec.dual_gap_threshold:.2%}"
+            )
+
+
+def default_matrix(
+    root_seed: int = 0,
+    exact_sizes: Sequence[int] = (20, 24),
+    seeds_per_point: int = 2,
+    dual_sizes: Sequence[int] = (1000,),
+    node_budget: int = 40_000,
+    time_budget: Optional[float] = None,
+) -> List[GapCellSpec]:
+    """The CI matrix: exact tier at certifiable sizes, dual tier at scale."""
+    specs: List[GapCellSpec] = []
+    for point, num_clients in enumerate(exact_sizes):
+        for seed_index in range(seeds_per_point):
+            specs.append(
+                GapCellSpec(
+                    tier="exact",
+                    num_clients=num_clients,
+                    scenario="certification",
+                    point_index=point,
+                    seed_index=seed_index,
+                    root_seed=root_seed,
+                    node_budget=node_budget,
+                    time_budget=time_budget,
+                )
+            )
+    for point, num_clients in enumerate(dual_sizes):
+        specs.append(
+            GapCellSpec(
+                tier="dual",
+                num_clients=num_clients,
+                scenario="certification",
+                point_index=len(exact_sizes) + point,
+                seed_index=0,
+                root_seed=root_seed,
+            )
+        )
+    return specs
+
+
+def run_gap_matrix(
+    specs: Optional[Iterable[GapCellSpec]] = None,
+) -> List[GapCellResult]:
+    """Run every cell; never raises on a breach — read ``result.failures``."""
+    if specs is None:
+        specs = default_matrix()
+    return [run_gap_cell(spec) for spec in specs]
+
+
+@dataclass
+class ScalingProbe:
+    """Dual-vs-heuristic timing at a scale exact search cannot touch."""
+
+    num_clients: int
+    heuristic_seconds: float
+    dual_seconds: float
+    dual_bound: float
+    heuristic_profit: float
+
+    @property
+    def speed_ratio(self) -> float:
+        """How many dual bounds fit in one heuristic solve (> 1 is good)."""
+        if self.dual_seconds <= 0:
+            return float("inf")
+        return self.heuristic_seconds / self.dual_seconds
+
+
+def dual_scaling_probe(
+    num_clients: int = 1000,
+    root_seed: int = 0,
+    iterations: int = 60,
+) -> ScalingProbe:
+    """Time the dual bound against one heuristic solve at ``num_clients``.
+
+    The subsystem's scaling claim: the always-sound upper bound costs
+    less than the single heuristic solve it certifies, at any ``n`` the
+    heuristic itself can handle.
+    """
+    spec = GapCellSpec(
+        tier="dual",
+        num_clients=num_clients,
+        scenario="certification",
+        point_index=99,
+        seed_index=0,
+        root_seed=root_seed,
+        dual_iterations=iterations,
+    )
+    system = spec.build_system()
+    started = time.perf_counter()
+    heuristic = ResourceAllocator(SolverConfig(seed=0)).solve(system)
+    heuristic_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    dual = dual_bound(system, iterations=iterations, target=heuristic.profit)
+    dual_seconds = time.perf_counter() - started
+    return ScalingProbe(
+        num_clients=num_clients,
+        heuristic_seconds=heuristic_seconds,
+        dual_seconds=dual_seconds,
+        dual_bound=dual.bound,
+        heuristic_profit=heuristic.profit,
+    )

@@ -11,6 +11,7 @@ from repro.workload.scenarios import (
     paper_scenario,
     tiny_system,
     small_system,
+    certification_scenario,
     consolidation_scenario,
     tiered_sla_scenario,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "paper_scenario",
     "tiny_system",
     "small_system",
+    "certification_scenario",
     "consolidation_scenario",
     "tiered_sla_scenario",
 ]

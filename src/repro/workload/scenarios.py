@@ -9,12 +9,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+from numpy.random import SeedSequence, default_rng
+
 from repro.model import (
     Client,
     ClippedLinearUtility,
     CloudSystem,
     UtilityClass,
 )
+from repro.model.cluster import Cluster
+from repro.model.server import Server, ServerClass
 from repro.workload.generator import WorkloadConfig, generate_system
 
 
@@ -69,6 +73,87 @@ def consolidation_scenario(seed: Optional[int] = 11) -> CloudSystem:
     )
     return generate_system(
         num_clients=8, seed=seed, config=config, name="consolidation"
+    )
+
+
+def certification_scenario(num_clients: int = 20, seed: int = 0) -> CloudSystem:
+    """Light-load, hardware-asymmetric family built for gap certification.
+
+    The gap subsystem (:mod:`repro.gap`) needs instances where the
+    Lagrangian relaxation is *tight enough* that branch-and-bound can
+    close the frontier within a small MIP-style tolerance.  Three design
+    choices make that possible:
+
+    * **light per-client loads** — every client fits in a single branch
+      of the fastest server class, so the conservative leaf builder in
+      :mod:`repro.baselines.assignment` loses nothing to multi-branch
+      splitting (the dominant source of relaxation gap on generic
+      instances);
+    * **tiny fixed power** — ``P0`` is small relative to utilization
+      cost, so the activation integrality the dual relaxes away carries
+      little profit;
+    * **asymmetric hardware** — a premium cluster (fast, expensive per
+      utilization) against an economy cluster (slow, cheap) with a
+      continuum of client price slopes, so the client -> cluster decision
+      is *economically* discriminating and the conditional dual bound
+      separates prefixes.
+
+    Server counts scale with ``num_clients`` to keep the load/capacity
+    ratio roughly constant, so the family stays in the light-load regime
+    at every matrix point.
+    """
+    rng = default_rng(SeedSequence((seed, 77)))
+    premium = ServerClass(0, 6.0, 6.0, 8.0, 0.2, 2.0, "premium")
+    economy = ServerClass(1, 3.0, 3.0, 8.0, 0.1, 0.5, "economy")
+    num_premium = max(4, round(num_clients / 5))
+    num_economy = max(6, round(num_clients * 0.3))
+    clusters = [
+        Cluster(
+            cluster_id=0,
+            servers=[
+                Server(server_id=i, cluster_id=0, server_class=premium)
+                for i in range(num_premium)
+            ],
+            name="premium",
+        ),
+        Cluster(
+            cluster_id=1,
+            servers=[
+                Server(
+                    server_id=num_premium + i,
+                    cluster_id=1,
+                    server_class=economy,
+                )
+                for i in range(num_economy)
+            ],
+            name="economy",
+        ),
+    ]
+    clients = []
+    for i in range(num_clients):
+        lam = rng.uniform(0.5, 1.0)
+        t_proc = rng.uniform(0.4, 0.7)
+        t_comm = rng.uniform(0.4, 0.7)
+        slope = rng.uniform(0.3, 2.8)
+        base_value = rng.uniform(2.5, 3.5)
+        utility = UtilityClass(
+            i, ClippedLinearUtility(base_value=base_value, slope=slope)
+        )
+        clients.append(
+            Client(
+                client_id=i,
+                utility_class=utility,
+                rate_agreed=lam,
+                rate_predicted=lam,
+                t_proc=t_proc,
+                t_comm=t_comm,
+                storage_req=rng.uniform(0.2, 1.0),
+            )
+        )
+    return CloudSystem(
+        clusters=clusters,
+        clients=clients,
+        name=f"certification(n={num_clients}, seed={seed})",
     )
 
 

@@ -47,12 +47,52 @@ class TestProfitUpperBound:
         for r_min in bound.min_response_times.values():
             assert r_min > 0
 
-    def test_min_response_uses_best_hardware(self, small):
+    def test_min_response_uses_best_cluster_pairing(self, small):
+        """R_min pairs each cluster's own best C^p with its own best C^b.
+
+        Constraint (6) keeps a client inside one cluster, so the old
+        fleet-wide pairing (best processing anywhere + best bandwidth
+        anywhere) described a server no cluster need contain.
+        """
         bound = profit_upper_bound(small)
-        best_p = max(s.cap_processing for s in small.servers())
-        best_b = max(s.cap_bandwidth for s in small.servers())
+        cluster_caps = [
+            (
+                max(s.cap_processing for s in cluster),
+                max(s.cap_bandwidth for s in cluster),
+            )
+            for cluster in small.clusters
+        ]
         for client in small.clients:
-            expected = client.t_proc / best_p + client.t_comm / best_b
+            expected = min(
+                client.t_proc / cap_p + client.t_comm / cap_b
+                for cap_p, cap_b in cluster_caps
+            )
             assert bound.min_response_times[client.client_id] == pytest.approx(
                 expected
             )
+
+    def test_never_looser_than_fleet_wide_pairing(self):
+        """Regression: per-cluster pairing tightens, never loosens.
+
+        On every seeded instance the new bound must be <= the bound the
+        old fleet-wide formula would have produced (recomputed here),
+        and strictly tighter on at least one instance where the two
+        fleet maxima live in different clusters.
+        """
+        strictly_tighter = 0
+        for seed in range(8):
+            system = generate_system(num_clients=10, seed=seed)
+            bound = profit_upper_bound(system)
+            best_p = max(s.cap_processing for s in system.servers())
+            best_b = max(s.cap_bandwidth for s in system.servers())
+            legacy_revenue = sum(
+                client.rate_agreed
+                * client.utility_class.function.value(
+                    client.t_proc / best_p + client.t_comm / best_b
+                )
+                for client in system.clients
+            )
+            assert bound.revenue_bound <= legacy_revenue + 1e-9
+            if bound.revenue_bound < legacy_revenue - 1e-9:
+                strictly_tighter += 1
+        assert strictly_tighter > 0

@@ -1,0 +1,176 @@
+"""Tests for the Lagrangian dual bound (repro.gap.dual)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.exhaustive import exhaustive_search
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.gap.dual import (
+    assignment_bound_model,
+    build_dual_arrays,
+    dual_bound,
+    linear_majorant,
+    refine_conditional_bound,
+)
+from repro.model import (
+    ClippedLinearUtility,
+    LinearUtility,
+    UtilityClass,
+)
+from repro.workload import certification_scenario, tiny_system
+
+TOL = 1e-9
+
+
+class TestLinearMajorant:
+    def test_exact_for_linear(self):
+        utility = UtilityClass(0, LinearUtility(base_value=3.0, slope=0.5))
+        v_hat, beta_hat = linear_majorant(utility)
+        assert v_hat == pytest.approx(3.0)
+        assert beta_hat == pytest.approx(0.5)
+        for response in (0.0, 0.5, 2.0, 10.0):
+            assert (
+                v_hat - beta_hat * response
+                >= utility.function.value(response) - TOL
+            )
+
+    def test_matches_clipped_linear_up_to_clip(self):
+        """Exact on [0, v/beta], where the true function is linear.
+
+        Beyond the clip point the proxy goes negative while the true
+        utility is 0 — there, dual soundness comes from the relaxation's
+        drop option (per-client values are floored at zero), not from
+        pointwise domination, so only the pre-clip range is asserted.
+        """
+        utility = UtilityClass(0, ClippedLinearUtility(base_value=2.0, slope=1.5))
+        v_hat, beta_hat = linear_majorant(utility)
+        clip = 2.0 / 1.5
+        for response in (0.0, 0.5, 0.9 * clip, clip):
+            assert v_hat - beta_hat * response == pytest.approx(
+                utility.function.value(response)
+            )
+        assert v_hat - beta_hat * (2 * clip) < 0 <= utility.function.value(
+            2 * clip
+        )
+
+
+class TestDualBound:
+    def test_dominates_exhaustive_on_tiny(self, solver_config):
+        for seed in range(4):
+            system = tiny_system(seed=seed)
+            exact = exhaustive_search(system, solver_config)
+            dual = dual_bound(system)
+            assert dual.bound >= exact.best_profit - 1e-6, (
+                f"seed {seed}: dual {dual.bound} below exhaustive optimum "
+                f"{exact.best_profit} — the bound is unsound"
+            )
+
+    def test_dominates_heuristic_on_certification_family(self, solver_config):
+        system = certification_scenario(10, seed=3)
+        heuristic = ResourceAllocator(solver_config).solve(system)
+        dual = dual_bound(system, target=heuristic.profit)
+        assert dual.bound >= heuristic.profit - 1e-6
+
+    def test_bound_is_min_over_trace(self):
+        system = certification_scenario(8, seed=1)
+        dual = dual_bound(system, iterations=30)
+        assert dual.bound == pytest.approx(min(dual.trace))
+        assert dual.iterations == len(dual.trace)
+
+    def test_more_iterations_never_looser(self):
+        system = certification_scenario(8, seed=2)
+        short = dual_bound(system, iterations=5)
+        long = dual_bound(system, iterations=60)
+        # The bound is the min over evaluated iterates, and the iterate
+        # sequence is deterministic, so a longer run can only tighten it.
+        assert long.bound <= short.bound + TOL
+
+    def test_gap_to(self):
+        system = certification_scenario(8, seed=0)
+        dual = dual_bound(system)
+        assert dual.gap_to(dual.bound) == pytest.approx(0.0)
+        assert dual.gap_to(dual.bound / 2) > 0
+
+
+class TestConditionalRefinement:
+    def test_restriction_stays_sound(self, solver_config):
+        """Locking clients to their optimal cluster keeps bound >= optimum."""
+        system = tiny_system(seed=1)
+        exact = exhaustive_search(system, solver_config)
+        arrays = build_dual_arrays(system)
+        dual = dual_bound(system, arrays=arrays)
+        cluster_ids = list(arrays.cluster_ids)
+        allowed = np.zeros(
+            (len(arrays.client_ids), len(arrays.group_keys)), dtype=bool
+        )
+        for row, client_id in enumerate(arrays.client_ids):
+            assigned = exact.best_assignment[client_id]
+            for col, cluster_id in enumerate(arrays.group_cluster):
+                allowed[row, col] = cluster_ids[cluster_id] == assigned
+        bound, _, _ = refine_conditional_bound(
+            arrays,
+            allowed,
+            dual.mu_processing,
+            dual.mu_bandwidth,
+            iterations=8,
+        )
+        # The restricted relaxation still contains the optimal assignment.
+        assert bound >= exact.best_profit - 1e-6
+
+    def test_restriction_never_above_unrestricted(self):
+        system = certification_scenario(8, seed=5)
+        arrays = build_dual_arrays(system)
+        dual = dual_bound(system, arrays=arrays)
+        full = np.ones(
+            (len(arrays.client_ids), len(arrays.group_keys)), dtype=bool
+        )
+        restricted = full.copy()
+        restricted[0] = arrays.group_cluster == 0
+        free_bound, _, _ = refine_conditional_bound(
+            arrays, full, dual.mu_processing, dual.mu_bandwidth, iterations=0
+        )
+        tight_bound, _, _ = refine_conditional_bound(
+            arrays,
+            restricted,
+            dual.mu_processing,
+            dual.mu_bandwidth,
+            iterations=0,
+        )
+        # At identical multipliers, shrinking a client's choice set can
+        # only lower the relaxation's value.
+        assert tight_bound <= free_bound + TOL
+
+    def test_early_exit_on_incumbent(self):
+        system = certification_scenario(8, seed=6)
+        arrays = build_dual_arrays(system)
+        dual = dual_bound(system, arrays=arrays)
+        full = np.ones(
+            (len(arrays.client_ids), len(arrays.group_keys)), dtype=bool
+        )
+        bound, _, _ = refine_conditional_bound(
+            arrays,
+            full,
+            dual.mu_processing,
+            dual.mu_bandwidth,
+            iterations=8,
+            incumbent=float("inf"),
+        )
+        # An infinite incumbent means any bound prunes: the refiner may
+        # stop immediately but must still return a sound value.
+        assert bound <= dual.bound + TOL
+
+
+class TestAssignmentBoundModel:
+    def test_root_bound_dominates_exhaustive(self, solver_config):
+        for seed in range(3):
+            system = tiny_system(seed=seed)
+            exact = exhaustive_search(system, solver_config)
+            model = assignment_bound_model(system)
+            assert model.root_bound() >= exact.best_profit - 1e-6
+
+    def test_contrib_shape(self):
+        system = certification_scenario(6, seed=0)
+        model = assignment_bound_model(system)
+        assert model.contrib.shape == (6, 2)
+        assert (model.contrib >= 0).all()

@@ -1,0 +1,135 @@
+"""Tests for branch-and-bound certification (repro.gap.exact)."""
+
+import pytest
+
+from repro.baselines.exhaustive import MAX_ASSIGNMENTS, exhaustive_search
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import SearchSpaceError, SolverError
+from repro.gap.exact import branch_and_bound
+from repro.workload import certification_scenario, tiny_system
+from repro.workload.generator import WorkloadConfig, generate_system
+
+
+class TestCertification:
+    def test_matches_exhaustive_bitwise(self, solver_config):
+        for seed in range(4):
+            system = tiny_system(seed=seed)
+            exact = exhaustive_search(system, solver_config)
+            bnb = branch_and_bound(system, solver_config)
+            assert bnb.certified
+            assert bnb.termination == "optimal"
+            assert bnb.best_profit == exact.best_profit, (
+                f"seed {seed}: branch-and-bound {bnb.best_profit!r} is not "
+                f"bit-identical to exhaustive {exact.best_profit!r}"
+            )
+
+    def test_certifies_certification_family(self, solver_config):
+        system = certification_scenario(8, seed=0)
+        exact = exhaustive_search(system, solver_config)
+        bnb = branch_and_bound(system, solver_config)
+        assert bnb.certified
+        assert bnb.best_profit == exact.best_profit
+
+    def test_prunes_leaves(self, solver_config):
+        system = certification_scenario(10, seed=1)
+        exact = exhaustive_search(system, solver_config)
+        bnb = branch_and_bound(system, solver_config)
+        assert bnb.certified
+        assert bnb.leaves_evaluated < exact.assignments_tried
+
+    def test_bound_interval_is_sound(self, solver_config):
+        system = certification_scenario(8, seed=2)
+        bnb = branch_and_bound(system, solver_config)
+        low, high = bnb.gap_interval()
+        assert low == bnb.best_profit
+        assert low <= high + 1e-12
+        exact = exhaustive_search(system, solver_config)
+        assert low <= exact.best_profit <= high + 1e-9
+
+
+class TestBudgets:
+    def test_node_budget_truncates_with_sound_interval(self, solver_config):
+        system = certification_scenario(12, seed=0)
+        bnb = branch_and_bound(system, solver_config, node_budget=2)
+        exact = exhaustive_search(system, solver_config)
+        if not bnb.certified:
+            assert bnb.termination == "node_budget"
+            assert bnb.frontier  # resumable
+        assert bnb.best_profit <= exact.best_profit + 1e-9
+        assert bnb.best_bound >= exact.best_profit - 1e-9
+
+    def test_resume_continues_to_optimum(self, solver_config):
+        system = certification_scenario(10, seed=3)
+        first = branch_and_bound(system, solver_config, node_budget=2)
+        resumed = branch_and_bound(
+            system, solver_config, node_budget=200_000, resume_from=first
+        )
+        reference = branch_and_bound(system, solver_config)
+        assert resumed.certified
+        assert resumed.best_profit == reference.best_profit
+
+    def test_invalid_node_budget(self, solver_config):
+        with pytest.raises(SolverError):
+            branch_and_bound(tiny_system(), solver_config, node_budget=0)
+
+    def test_negative_gap_tolerance(self, solver_config):
+        with pytest.raises(SolverError):
+            branch_and_bound(tiny_system(), solver_config, gap_tolerance=-0.1)
+
+
+class TestGapTolerance:
+    def test_tolerance_certificate_is_honest(self, solver_config):
+        """A positive-tolerance certificate still brackets the optimum."""
+        system = certification_scenario(9, seed=4)
+        exact = exhaustive_search(system, solver_config)
+        bnb = branch_and_bound(system, solver_config, gap_tolerance=0.5)
+        assert bnb.certified
+        assert bnb.best_profit >= exact.best_profit - 0.5 - 1e-9
+        assert bnb.best_bound >= exact.best_profit - 1e-9
+
+    def test_tolerance_reduces_effort(self, solver_config):
+        system = certification_scenario(10, seed=5)
+        tight = branch_and_bound(system, solver_config)
+        loose = branch_and_bound(system, solver_config, gap_tolerance=1.0)
+        assert loose.nodes_expanded <= tight.nodes_expanded
+
+
+class TestIncumbentSeeding:
+    def test_seeded_never_below_heuristic(self, solver_config):
+        system = certification_scenario(10, seed=6)
+        heuristic = ResourceAllocator(solver_config).solve(system)
+        assignment = {}
+        for client_id in system.client_ids():
+            entries = list(heuristic.allocation.entries_of_client(client_id))
+            if entries:
+                assignment[client_id] = system.cluster_of_server(entries[0])
+        bnb = branch_and_bound(
+            system,
+            solver_config,
+            initial_incumbent=(
+                heuristic.profit,
+                heuristic.allocation,
+                assignment,
+            ),
+        )
+        assert bnb.seeded
+        assert bnb.best_profit >= heuristic.profit
+
+
+class TestSearchSpaceError:
+    def test_exhaustive_raises_typed_error_with_size(self, solver_config):
+        system = generate_system(
+            num_clients=30,
+            seed=0,
+            config=WorkloadConfig(num_clusters=5, servers_per_cluster=2),
+        )
+        with pytest.raises(SearchSpaceError) as excinfo:
+            exhaustive_search(system, solver_config)
+        assert excinfo.value.total_assignments == 5**30
+        assert excinfo.value.cap == MAX_ASSIGNMENTS
+
+    def test_nodes_evaluated_alias(self, solver_config):
+        system = tiny_system(seed=0)
+        exact = exhaustive_search(system, solver_config)
+        assert exact.nodes_evaluated == exact.assignments_tried

@@ -1,0 +1,148 @@
+"""Tests for the gap matrix harness (repro.gap.harness)."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.gap.harness import (
+    GapCellResult,
+    GapCellSpec,
+    default_matrix,
+    run_gap_cell,
+)
+
+
+def _stub_result(**overrides) -> GapCellResult:
+    defaults = dict(
+        spec=GapCellSpec(tier="dual", num_clients=10),
+        instance_seed=1,
+        heuristic_profit=10.0,
+        heuristic_seconds=1.0,
+        dual_bound=11.0,
+        dual_seconds=0.1,
+        dual_iterations=5,
+    )
+    defaults.update(overrides)
+    return GapCellResult(**defaults)
+
+
+class TestGapCellSpec:
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ExperimentError):
+            GapCellSpec(tier="quantum", num_clients=10)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ExperimentError):
+            GapCellSpec(tier="exact", num_clients=10, scenario="mystery")
+
+    def test_instance_seed_deterministic(self):
+        spec = GapCellSpec(tier="exact", num_clients=10, seed_index=1)
+        assert spec.instance_seed() == spec.instance_seed()
+
+    def test_instance_seeds_distinct_across_cells(self):
+        seeds = {
+            GapCellSpec(
+                tier="exact",
+                num_clients=10,
+                point_index=point,
+                seed_index=index,
+            ).instance_seed()
+            for point in range(3)
+            for index in range(3)
+        }
+        assert len(seeds) == 9
+
+    def test_build_system_matches_spec(self):
+        spec = GapCellSpec(tier="exact", num_clients=7)
+        system = spec.build_system()
+        assert system.num_clients == 7
+
+    def test_key_format(self):
+        spec = GapCellSpec(tier="dual", num_clients=1000, seed_index=2)
+        assert spec.key == "gap/dual/certification/n01000/s002"
+
+
+class TestDefaultMatrix:
+    def test_shape(self):
+        specs = default_matrix(exact_sizes=(10, 12), seeds_per_point=2)
+        exact = [s for s in specs if s.tier == "exact"]
+        dual = [s for s in specs if s.tier == "dual"]
+        assert len(exact) == 4
+        assert len(dual) == 1
+        assert dual[0].num_clients == 1000
+
+    def test_keys_unique(self):
+        specs = default_matrix()
+        assert len({s.key for s in specs}) == len(specs)
+
+
+class TestRunGapCell:
+    def test_exact_cell_clean_on_tiny_instance(self):
+        spec = GapCellSpec(
+            tier="exact", num_clients=8, node_budget=20_000
+        )
+        result = run_gap_cell(spec)
+        assert result.ok, result.failures
+        assert result.certified
+        assert result.exact_profit >= result.heuristic_profit - 1e-9
+        assert result.dual_bound >= result.exact_profit - 1e-6
+        assert "certified=True" in result.summary()
+
+    def test_dual_cell_clean_on_small_instance(self):
+        spec = GapCellSpec(tier="dual", num_clients=30)
+        result = run_gap_cell(spec)
+        assert result.ok, result.failures
+        assert result.exact_profit is None
+        assert result.dual_bound >= result.heuristic_profit - 1e-6
+
+
+class TestCellChecks:
+    def test_ordering_breach_detected(self):
+        from repro.gap.harness import _check_cell
+
+        result = _stub_result(dual_bound=9.0)  # below the heuristic: unsound
+        _check_cell(result)
+        assert not result.ok
+        assert any("ordering breach" in failure for failure in result.failures)
+        assert "FAIL" in result.summary()
+
+    def test_uncertified_exact_cell_fails(self):
+        from repro.gap.harness import _check_cell
+
+        result = _stub_result(
+            spec=GapCellSpec(tier="exact", num_clients=10),
+            exact_profit=10.0,
+            exact_bound=12.0,
+            certified=False,
+            gap_tolerance=0.5,
+            termination="node_budget",
+        )
+        _check_cell(result)
+        assert any("failed to certify" in failure for failure in result.failures)
+
+    def test_gap_threshold_breach_detected(self):
+        from repro.gap.harness import _check_cell
+
+        result = _stub_result(
+            spec=GapCellSpec(
+                tier="exact", num_clients=10, heuristic_gap_threshold=0.05
+            ),
+            heuristic_profit=8.0,
+            exact_profit=10.0,
+            exact_bound=10.0,
+            certified=True,
+            gap_tolerance=0.1,
+        )
+        _check_cell(result)
+        assert any("heuristic gap" in failure for failure in result.failures)
+
+    def test_heuristic_gap_property(self):
+        result = _stub_result(heuristic_profit=9.0, dual_bound=10.0)
+        assert result.heuristic_gap == pytest.approx(0.1)
+        exact = _stub_result(
+            spec=GapCellSpec(tier="exact", num_clients=10),
+            heuristic_profit=9.5,
+            exact_profit=10.0,
+            dual_bound=12.0,
+        )
+        # Exact tier measures against the certified optimum, not the dual.
+        assert exact.heuristic_gap == pytest.approx(0.05)

@@ -1,0 +1,102 @@
+"""Randomized soundness properties of the gap subsystem (hypothesis).
+
+Three properties, each the load-bearing guarantee of one layer:
+
+* the Lagrangian dual bound dominates every feasible profit anyone can
+  produce (exhaustive optimum, branch-and-bound, heuristic);
+* branch-and-bound with zero tolerance is *bit-identical* to flat
+  exhaustive enumeration wherever both complete;
+* every subgradient iterate — not just the returned minimum — stays
+  above the certified optimum, so the bound is sound even if a caller
+  reads the trace instead of the result.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.exhaustive import exhaustive_search
+from repro.config import SolverConfig
+from repro.core.allocator import ResourceAllocator
+from repro.gap.dual import dual_bound
+from repro.gap.exact import branch_and_bound
+from repro.workload import certification_scenario
+from repro.workload.generator import WorkloadConfig, generate_system
+
+FAST = SolverConfig(
+    seed=0,
+    num_initial_solutions=1,
+    alpha_granularity=5,
+    max_improvement_rounds=2,
+)
+
+# Tiny instances only: every example runs flat exhaustive enumeration.
+tiny_params = st.tuples(
+    st.integers(min_value=2, max_value=5),       # clients
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=1, max_value=2),       # clusters
+)
+certification_params = st.tuples(
+    st.integers(min_value=3, max_value=6),       # clients
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def draw_generated(params):
+    num_clients, seed, num_clusters = params
+    config = WorkloadConfig(
+        num_clusters=num_clusters,
+        num_server_classes=2,
+        num_utility_classes=2,
+        servers_per_cluster=2,
+    )
+    return generate_system(num_clients=num_clients, seed=seed, config=config)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=tiny_params)
+def test_dual_dominates_every_feasible_profit(params):
+    system = draw_generated(params)
+    dual = dual_bound(system)
+    exact = exhaustive_search(system, FAST)
+    heuristic = ResourceAllocator(FAST).solve(system)
+    best_feasible = max(exact.best_profit, heuristic.profit)
+    assert dual.bound >= best_feasible - 1e-6, (
+        f"dual bound {dual.bound!r} below a feasible profit "
+        f"{best_feasible!r} on {params!r} — the relaxation is unsound"
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=tiny_params)
+def test_branch_and_bound_bitwise_equals_exhaustive(params):
+    system = draw_generated(params)
+    exact = exhaustive_search(system, FAST)
+    bnb = branch_and_bound(system, FAST)
+    assert bnb.certified
+    assert bnb.best_profit == exact.best_profit
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=certification_params)
+def test_subgradient_trace_never_dips_below_optimum(params):
+    num_clients, seed = params
+    system = certification_scenario(num_clients, seed=seed)
+    exact = exhaustive_search(system, FAST)
+    dual = dual_bound(system, iterations=40)
+    floor = exact.best_profit - 1e-6
+    dips = [value for value in dual.trace if value < floor]
+    assert not dips, (
+        f"{len(dips)} subgradient iterates below the certified optimum "
+        f"{exact.best_profit!r} on {params!r}; worst {min(dips)!r}"
+    )

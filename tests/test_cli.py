@@ -281,3 +281,66 @@ class TestCliErrorMapping:
     def test_epochs_bad_epoch_count_exits_2(self, capsys):
         assert main(["epochs", "--clients", "4", "--epochs", "0"]) == 2
         assert "num_epochs" in capsys.readouterr().err
+
+
+class TestGapCommand:
+    def test_gap_tiny_matrix(self, capsys):
+        assert (
+            main(
+                [
+                    "gap",
+                    "--clients",
+                    "8",
+                    "--seeds",
+                    "1",
+                    "--dual-clients",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gap/exact/certification/n00008/s000" in out
+        assert "cells clean" in out
+
+    def test_gap_dual_only(self, capsys):
+        assert (
+            main(
+                ["gap", "--clients", "6", "--seeds", "1", "--dual-clients", "12"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gap/dual/certification/n00012/s000" in out
+
+    def test_gap_breach_exits_1(self, capsys, monkeypatch):
+        # An impossible threshold forces a breach: exit 1, not an error.
+        assert (
+            main(
+                [
+                    "gap",
+                    "--clients",
+                    "8",
+                    "--seeds",
+                    "1",
+                    "--dual-clients",
+                    "0",
+                    "--tolerance",
+                    "0.0",
+                    "--budget",
+                    "1",
+                ]
+            )
+            == 1
+        )
+        assert "breached" in capsys.readouterr().out
+
+    def test_gap_cpsat_backend_without_ortools(self, capsys):
+        try:
+            import ortools  # noqa: F401
+
+            pytest.skip("ortools installed; the degraded path is not reachable")
+        except ImportError:
+            pass
+        assert main(["gap", "--clients", "4", "--backend", "cpsat"]) == 2
+        assert "ortools" in capsys.readouterr().err
