@@ -39,6 +39,16 @@ the committed ``BENCH_service.json``::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
         --suite service --threshold 0.10
+
+``--suite admission`` gates the admission-control subsystem: it re-runs
+the overload profit cells from ``benchmarks/bench_admission.py`` (which
+themselves assert that the ``opportunity_cost`` policy strictly beats
+``always_admit_if_feasible`` on every cell, and hash-assert per-policy
+journal replay), then compares best-of-N per-decision latency against
+the committed ``BENCH_admission.json``::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --suite admission --threshold 0.10
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import bench_admission  # noqa: E402
 import bench_scale  # noqa: E402
 import bench_service  # noqa: E402
 from bench_hotpaths import OUTPUT_PATH, SECTIONS, run_benchmarks  # noqa: E402
@@ -88,6 +99,16 @@ NOISE_FLOOR_S = 0.005
 #: jitters +-10% run-to-run on a loaded host, so a single sample cannot
 #: distinguish a real slowdown from scheduler luck at a 10% threshold.
 SERVICE_ATTEMPTS = 3
+
+#: Best-of-N attempts for the admission decision-latency gate (same
+#: rationale: the expensive policy decides in ~100us, where scheduler
+#: jitter swamps any single sample).
+ADMISSION_ATTEMPTS = 3
+
+#: Absolute per-decision slowdown below which a relative latency
+#: regression is ignored: the cheap policies decide in under a
+#: microsecond, where a 10% threshold is pure timer noise.
+ADMISSION_LATENCY_FLOOR_S = 2e-5
 
 
 def compare(baseline: dict, current: dict, threshold: float) -> list:
@@ -234,6 +255,56 @@ def check_service_suite(baseline_path: Path, threshold: float) -> list:
     return problems
 
 
+def check_admission_suite(baseline_path: Path, threshold: float) -> list:
+    """The admission-control gate: profit dominance + decision latency.
+
+    Re-runs the committed overload profit cells —
+    ``bench_admission.bench_policy_cell`` itself raises when the
+    ``opportunity_cost`` policy fails to strictly beat the always-admit
+    baseline, or when any policy's journal replay diverges, so reaching
+    the latency comparison proves both invariants.  The latency gate
+    then compares best-of-N mean per-decision cost against the committed
+    baseline, per policy, subject to the absolute floor.
+    """
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path}; run bench_admission.py first"]
+    baseline = json.loads(baseline_path.read_text())
+    base_latency = baseline.get("decision_latency")
+    if not base_latency:
+        return [
+            f"{baseline_path} has no decision_latency section; regenerate it"
+        ]
+    problems = []
+    for seed in bench_admission.TRACE_SEEDS:
+        try:
+            bench_admission.bench_policy_cell(trace_seed=seed)
+        except AssertionError as exc:
+            problems.append(str(exc))
+    if problems:
+        return problems
+    attempts = [
+        bench_admission.bench_decision_latency()
+        for _ in range(ADMISSION_ATTEMPTS)
+    ]
+    for name, base_row in base_latency["policies"].items():
+        base_s = base_row["mean_decision_seconds"]
+        now_s = min(
+            attempt["policies"][name]["mean_decision_seconds"]
+            for attempt in attempts
+        )
+        if (
+            base_s > 0
+            and now_s > base_s * (1.0 + threshold)
+            and now_s - base_s > ADMISSION_LATENCY_FLOOR_S
+        ):
+            problems.append(
+                f"admission {name}: decision latency "
+                f"{base_s * 1e6:.1f}us -> {now_s * 1e6:.1f}us "
+                f"(+{(now_s / base_s - 1.0) * 100.0:.0f}%)"
+            )
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -244,11 +315,13 @@ def main() -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("hotpaths", "scale", "service"),
+        choices=("hotpaths", "scale", "service", "admission"),
         default="hotpaths",
         help="hotpaths: kernel micro-benchmarks vs BENCH_hotpaths.json; "
         "scale: sharded-solver points vs BENCH_scale.json; "
-        "service: sharded service-tier 10x load cell vs BENCH_service.json",
+        "service: sharded service-tier 10x load cell vs BENCH_service.json; "
+        "admission: overload profit dominance + decision latency vs "
+        "BENCH_admission.json",
     )
     parser.add_argument(
         "--baseline",
@@ -277,6 +350,20 @@ def main() -> int:
         if args.sizes
         else None
     )
+
+    if args.suite == "admission":
+        baseline_path = args.baseline or bench_admission.OUTPUT_PATH
+        problems = check_admission_suite(baseline_path, args.threshold)
+        if problems:
+            print("admission-suite regressions beyond threshold:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print(
+            f"admission suite within {args.threshold * 100:.0f}% of baseline "
+            "(profit dominance and per-policy replay asserted)"
+        )
+        return 0
 
     if args.suite == "service":
         baseline_path = args.baseline or bench_service.OUTPUT_PATH

@@ -7,11 +7,14 @@
 """
 
 from repro.analysis.experiments import (
+    AdmissionResult,
+    AdmissionRow,
     ExperimentConfig,
     Figure4Result,
     Figure4Row,
     Figure5Result,
     Figure5Row,
+    run_admission_study,
     run_figure4,
     run_figure5,
     run_scalability,
@@ -43,6 +46,9 @@ __all__ = [
     "paired_gap_summary",
     "PredictionStudy",
     "run_prediction_study",
+    "AdmissionResult",
+    "AdmissionRow",
+    "run_admission_study",
     "ExperimentConfig",
     "Figure4Result",
     "Figure4Row",

@@ -33,6 +33,7 @@ from repro.analysis.stats import bootstrap_mean_ci
 
 from repro.config import SolverConfig
 from repro.analysis.runner import (
+    ADMISSION_STUDY_POLICIES,
     CellSpec,
     CoverageReport,
     ExperimentEngine,
@@ -362,6 +363,131 @@ def run_figure5(
                     worst_proposed=float(np.min(worst_proposed)),
                     best_found=1.0,
                     scenarios=len(worst_before),
+                )
+            )
+    result.runtime_seconds = time.perf_counter() - started
+    return result
+
+
+def admission_cells(config: ExperimentConfig) -> List[CellSpec]:
+    """The independent work units of the admission study."""
+    return [
+        CellSpec(
+            experiment="admission",
+            point_index=point_index,
+            num_clients=num_clients,
+            scenario_index=scenario_index,
+            root_seed=config.seed,
+            solver=config.solver,
+        )
+        for point_index, num_clients in enumerate(config.client_counts)
+        for scenario_index in range(config.scenarios_for(num_clients))
+    ]
+
+
+@dataclass
+class AdmissionRow:
+    """One x-axis point of the admission study (mean profit per policy).
+
+    ``uplift`` is the mean ratio of the opportunity-cost policy's profit
+    to the always-admit baseline's over the point's scenarios — the
+    headline number: how much profit overload admission control recovers.
+    """
+
+    num_clients: int
+    profits: Dict[str, float] = field(default_factory=dict)
+    refused: Dict[str, float] = field(default_factory=dict)
+    uplift: float = math.nan
+    scenarios: int = 0
+
+
+@dataclass
+class AdmissionResult:
+    rows: List[AdmissionRow] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+    coverage: Optional[CoverageReport] = None
+
+    def to_table(self) -> str:
+        return format_table(
+            ["clients"]
+            + list(ADMISSION_STUDY_POLICIES)
+            + ["uplift", "scenarios"],
+            [
+                tuple(
+                    [r.num_clients]
+                    + [r.profits.get(name, math.nan) for name in ADMISSION_STUDY_POLICIES]
+                    + [r.uplift, r.scenarios]
+                )
+                for r in self.rows
+            ],
+        )
+
+    def to_chart(self) -> str:
+        xs = [r.num_clients for r in self.rows]
+        return format_series_chart(
+            xs,
+            {
+                name: [r.profits.get(name, math.nan) for r in self.rows]
+                for name in ADMISSION_STUDY_POLICIES
+            },
+            y_label="mean final profit",
+        )
+
+
+def run_admission_study(
+    config: Optional[ExperimentConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> AdmissionResult:
+    """Head-to-head admission policies on overloaded service traces.
+
+    Per scenario every policy replays the identical deterministic event
+    stream over the identical overloaded instance (half the offered load
+    is priced below its resource cost), so profit differences are purely
+    the admission decisions.  Cells run through the experiment engine —
+    sharding, checkpointing and coverage behave as in :func:`run_figure4`.
+    """
+    config = config or ExperimentConfig.from_environment()
+    engine = engine or config.engine()
+    started = time.perf_counter()
+    cells = admission_cells(config)
+    report = engine.run(cells)
+    result = AdmissionResult(coverage=report.coverage())
+    payloads = _payloads_by_point(cells, report)
+    for num_clients in config.client_counts:
+        profits: Dict[str, List[float]] = {
+            name: [] for name in ADMISSION_STUDY_POLICIES
+        }
+        refused: Dict[str, List[float]] = {
+            name: [] for name in ADMISSION_STUDY_POLICIES
+        }
+        uplifts: List[float] = []
+        for payload in payloads[num_clients]:
+            policies = payload["policies"]
+            for name in ADMISSION_STUDY_POLICIES:
+                profits[name].append(policies[name]["profit"])
+                refused[name].append(policies[name]["admits_rejected"])
+            baseline = policies["always_admit_if_feasible"]["profit"]
+            if baseline > 0:
+                uplifts.append(
+                    policies["opportunity_cost"]["profit"] / baseline
+                )
+        scenarios = len(profits[ADMISSION_STUDY_POLICIES[0]])
+        if scenarios:
+            result.rows.append(
+                AdmissionRow(
+                    num_clients=num_clients,
+                    profits={
+                        name: float(np.mean(values))
+                        for name, values in profits.items()
+                    },
+                    refused={
+                        name: float(np.mean(values))
+                        for name, values in refused.items()
+                    },
+                    uplift=(
+                        float(np.mean(uplifts)) if uplifts else math.nan
+                    ),
+                    scenarios=scenarios,
                 )
             )
     result.runtime_seconds = time.perf_counter() - started

@@ -67,7 +67,12 @@ from repro.workload.generator import generate_system
 
 #: Top-level branch of the seeding tree, one per experiment family.  New
 #: experiments must claim a fresh index — never reuse or renumber.
-EXPERIMENT_KEYS: Dict[str, int] = {"fig4": 0, "fig5": 1, "scalability": 2}
+EXPERIMENT_KEYS: Dict[str, int] = {
+    "fig4": 0,
+    "fig5": 1,
+    "scalability": 2,
+    "admission": 3,
+}
 
 _CHECKPOINT_FILE = "cells.jsonl"
 _MANIFEST_FILE = "manifest.json"
@@ -206,10 +211,100 @@ def _run_scalability_cell(spec: CellSpec) -> Tuple[dict, dict]:
     return payload, {"solve_s": solve_seconds}
 
 
+#: Policies compared by the admission study, in fixed reporting order.
+ADMISSION_STUDY_POLICIES: Tuple[str, ...] = (
+    "always_admit_if_feasible",
+    "revenue_threshold",
+    "opportunity_cost",
+    "opportunity_cost_surge",
+)
+
+
+def _run_admission_cell(spec: CellSpec) -> Tuple[dict, dict]:
+    """One admission scenario: policy head-to-head on an overload trace.
+
+    Every policy replays the *identical* deterministic event stream over
+    the identical overloaded instance; the payload carries per-policy
+    profit, refusal counts and the final snapshot hash (the replay
+    fingerprint the benchmark asserts against).  Imports are local so the
+    batch-solver experiments never pay for the service tier.
+    """
+    from repro.exceptions import ServiceError
+    from repro.service import (
+        AllocationService,
+        AlwaysAdmitIfFeasible,
+        LoadGenConfig,
+        OpportunityCost,
+        PricingSchedule,
+        RevenueThreshold,
+        flatten_bursts,
+        generate_load,
+    )
+    from repro.service.driver import empty_copy
+    from repro.workload.overload import overload_system
+
+    scenario_seed, load_seed = cell_stream_seeds(spec)
+    system = overload_system(num_clients=spec.num_clients, seed=scenario_seed)
+    events = flatten_bursts(
+        generate_load(
+            system,
+            LoadGenConfig(
+                num_events=max(60, 10 * spec.num_clients),
+                arrival_rate=200.0,
+                admit_weight=0.8,
+                depart_weight=0.2,
+                rate_update_weight=0.0,
+                seed=load_seed,
+            ),
+        )
+    )
+    contenders = {
+        "always_admit_if_feasible": (AlwaysAdmitIfFeasible(), None),
+        "revenue_threshold": (RevenueThreshold(min_revenue_rate=1.0), None),
+        "opportunity_cost": (OpportunityCost(), None),
+        "opportunity_cost_surge": (OpportunityCost(), PricingSchedule.surge()),
+    }
+    per_policy: Dict[str, dict] = {}
+    started = time.perf_counter()
+    for name in ADMISSION_STUDY_POLICIES:
+        admission, pricing = contenders[name]
+        service = AllocationService(
+            empty_copy(system),
+            config=spec.solver,
+            admission=admission,
+            pricing=pricing,
+        )
+        invalid = 0
+        for event in events:
+            try:
+                service.apply(event)
+            except ServiceError:
+                # Orphaned depart/update of a refused admit; skipping it
+                # is exactly what the sharded router does on overload.
+                invalid += 1
+        counters = service.metrics.counters
+        per_policy[name] = {
+            "profit": service.profit(),
+            "admits_accepted": counters.get("admits_accepted", 0),
+            "admits_rejected": counters.get("admits_rejected", 0),
+            "pending_clients": len(service.pending),
+            "invalid_events": invalid,
+            "snapshot_hash": service.snapshot_hash(),
+        }
+    payload = {
+        "scenario_seed": scenario_seed,
+        "load_seed": load_seed,
+        "num_events": len(events),
+        "policies": per_policy,
+    }
+    return payload, {"trace_s": time.perf_counter() - started}
+
+
 _CELL_BODIES: Dict[str, Callable[[CellSpec], Tuple[dict, dict]]] = {
     "fig4": _run_fig4_cell,
     "fig5": _run_fig5_cell,
     "scalability": _run_scalability_cell,
+    "admission": _run_admission_cell,
 }
 
 

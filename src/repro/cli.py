@@ -231,6 +231,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-shard ingestion queue bound before the router sheds "
         "the lowest-marginal-profit queued admit (sharded mode only)",
     )
+    p.add_argument(
+        "--admission",
+        choices=["always", "revenue", "opportunity"],
+        default="always",
+        help="admission policy: always (feasibility only, the default), "
+        "revenue (best-case revenue-rate floor), opportunity (live "
+        "eq.-(16) marginal-profit gate)",
+    )
+    p.add_argument(
+        "--revenue-floor",
+        type=float,
+        default=0.0,
+        help="minimum best-case revenue rate for --admission revenue",
+    )
+    p.add_argument(
+        "--min-margin",
+        type=float,
+        default=0.0,
+        help="minimum estimated marginal profit for --admission opportunity",
+    )
+    p.add_argument(
+        "--surge-pricing",
+        action="store_true",
+        help="apply the stock load-indexed surge schedule to v/beta at "
+        "admit and re-admit time",
+    )
 
     p = sub.add_parser(
         "audit", help="differential verification + feasibility audit"
@@ -535,6 +561,22 @@ def _cmd_epochs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_admission(args: argparse.Namespace):
+    from repro.service import make_admission_policy
+
+    return make_admission_policy(
+        args.admission,
+        min_revenue_rate=args.revenue_floor,
+        min_margin=args.min_margin,
+    )
+
+
+def _serve_pricing(args: argparse.Namespace):
+    from repro.service import PricingSchedule
+
+    return PricingSchedule.surge() if args.surge_pricing else None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -559,6 +601,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         solver_config=SolverConfig(seed=args.seed),
         policy=ServicePolicy(drift_threshold=args.drift_threshold),
         journal=journal,
+        admission=_serve_admission(args),
+        pricing=_serve_pricing(args),
     )
     service = report["service"]
     if journal is not None:
@@ -578,6 +622,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"repair p50 {latency.quantile(0.5) * 1000:.2f} ms, "
         f"p99 {latency.quantile(0.99) * 1000:.2f} ms"
     )
+    rejected = service.metrics.counters.get("admits_rejected", 0)
+    if args.admission != "always" or rejected:
+        print(
+            f"admission policy {service.admission.name}: "
+            f"{rejected} admits refused"
+        )
     print(f"final profit {report['final_profit']:.4f}")
     print(f"snapshot hash {report['snapshot_hash']}")
     if args.journal:
@@ -632,6 +682,8 @@ def _serve_sharded(args: argparse.Namespace, system) -> int:
             config=SolverConfig(seed=args.seed),
             policy=ServicePolicy(drift_threshold=args.drift_threshold),
             journal_dir=journal_dir,
+            admission=_serve_admission(args),
+            pricing=_serve_pricing(args),
         ) as router:
             report = router.run_open_loop(bursts)
             verified = 0
@@ -680,6 +732,9 @@ def _serve_sharded(args: argparse.Namespace, system) -> int:
         f"p99 {latency['p99_seconds'] * 1000:.2f} ms"
     )
     print(f"aggregate profit {report['aggregate_profit']:.4f}")
+    if args.admission != "always" or args.surge_pricing:
+        surge = " + surge pricing" if args.surge_pricing else ""
+        print(f"admission policy {report['admission_policy']}{surge}")
     print(f"replay verified on {verified}/{router.num_shards} shards")
     if args.journal:
         print(f"journals: {journal_dir}/shard-*.jsonl")

@@ -715,6 +715,32 @@ def best_placement(
     return max(candidates, key=lambda p: p.estimated_profit)
 
 
+def estimate_marginal_profit(
+    state: WorkingState,
+    client: Client,
+    config: SolverConfig,
+    excluded_server_ids: Optional[AbstractSet[int]] = None,
+) -> float:
+    """Eq.-(16) estimate of the profit admitting ``client`` would add.
+
+    A read-only probe: the value is the ``estimated_profit`` of the
+    :func:`best_placement` the engine would commit for the client right
+    now — revenue term plus the summed per-server curve contributions,
+    activation power included — without touching the working state.
+    When a :class:`~repro.core.cache.MemoCache` is attached the probe
+    reads (and warms) the same curve blocks the subsequent placement
+    will use, so estimating then admitting costs one evaluation, not
+    two.  Returns ``-inf`` when no feasible placement exists, so callers
+    can distinguish "unprofitable" from "does not fit".
+    """
+    placement = best_placement(
+        state, client, config, excluded_server_ids=excluded_server_ids
+    )
+    if placement is None:
+        return NEG_INF
+    return placement.estimated_profit
+
+
 def _best_placement_cached(
     state: WorkingState,
     client: Client,

@@ -9,6 +9,8 @@ incremental state has degraded.
 Module map:
 
 * :mod:`repro.service.events` — the five event types + JSON codecs;
+* :mod:`repro.service.admission` — pluggable admission policies and
+  load-indexed dynamic pricing (the profit levers under overload);
 * :mod:`repro.service.engine` — :class:`AllocationService`, the
   incremental decision engine with snapshot/restore;
 * :mod:`repro.service.journal` — append-only event journal and
@@ -21,6 +23,17 @@ Module map:
   profit timeline.
 """
 
+from repro.service.admission import (
+    AdmissionPolicy,
+    AlwaysAdmitIfFeasible,
+    OpportunityCost,
+    PriceTier,
+    PricingSchedule,
+    RevenueThreshold,
+    fleet_cost_coefficient,
+    make_admission_policy,
+    static_admit_priority,
+)
 from repro.service.driver import (
     TraceDriverConfig,
     flatten_events,
@@ -58,7 +71,9 @@ from repro.service.router import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "AllocationService",
+    "AlwaysAdmitIfFeasible",
     "Burst",
     "ClientAdmit",
     "ClientDepart",
@@ -67,7 +82,11 @@ __all__ = [
     "LatencyHistogram",
     "LoadGenConfig",
     "MetricsRegistry",
+    "OpportunityCost",
+    "PriceTier",
+    "PricingSchedule",
     "RateUpdate",
+    "RevenueThreshold",
     "RouterPolicy",
     "ServerFail",
     "ServerRecover",
@@ -77,6 +96,9 @@ __all__ = [
     "ShedRecord",
     "TraceDriverConfig",
     "admit_priority",
+    "fleet_cost_coefficient",
+    "make_admission_policy",
+    "static_admit_priority",
     "event_from_dict",
     "event_to_dict",
     "flatten_bursts",

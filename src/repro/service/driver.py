@@ -24,6 +24,7 @@ from repro.config import SolverConfig
 from repro.exceptions import ConfigurationError
 from repro.model.client import Client
 from repro.model.datacenter import CloudSystem
+from repro.service.admission import AdmissionPolicy, PricingSchedule
 from repro.service.engine import AllocationService, EventOutcome, ServicePolicy
 from repro.service.events import (
     ClientAdmit,
@@ -149,16 +150,25 @@ def run_service_trace(
     solver_config: Optional[SolverConfig] = None,
     policy: Optional[ServicePolicy] = None,
     journal: Optional[Any] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    pricing: Optional[PricingSchedule] = None,
 ) -> Dict[str, Any]:
     """Drive a fresh service through a trace; returns a report dict.
 
     The report carries the final profit, per-epoch profits (after each
     batch), the metrics registry dump, and the final snapshot hash (the
-    replay-determinism fingerprint).
+    replay-determinism fingerprint).  ``admission`` / ``pricing`` select
+    the engine's admission policy and surge schedule (defaults keep the
+    historical always-admit-if-feasible behavior at list price).
     """
     driver_config = driver_config or TraceDriverConfig()
     service = AllocationService(
-        empty_copy(system), config=solver_config, policy=policy, journal=journal
+        empty_copy(system),
+        config=solver_config,
+        policy=policy,
+        journal=journal,
+        admission=admission,
+        pricing=pricing,
     )
     epoch_profits: List[float] = []
     outcomes: List[EventOutcome] = []

@@ -82,6 +82,12 @@ from repro.model.allocation import Allocation
 from repro.model.client import Client
 from repro.model.cluster import Cluster
 from repro.model.datacenter import CloudSystem
+from repro.service.admission import (
+    AdmissionPolicy,
+    AlwaysAdmitIfFeasible,
+    PricingSchedule,
+    fleet_cost_coefficient,
+)
 from repro.service.events import (
     ClientAdmit,
     ClientDepart,
@@ -231,12 +237,24 @@ class AllocationService:
         policy: Optional[ServicePolicy] = None,
         allocation: Optional[Allocation] = None,
         journal: Optional[Any] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        pricing: Optional[PricingSchedule] = None,
     ) -> None:
         self.config = config or SolverConfig()
         self.policy = policy or ServicePolicy()
+        #: Admission gate + ranking signal for admits and retries; the
+        #: default reproduces the historical pure-feasibility behavior.
+        self.admission = admission or AlwaysAdmitIfFeasible()
+        #: Optional load-indexed repricing of v/beta, applied to event
+        #: clients at admit and re-admit time (never to the constructor's
+        #: batch-given clients, which arrive already priced).
+        self.pricing = pricing
         # JSON round-trip = deep copy with exact float preservation; the
         # live system and a restored one are then bytes-for-bytes equal.
         self.system = system_from_dict(system_to_dict(system))
+        #: $/utilization price the static admission proxy multiplies a
+        #: client's demand by (the fleet's mean P1).
+        self.admit_cost_coefficient = fleet_cost_coefficient(self.system)
         self.state = WorkingState(
             self.system, allocation.copy() if allocation is not None else None
         )
@@ -275,6 +293,34 @@ class AllocationService:
     def profit(self) -> float:
         """Running profit of the current allocation (incremental)."""
         return self.scorer.profit()
+
+    def load_index(self) -> float:
+        """Fraction of live fleet processing capacity in use, in [0, 1].
+
+        The pricing schedule's load signal.  A pure function of the
+        canonicalized working state (servers iterated in fixed fleet
+        order, failed servers excluded), so repricing decisions replay
+        deterministically.
+        """
+        used = 0.0
+        capacity = 0.0
+        for server in self.system.servers():
+            if server.server_id in self.failed:
+                continue
+            cap = server.cap_processing
+            capacity += cap
+            # Shares are fractions of one server; weight by capacity so
+            # the index reflects work, not server count.
+            used += cap * (1.0 - self.state.free_processing(server.server_id))
+        if capacity <= 0.0:
+            return 1.0
+        return min(max(used / capacity, 0.0), 1.0)
+
+    def _reprice(self, client: Client) -> Client:
+        """The spec the service would admit right now (surge applied)."""
+        if self.pricing is None:
+            return client
+        return self.pricing.reprice(client, self.load_index())
 
     def apply(self, event: ServiceEvent) -> EventOutcome:
         """Apply one event: validate, journal, repair, re-optimize if due.
@@ -377,13 +423,24 @@ class AllocationService:
         return False
 
     def _admit(self, client: Client, outcome: EventOutcome) -> None:
-        self.system.add_client(client)
-        self.scorer.register_client(client.client_id)
-        if self._try_place(client):
+        priced = self._reprice(client)
+        allowed, _ = self.admission.decide(self, priced)
+        if not allowed:
+            # Refused on profit grounds: never placed, never queued.
+            # The event is journaled (it validated), so replaying with
+            # the same policy reproduces the refusal byte-for-byte.
+            outcome.accepted = False
+            self.metrics.incr("admits_rejected")
+            return
+        self.system.add_client(priced)
+        self.scorer.register_client(priced.client_id)
+        if self._try_place(priced):
             self.metrics.incr("admits_accepted")
             return
-        self.scorer.deregister_client(client.client_id)
-        self.system.remove_client(client.client_id)
+        self.scorer.deregister_client(priced.client_id)
+        self.system.remove_client(priced.client_id)
+        # Queue the *original* spec: each retry re-prices against the
+        # load in force at that instant, not at first arrival.
         self.pending.add(client)
         outcome.accepted = False
         outcome.queued = True
@@ -504,22 +561,55 @@ class AllocationService:
         self.failed.discard(server_id)
         self._retry_pending()
 
-    def _retry_one(self, client: Client) -> bool:
-        """Attempt to place one queued client; True iff it left the queue."""
-        self.system.add_client(client)
-        self.scorer.register_client(client.client_id)
-        if self._try_place(client):
+    def _retry_one(
+        self, client: Client, priced: Optional[Client] = None
+    ) -> bool:
+        """Attempt to place one queued client; True iff it left the queue.
+
+        Re-prices and re-gates against the *current* state: a client
+        that was profitable at arrival may not be at retry time (or vice
+        versa), and the spec admitted is the one priced at this instant.
+        The pending queue keeps the original spec either way.
+        """
+        if priced is None:
+            priced = self._reprice(client)
+        allowed, _ = self.admission.decide(self, priced)
+        if not allowed:
+            return False
+        self.system.add_client(priced)
+        self.scorer.register_client(priced.client_id)
+        if self._try_place(priced):
             self.pending.remove(client.client_id)
             self.metrics.incr("pending_placed")
             return True
-        self.scorer.deregister_client(client.client_id)
-        self.system.remove_client(client.client_id)
+        self.scorer.deregister_client(priced.client_id)
+        self.system.remove_client(priced.client_id)
         return False
 
     def _retry_pending(self) -> None:
-        """One FIFO pass over the queue; admits every client that now fits."""
-        for client in list(self.pending):
-            self._retry_one(client)
+        """One pass over the queue; admits every client that now fits.
+
+        Order is the admission policy's call: FIFO for the baseline
+        (``orders_retries=False`` — freed capacity goes to the oldest
+        pending client), priority-descending otherwise, so a freed slot
+        goes to the highest-marginal-profit candidate.  Priorities are
+        evaluated once against the pass's starting state (ties broken by
+        queue position), which keeps the pass deterministic and one
+        estimate per client; the per-client gate inside
+        :meth:`_retry_one` still sees the live state.
+        """
+        entries = [(client, self._reprice(client)) for client in self.pending]
+        if self.admission.orders_retries and len(entries) > 1:
+            ranked = sorted(
+                range(len(entries)),
+                key=lambda i: (
+                    -self.admission.priority(self, entries[i][1]),
+                    i,
+                ),
+            )
+            entries = [entries[i] for i in ranked]
+        for client, priced in entries:
+            self._retry_one(client, priced)
 
     # -- drift-triggered re-optimization -------------------------------------
 
@@ -640,6 +730,8 @@ class AllocationService:
         config: Optional[SolverConfig] = None,
         policy: Optional[ServicePolicy] = None,
         journal: Optional[Any] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        pricing: Optional[PricingSchedule] = None,
     ) -> "AllocationService":
         """Rebuild a service from :meth:`snapshot` output.
 
@@ -658,6 +750,8 @@ class AllocationService:
                 policy=policy,
                 allocation=allocation,
                 journal=journal,
+                admission=admission,
+                pricing=pricing,
             )
             service.seq = doc["seq"]
             service.failed = set(doc["failed_servers"])

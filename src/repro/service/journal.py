@@ -22,6 +22,7 @@ from typing import IO, Iterator, List, Optional, Tuple
 from repro.config import SolverConfig
 from repro.exceptions import ServiceError
 from repro.io import SerializationError, dump_canonical
+from repro.service.admission import AdmissionPolicy, PricingSchedule
 from repro.service.engine import AllocationService, ServicePolicy
 from repro.service.events import ServiceEvent, event_from_dict, event_to_dict
 
@@ -83,6 +84,8 @@ def recover(
     journal_path: Optional[str] = None,
     config: Optional[SolverConfig] = None,
     policy: Optional[ServicePolicy] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    pricing: Optional[PricingSchedule] = None,
 ) -> AllocationService:
     """Snapshot + journal tail -> the service as of the last journaled event.
 
@@ -91,8 +94,16 @@ def recover(
     belong to different runs, which raises :class:`ServiceError`).  The
     replayed events are *not* re-journaled; pass the recovered service a
     fresh :class:`EventJournal` afterwards if it should keep logging.
+    Pass the run's ``admission`` / ``pricing`` so replayed admits are
+    gated and priced exactly as they were live.
     """
-    service = AllocationService.restore(snapshot_doc, config=config, policy=policy)
+    service = AllocationService.restore(
+        snapshot_doc,
+        config=config,
+        policy=policy,
+        admission=admission,
+        pricing=pricing,
+    )
     if journal_path is None or not os.path.exists(journal_path):
         return service
     replayed: List[ServiceEvent] = []

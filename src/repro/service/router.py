@@ -27,10 +27,13 @@ Producers choose their coupling:
   desynchronize the router from reality — so the queue may transiently
   exceed its budget when it holds only unsheddable work.
 
-Shedding ranks admits by :func:`admit_priority`, a static
-marginal-profit proxy (best-case revenue rate minus a
-utilization-proportional cost estimate), with client id as the
-deterministic tie-break; every decision is logged as a
+Shedding ranks admits by marginal profit: with an
+:class:`~repro.service.admission.OpportunityCost` policy on an
+in-process engine the rank is the *live* eq.-(16) estimate from the
+shard's cached marginal curves; otherwise it falls back to
+:func:`admit_priority`, a static proxy (best-case revenue rate minus
+the utilization demand priced at the fleet's mean ``P1``).  Client id
+is the deterministic tie-break; every decision is logged as a
 :class:`ShedRecord` carrying the best retained candidate so tests can
 assert the policy exactly.
 
@@ -82,6 +85,13 @@ from repro.exceptions import ConfigurationError, ServiceError
 from repro.io import dump_canonical
 from repro.model.client import Client
 from repro.model.datacenter import CloudSystem
+from repro.service.admission import (
+    AdmissionPolicy,
+    AlwaysAdmitIfFeasible,
+    PricingSchedule,
+    fleet_cost_coefficient,
+    static_admit_priority,
+)
 from repro.service.engine import AllocationService, ServicePolicy
 from repro.service.events import (
     ClientAdmit,
@@ -104,18 +114,28 @@ class RouterPolicy:
     loop) or shedding (open loop) engages; ``batch_size`` — events a
     consumer applies per drain slice before yielding to ingestion;
     ``pending_budget`` — optional open-loop admission gate: when a
-    shard's *engine* already holds this many unplaced admits, further
-    admits are shed at the door instead of piling onto the engine's
-    pending queue (every capacity-freeing event retries that whole
-    queue, so letting it grow without bound turns overload into
-    quadratic work).  ``None`` (the default) disables the gate; closed
-    loop ignores it.
+    shard's total *pending exposure* (unplaced admits on the engine,
+    plus admits still queued or in flight toward it) reaches this many
+    clients, further admits are shed at the door instead of piling onto
+    the engine's pending queue (every capacity-freeing event retries
+    that whole queue, so letting it grow without bound turns overload
+    into quadratic work).  ``None`` (the default) disables the gate;
+    closed loop ignores it.
+
+    ``admit_cost_coefficient`` — price per unit of utilization demand
+    used by the static shed proxy (see :func:`admit_priority`).
+    ``None`` (the default) derives it from the fleet's mean marginal
+    power price ``P1``.  ``legacy_admit_priority`` restores the pre-fix
+    unpriced proxy (revenue minus raw demand) for byte-for-byte replay
+    of old shed decisions.
     """
 
     num_shards: int = 4
     queue_budget: int = 64
     batch_size: int = 16
     pending_budget: Optional[int] = None
+    admit_cost_coefficient: Optional[float] = None
+    legacy_admit_priority: bool = False
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -134,19 +154,36 @@ class RouterPolicy:
             raise ConfigurationError(
                 f"pending_budget must be >= 1, got {self.pending_budget}"
             )
+        if self.admit_cost_coefficient is not None:
+            if not self.admit_cost_coefficient >= 0.0:
+                raise ConfigurationError(
+                    "admit_cost_coefficient must be >= 0, got "
+                    f"{self.admit_cost_coefficient}"
+                )
+            if self.legacy_admit_priority:
+                raise ConfigurationError(
+                    "admit_cost_coefficient conflicts with "
+                    "legacy_admit_priority (the legacy proxy is unpriced)"
+                )
 
 
-def admit_priority(client: Client) -> float:
+def admit_priority(
+    client: Client, cost_coefficient: Optional[float] = None
+) -> float:
     """Static marginal-profit proxy used to rank admits for shedding.
 
     Best-case revenue rate (the SLA utility at zero response time times
-    the agreed rate) minus a utilization-proportional cost estimate (the
-    predicted rate times the total per-request service demand).  A cheap
-    stand-in for the eq.-(16) marginal curve that needs no engine state,
-    so the router can rank a queue without touching a shard.
+    the agreed rate) minus a cost estimate: the client's utilization
+    demand (predicted rate times total per-request service demand)
+    priced at ``cost_coefficient`` dollars per unit of utilization —
+    normally the fleet's mean marginal power price ``P1``, which puts
+    both terms in $/time.  ``None`` reproduces the legacy unpriced
+    proxy (raw demand subtracted from a revenue rate), kept reachable
+    so old shed decisions replay exactly.  A cheap stand-in for the
+    eq.-(16) marginal curve that needs no engine state, so the router
+    can rank a queue without touching a shard.
     """
-    demand = client.rate_predicted * (client.t_proc + client.t_comm)
-    return client.revenue(0.0) - demand
+    return static_admit_priority(client, cost_coefficient)
 
 
 def _shed_key(priority: float, client_id: int) -> Tuple[float, int]:
@@ -200,7 +237,11 @@ class _ShardLane:
         self.proc: Optional[multiprocessing.Process] = None
         self.conn: Optional[Connection] = None
         self.inflight = 0
+        #: admits inside the in-flight batch: shipped to the worker but
+        #: not yet reflected in ``worker_pending`` (ack pending).
+        self.inflight_admits = 0
         self.worker_pending = 0
+        self.peak_worker_pending = 0
         self.summary: Optional[Dict[str, Any]] = None
 
     def push(self, event: ServiceEvent, priority: Optional[float] = None) -> None:
@@ -235,6 +276,8 @@ def _shard_worker_main(
     config: Optional[SolverConfig],
     policy: Optional[ServicePolicy],
     journal_path: Optional[str],
+    admission: Optional[AdmissionPolicy] = None,
+    pricing: Optional[PricingSchedule] = None,
 ) -> None:
     """Engine process: apply shipped batches until the ``None`` sentinel.
 
@@ -244,7 +287,12 @@ def _shard_worker_main(
     """
     journal = EventJournal(journal_path) if journal_path is not None else None
     engine = AllocationService(
-        sub_system, config=config, policy=policy, journal=journal
+        sub_system,
+        config=config,
+        policy=policy,
+        journal=journal,
+        admission=admission,
+        pricing=pricing,
     )
     try:
         while True:
@@ -295,6 +343,8 @@ class ServiceRouter:
         policy: Optional[ServicePolicy] = None,
         journal_dir: Optional[str] = None,
         mode: str = "async",
+        admission: Optional[AdmissionPolicy] = None,
+        pricing: Optional[PricingSchedule] = None,
     ) -> None:
         if mode not in ("async", "process"):
             raise ConfigurationError(
@@ -304,6 +354,14 @@ class ServiceRouter:
         self.mode = mode
         self._config = config
         self._engine_policy = policy
+        self.admission = admission if admission is not None else AlwaysAdmitIfFeasible()
+        self.pricing = pricing
+        if self.policy.legacy_admit_priority:
+            self.admit_cost_coefficient: Optional[float] = None
+        elif self.policy.admit_cost_coefficient is not None:
+            self.admit_cost_coefficient = self.policy.admit_cost_coefficient
+        else:
+            self.admit_cost_coefficient = fleet_cost_coefficient(system)
         hands = deal_servers(system, self.policy.num_shards)
         self.num_shards = len(hands)
         self.subsystems: List[CloudSystem] = []
@@ -330,7 +388,12 @@ class ServiceRouter:
                     else None
                 )
                 engine = AllocationService(
-                    sub_system, config=config, policy=policy, journal=journal
+                    sub_system,
+                    config=config,
+                    policy=policy,
+                    journal=journal,
+                    admission=self.admission,
+                    pricing=self.pricing,
                 )
             self._lanes.append(_ShardLane(shard_id, engine, journal_path))
             for sid in server_ids:
@@ -369,6 +432,29 @@ class ServiceRouter:
             return len(lane.engine.pending)
         return lane.worker_pending
 
+    def _pending_exposure(self, lane: _ShardLane) -> int:
+        """Worst-case unplaced admits the shard could reach: admits the
+        engine has already parked, plus admits queued on the lane, plus
+        admits inside the in-flight batch.  The acked engine count alone
+        lags by up to ``batch_size`` events in process mode, so gating
+        on it lets admissions overshoot ``pending_budget``; gating on
+        the full exposure keeps the budget a hard ceiling in both
+        modes."""
+        return self._engine_pending(lane) + len(lane.admits) + lane.inflight_admits
+
+    def _admit_priority(self, lane: _ShardLane, client: Client) -> float:
+        """Shed-ranking priority for one admit: the live eq.-(16)
+        marginal-profit estimate when the admission policy provides one
+        and the shard's engine is in-process, else the static priced
+        proxy.  Infeasible-now estimates (``-inf``) fall back to the
+        static proxy so a client the engine would queue-and-retry is
+        ranked by its prospects, not shed unconditionally."""
+        if self.admission.uses_live_estimate and lane.engine is not None:
+            estimate = self.admission.priority(lane.engine, client)
+            if estimate == estimate and abs(estimate) != float("inf"):
+                return estimate
+        return static_admit_priority(client, self.admit_cost_coefficient)
+
     # -- ingestion -----------------------------------------------------------
 
     def offer(self, event: ServiceEvent) -> bool:
@@ -379,10 +465,10 @@ class ServiceRouter:
         lane.offered += 1
         over_budget = len(lane.queue) >= self.policy.queue_budget
         if isinstance(event, ClientAdmit):
-            priority = admit_priority(event.client)
+            priority = self._admit_priority(lane, event.client)
             if (
                 self.policy.pending_budget is not None
-                and self._engine_pending(lane) >= self.policy.pending_budget
+                and self._pending_exposure(lane) >= self.policy.pending_budget
             ):
                 # The engine is saturated past its retry budget: this
                 # admit could only join an already-hopeless queue.
@@ -441,7 +527,7 @@ class ServiceRouter:
             await lane.space.wait()
         lane.offered += 1
         if isinstance(event, ClientAdmit):
-            lane.push(event, admit_priority(event.client))
+            lane.push(event, self._admit_priority(lane, event.client))
         else:
             lane.push(event)
 
@@ -525,6 +611,8 @@ class ServiceRouter:
                     self._config,
                     self._engine_policy,
                     lane.journal_path,
+                    self.admission,
+                    self.pricing,
                 ),
                 daemon=True,
             )
@@ -542,6 +630,12 @@ class ServiceRouter:
             batch = lane.pop_batch(self.policy.batch_size)
             lane.conn.send(batch)
             lane.inflight = len(batch)
+            # Shipped admits stay counted against pending_budget until
+            # the ack folds them into worker_pending (satellite fix for
+            # the up-to-batch_size overshoot).
+            lane.inflight_admits = sum(
+                1 for event in batch if isinstance(event, ClientAdmit)
+            )
 
     def _collect_acks(self, block: bool) -> None:
         conns = [lane.conn for lane in self._lanes if lane.inflight]
@@ -553,7 +647,9 @@ class ServiceRouter:
             lane.applied += applied
             lane.rejected += rejected
             lane.worker_pending = pending
+            lane.peak_worker_pending = max(lane.peak_worker_pending, pending)
             lane.inflight = 0
+            lane.inflight_admits = 0
 
     def _run_open_loop_process(self, bursts: Sequence[Any]) -> Dict[str, Any]:
         started = time.perf_counter()
@@ -575,6 +671,9 @@ class ServiceRouter:
             for lane in self._lanes:
                 lane.summary = lane.conn.recv()
                 lane.worker_pending = lane.summary["pending_clients"]
+                lane.peak_worker_pending = max(
+                    lane.peak_worker_pending, lane.worker_pending
+                )
         finally:
             self._teardown_workers()
         return self.report(elapsed=elapsed)
@@ -590,6 +689,7 @@ class ServiceRouter:
                 lane.conn.close()
                 lane.conn = None
             lane.inflight = 0
+            lane.inflight_admits = 0
 
     async def run_closed_loop_async(
         self, events: Sequence[ServiceEvent]
@@ -635,7 +735,7 @@ class ServiceRouter:
                         self._pump_lane(other)
                 lane.offered += 1
                 if isinstance(event, ClientAdmit):
-                    lane.push(event, admit_priority(event.client))
+                    lane.push(event, self._admit_priority(lane, event.client))
                 else:
                     lane.push(event)
                 self._collect_acks(block=False)
@@ -651,6 +751,9 @@ class ServiceRouter:
             for lane in self._lanes:
                 lane.summary = lane.conn.recv()
                 lane.worker_pending = lane.summary["pending_clients"]
+                lane.peak_worker_pending = max(
+                    lane.peak_worker_pending, lane.worker_pending
+                )
         finally:
             self._teardown_workers()
         return self.report(elapsed=elapsed)
@@ -685,6 +788,8 @@ class ServiceRouter:
             config=self._config,
             policy=self._engine_policy,
             journal=lane.engine.journal,
+            admission=self.admission,
+            pricing=self.pricing,
         )
         actual = standby.snapshot_hash()
         if actual != expected:
@@ -719,6 +824,8 @@ class ServiceRouter:
             self.subsystems[shard_id],
             config=self._config,
             policy=self._engine_policy,
+            admission=self.admission,
+            pricing=self.pricing,
         )
         fresh.apply_many(
             [event for _, event in EventJournal.read(lane.journal_path)]
@@ -762,6 +869,7 @@ class ServiceRouter:
             elif lane.summary is not None:
                 state = lane.summary["histogram_state"]
                 cell["pending_clients"] = lane.summary["pending_clients"]
+                cell["peak_pending_clients"] = lane.peak_worker_pending
                 cell["profit"] = lane.summary["profit"]
                 cell["snapshot_hash"] = lane.summary["snapshot_hash"]
                 cell["repair_latency"] = lane.summary["repair_latency"]
@@ -781,6 +889,8 @@ class ServiceRouter:
         applied = sum(s["applied"] for s in shards)
         report: Dict[str, Any] = {
             "mode": self.mode,
+            "admission_policy": self.admission.name,
+            "dynamic_pricing": self.pricing is not None,
             "num_shards": self.num_shards,
             "queue_budget": self.policy.queue_budget,
             "batch_size": self.policy.batch_size,

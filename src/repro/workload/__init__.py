@@ -7,6 +7,7 @@ instances used by examples and tests.
 """
 
 from repro.workload.generator import WorkloadConfig, generate_system
+from repro.workload.overload import OverloadConfig, overload_system
 from repro.workload.scenarios import (
     paper_scenario,
     tiny_system,
@@ -17,8 +18,10 @@ from repro.workload.scenarios import (
 )
 
 __all__ = [
+    "OverloadConfig",
     "WorkloadConfig",
     "generate_system",
+    "overload_system",
     "paper_scenario",
     "tiny_system",
     "small_system",

@@ -1,0 +1,135 @@
+"""Overload template systems: traffic mixes where admission is the lever.
+
+The paper-distribution generator (:mod:`repro.workload.generator`) draws
+clients that are profitable on average, so a feasibility-only admission
+gate loses little.  Admission policies only separate under a workload
+where *some* arrivals are feasible but value-destroying — high service
+demand, SLA revenue below its priced power cost.  This module builds
+such systems: a normal paper-distribution instance plus a pool of
+"junk" template clients (low ``v``, near-flat slope, high arrival rate,
+negligible storage) that the open-loop load generator
+(:func:`repro.service.loadgen.generate_load`) then clones into the
+arrival stream alongside the profitable templates.
+
+Every junk client *fits* — its storage footprint is tiny and its
+utilization demand spreads over the fleet — so the baseline
+always-admit-if-feasible policy accepts it and pays more in power than
+the client returns in revenue.  An opportunity-cost gate refuses it on
+sight.  That asymmetry is what ``benchmarks/bench_admission.py``
+measures head-to-head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.model import Client, ClippedLinearUtility, CloudSystem, UtilityClass
+from repro.workload.generator import Range, WorkloadConfig, generate_system
+
+#: Junk utility classes are indexed from here — clear of the paper
+#: generator's 0..num_utility_classes range but far below the pricing
+#: subsystem's ``PRICED_CLASS_STRIDE``, so repriced junk keeps a unique
+#: class index too.
+JUNK_CLASS_BASE = 500
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Shape of the junk pool mixed into an overload template system.
+
+    Defaults make each junk client's best-case revenue rate (around
+    ``rate * v`` ~ 1) several times smaller than its priced utilization
+    cost (around ``rate * (t_proc + t_comm)`` ~ 6 at mean ``P1`` 1.0):
+    strongly negative margin, but feasible — the storage footprint is
+    negligible and no single-resource demand exceeds a server's
+    capacity.
+    """
+
+    junk_fraction: float = 0.5
+    value_range: Range = (0.2, 0.35)
+    slope_range: Range = (0.02, 0.08)
+    rate_range: Range = (3.0, 4.5)
+    exec_time_range: Range = (0.7, 1.0)
+    storage_req_range: Range = (0.1, 0.3)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.junk_fraction < 1.0:
+            raise WorkloadError(
+                f"junk_fraction must lie in (0, 1), got {self.junk_fraction}"
+            )
+        for label in (
+            "value_range",
+            "slope_range",
+            "rate_range",
+            "exec_time_range",
+            "storage_req_range",
+        ):
+            lo, hi = getattr(self, label)
+            if not 0 < lo <= hi:
+                raise WorkloadError(
+                    f"{label} must satisfy 0 < lo <= hi, got {lo, hi}"
+                )
+
+
+def _uniform(rng: np.random.Generator, bounds: Range) -> float:
+    lo, hi = bounds
+    if lo == hi:
+        return lo
+    return float(rng.uniform(lo, hi))
+
+
+def overload_system(
+    num_clients: int,
+    seed: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
+    workload: Optional[WorkloadConfig] = None,
+    name: str = "",
+) -> CloudSystem:
+    """A paper-distribution instance whose template pool is salted with junk.
+
+    ``num_clients`` counts the *profitable* templates (drawn exactly as
+    :func:`~repro.workload.generator.generate_system` would, same seed →
+    same instance); the junk pool is sized so that it makes up
+    ``overload.junk_fraction`` of all templates.  The fleet is sized for
+    the profitable clients only, so a load generator cloning from the
+    full pool genuinely overloads it.
+    """
+    overload = overload or OverloadConfig()
+    base = generate_system(num_clients, seed=seed, config=workload)
+    num_junk = max(
+        1,
+        round(
+            num_clients * overload.junk_fraction / (1.0 - overload.junk_fraction)
+        ),
+    )
+    # Independent stream: adding junk never perturbs the base instance.
+    rng = np.random.default_rng(None if seed is None else seed + 7_777_777)
+    clients = list(base.clients)
+    next_id = max(c.client_id for c in clients) + 1 if clients else 0
+    for j in range(num_junk):
+        junk_class = UtilityClass(
+            index=JUNK_CLASS_BASE + j,
+            function=ClippedLinearUtility(
+                base_value=_uniform(rng, overload.value_range),
+                slope=_uniform(rng, overload.slope_range),
+            ),
+            name=f"junk-{j}",
+        )
+        rate = _uniform(rng, overload.rate_range)
+        clients.append(
+            Client(
+                client_id=next_id + j,
+                utility_class=junk_class,
+                rate_agreed=rate,
+                rate_predicted=rate,
+                t_proc=_uniform(rng, overload.exec_time_range),
+                t_comm=_uniform(rng, overload.exec_time_range),
+                storage_req=_uniform(rng, overload.storage_req_range),
+            )
+        )
+    label = name or f"overload({base.name}, junk={num_junk})"
+    return CloudSystem(clusters=base.clusters, clients=clients, name=label)

@@ -83,7 +83,10 @@ def test_shed_admits_are_always_lowest_marginal_profit(rates, budget):
     shed_ids = {record.client_id for record in router.shed_log}
     for record in router.shed_log:
         assert record.priority == pytest.approx(
-            admit_priority(admits[record.client_id - 100].client)
+            admit_priority(
+                admits[record.client_id - 100].client,
+                router.admit_cost_coefficient,
+            )
         )
         if record.retained_client_id is not None:
             assert _shed_key(record.priority, record.client_id) <= _shed_key(
@@ -96,7 +99,10 @@ def test_shed_admits_are_always_lowest_marginal_profit(rates, budget):
     assert surviving <= {event.client.client_id for event in kept}
     # The survivors are exactly the budget's top admits by shed key.
     expected = sorted(
-        ((admit_priority(e.client), e.client.client_id) for e in admits),
+        (
+            (admit_priority(e.client, router.admit_cost_coefficient), e.client.client_id)
+            for e in admits
+        ),
         reverse=True,
     )[: len(surviving)]
     assert {cid for _, cid in expected} == surviving
