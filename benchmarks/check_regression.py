@@ -23,12 +23,14 @@ a tight threshold::
 
 ``--suite scale`` gates the sharded hierarchical solver instead: it
 re-runs ``benchmarks/bench_scale.py`` at the requested sizes (default
-the n=1000 point), which itself asserts the audit-clean merge, the <= 1%
-profit gap and the sharded-vs-unsharded speedup, and then compares wall
-clock against the committed ``BENCH_scale.json``::
+the n=1k and n=10k points), which itself asserts the audit-clean merge,
+the 1e-9 bit-parity pin at n=1k and the profit-gap bounds, then
+compares wall clock against the committed ``BENCH_scale.json`` and
+statically checks the committed n>=100k rows against the
+struct-of-arrays bytes-per-client ceiling::
 
     PYTHONPATH=src python benchmarks/check_regression.py \
-        --suite scale --sizes 1000 --threshold 0.5
+        --suite scale --sizes 1000,10000 --threshold 0.10
 
 ``--suite service`` gates the sharded async service tier: it re-runs
 the 10x open-loop cell from ``benchmarks/bench_service.py`` (which
@@ -172,18 +174,39 @@ def check_curve_adaptive(current: dict) -> list:
 def check_scale_suite(baseline_path: Path, sizes, threshold: float) -> list:
     """The sharded-solver gate: re-run small scale points, compare.
 
-    Re-runs ``bench_scale`` at the requested sizes (default: the 1k
-    point only — the big sizes are measured offline and committed).
+    Re-runs ``bench_scale`` at the requested sizes (default: the 1k and
+    10k points — the big sizes are measured offline and committed).
     ``bench_scale.run_benchmarks`` already asserts the hard invariants
-    (audit-clean merge, <= 1% gap and speedup > 1 at n <= 1k); this adds
-    a wall-clock comparison against the committed baseline.
+    (audit-clean merge, the 1e-9 bit-parity pin and speedup > 1 at
+    n = 1k); this adds a wall-clock comparison against the committed
+    baseline, plus a *static* memory check: every committed row at
+    n >= 100k must respect the struct-of-arrays bytes-per-client
+    ceiling, so a model-core field regression fails CI without anyone
+    re-running a 100k point.
     """
     if not baseline_path.exists():
         return [f"no baseline at {baseline_path}; run bench_scale.py first"]
     baseline = json.loads(baseline_path.read_text())
-    chosen = sizes if sizes is not None else (1000,)
-    current = bench_scale.run_benchmarks(sizes=chosen)
     problems = []
+    for size, base_row in baseline["results"].items():
+        if int(size) < 100_000:
+            continue
+        bytes_per_client = (base_row.get("memory") or {}).get(
+            "bytes_per_client"
+        )
+        if bytes_per_client is None:
+            problems.append(
+                f"scale n={size}: committed row has no bytes_per_client; "
+                "regenerate BENCH_scale.json"
+            )
+        elif bytes_per_client > bench_scale.BYTES_PER_CLIENT_CEILING:
+            problems.append(
+                f"scale n={size}: committed {bytes_per_client:.0f} B/client "
+                f"exceeds the {bench_scale.BYTES_PER_CLIENT_CEILING} B "
+                "ceiling"
+            )
+    chosen = sizes if sizes is not None else (1000, 10_000)
+    current = bench_scale.run_benchmarks(sizes=chosen)
     for size, row in current["results"].items():
         base_row = baseline["results"].get(size)
         if base_row is None:

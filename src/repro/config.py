@@ -118,6 +118,45 @@ class SolverConfig:
             round sees the whole system, so moves the partition forbade
             (cross-shard placements, global share rebalancing) become
             available; this is what closes most of the sharding gap.
+        shard_levels: depth of the sharded solver's coordinator tree.
+            1 (the default) is the flat PR-6 topology: one coordinator
+            sees every shard spec and merges every row set.  2 groups
+            shards into super-shards: the root coordinates super-shard
+            summaries only, each super-shard coordinates its own member
+            shards, and row merges climb the tree pairwise — so no
+            single merge call ever materializes more than one level's
+            rows.  The shard *plan* is identical at every level (the
+            tree only changes who coordinates whom), and the merged
+            allocation is bitwise-identical to the flat merge of the
+            same plan (property-tested).
+        adaptive_shard_sizing: re-plan the shard size from measured
+            per-shard solve cost.  The first coordination round times
+            every shard solve; if the observed cost per client is
+            superlinear in shard size (it is — the local search's
+            shutdown sweep is quadratic-ish in hosted clients), the
+            plan is re-cut toward the measured sweet spot before the
+            remaining rounds.  Off by default: re-cutting changes which
+            clients share a shard, hence the merged result (still
+            audit-clean, but not bit-comparable to the fixed plan).
+        use_txn_shutdown: roll back rejected server-shutdown candidates
+            with the undo-log transaction machinery instead of a full
+            snapshot/restore.  A rejected candidate then costs
+            O(mutations it made) instead of O(live entries) — the
+            dominant win inside large-shard solves, where
+            ``turn_off_servers`` tries dozens of victims per round and
+            rejects most of them.  Off by default because undo-replay
+            is not *bitwise* identical to snapshot/restore (dict
+            iteration order after remove/re-add, incremental aggregate
+            ulp drift) even though it is semantically exact; profiles
+            that require bit-reproducibility with historical runs keep
+            the snapshot path.
+        parallel_polish: partition each merged-state polish round
+            (``shard_final_rounds``) by cluster across the persistent
+            worker pool — the DistributedAllocator pattern applied to
+            the sharded solver's repair step — instead of improving the
+            merged state sequentially.  A final sequential reassignment
+            pass restores the cross-cluster move, exactly as in
+            :class:`~repro.core.distributed.DistributedAllocator`.
     """
 
     num_initial_solutions: int = 3
@@ -143,6 +182,10 @@ class SolverConfig:
     shard_coordination_rounds: int = 1
     shard_price_gain: float = 0.5
     shard_final_rounds: int = 3
+    shard_levels: int = 1
+    adaptive_shard_sizing: bool = False
+    use_txn_shutdown: bool = False
+    parallel_polish: bool = False
 
     def __post_init__(self) -> None:
         if self.num_initial_solutions < 1:
@@ -194,3 +237,5 @@ class SolverConfig:
             raise ConfigurationError("shard_price_gain must be >= 0")
         if self.shard_final_rounds < 0:
             raise ConfigurationError("shard_final_rounds must be >= 0")
+        if self.shard_levels not in (1, 2):
+            raise ConfigurationError("shard_levels must be 1 or 2")

@@ -48,7 +48,7 @@ from repro.core.local_search import reassignment_pass
 from repro.core.state import WorkingState
 from repro.io import dump_canonical, system_to_dict
 from repro.model.allocation import Allocation
-from repro.model.datacenter import CloudSystem
+from repro.model.datacenter import ArrayBackedCloudSystem, CloudSystem
 from repro.model.profit import evaluate_profit
 
 #: One client's branch rows inside a cluster task:
@@ -79,6 +79,11 @@ def _pool_initializer(system: CloudSystem, config: SolverConfig) -> None:
 #: the system dies, so a recycled id() can never alias a stale digest.
 _FINGERPRINT_MEMO: Dict[int, Tuple["weakref.ref", int, str]] = {}
 
+#: Population size (clients + servers) above which an array-backed
+#: system's fingerprint hashes the raw column buffers instead of the
+#: canonical dump (see the guard in :func:`system_fingerprint`).
+_TOKEN_FINGERPRINT_FLOOR = 5_000
+
 
 def system_fingerprint(system: CloudSystem) -> str:
     """Content hash of a system, memoized per live object.
@@ -95,9 +100,27 @@ def system_fingerprint(system: CloudSystem) -> str:
         and slot[1] == system.membership_epoch
     ):
         return slot[2]
-    digest = hashlib.sha256(
-        dump_canonical(system_to_dict(system)).encode("utf-8")
-    ).hexdigest()
+    if (
+        isinstance(system, ArrayBackedCloudSystem)
+        and system.is_array_backed
+        and system.num_clients + system.num_servers > _TOKEN_FINGERPRINT_FLOOR
+    ):
+        # Hash the raw column buffers instead of the canonical dump: the
+        # dump would materialize every client/server view (minutes at
+        # n=1M) while the buffers hash in milliseconds.  Guarded by a
+        # size floor so small systems — the only ones that ever *thaw*
+        # (the online service tier's membership edits) — keep the dump
+        # scheme and fingerprints stay a pure function of content across
+        # backing changes.  Large batch systems never thaw, so they are
+        # only ever fingerprinted on this one path.
+        hasher = hashlib.sha256(b"soa-v1:")
+        hasher.update(system.name.encode("utf-8"))
+        hasher.update(system.arrays.content_token())
+        digest = hasher.hexdigest()
+    else:
+        digest = hashlib.sha256(
+            dump_canonical(system_to_dict(system)).encode("utf-8")
+        ).hexdigest()
     ref = weakref.ref(system, lambda _, k=key: _FINGERPRINT_MEMO.pop(k, None))
     _FINGERPRINT_MEMO[key] = (ref, system.membership_epoch, digest)
     return digest

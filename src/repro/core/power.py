@@ -596,11 +596,18 @@ def try_shutdown_server(
 
     Returns the realized profit delta (0.0 when the evacuation failed or
     the evaluated profit did not improve; the state is restored in both
-    cases).  Uses snapshot/restore internally, so it must not be called
-    inside an open :meth:`~repro.core.state.WorkingState.begin_txn`
-    transaction.  ``excluded_server_ids`` bars extra servers (beyond the
-    victim) from receiving the evacuated traffic.
+    cases).  The default rollback mechanism is snapshot/restore, so it
+    must not be called inside an open
+    :meth:`~repro.core.state.WorkingState.begin_txn` transaction.  With
+    ``config.use_txn_shutdown`` the rejection path replays the undo log
+    instead — O(mutations) rather than O(live entries), the dominant
+    cost of large-shard improvement rounds, at the price of not being
+    *bitwise* identical to the snapshot path (see the config docs).
+    ``excluded_server_ids`` bars extra servers (beyond the victim) from
+    receiving the evacuated traffic.
     """
+    if config.use_txn_shutdown:
+        return _try_shutdown_server_txn(state, victim, config, excluded_server_ids)
     before = score_state(state)
     snapshot = state.snapshot()
     hosted = sorted(state.allocation.clients_on_server(victim))
@@ -620,4 +627,44 @@ def try_shutdown_server(
     if success and after > before + ACCEPT_TOLERANCE:
         return after - before
     state.restore(snapshot)
+    return 0.0
+
+
+def _try_shutdown_server_txn(
+    state: WorkingState,
+    victim: int,
+    config: SolverConfig,
+    excluded_server_ids: Optional[Set[int]] = None,
+) -> float:
+    """Transactional variant of :func:`try_shutdown_server`.
+
+    Same evacuation sweep and accept-if-better gate, but the whole
+    attempt runs inside one undo-log transaction (the nested txns of
+    :func:`evacuate_client` merge into it on commit), so a rejected
+    candidate unwinds in time proportional to the entries it touched.
+    Because most candidates in a ``turn_off_servers`` sweep are
+    rejections over a handful of clients while the state holds hundreds
+    of entries, this is the difference between O(hosted) and O(system)
+    per candidate.
+    """
+    before = score_state(state)
+    state.begin_txn()
+    hosted = sorted(state.allocation.clients_on_server(victim))
+    success = all(
+        evacuate_client(state, cid, victim, config, excluded_server_ids)
+        for cid in hosted
+    )
+    if success:
+        touched = {
+            sid
+            for cid in hosted
+            for sid in state.allocation.entries_of_client(cid)
+        }
+        for sid in sorted(touched):
+            adjust_resource_shares(state, sid, config)
+        after = score_state(state)
+        if after > before + ACCEPT_TOLERANCE:
+            state.commit_txn()
+            return after - before
+    state.rollback_txn()
     return 0.0

@@ -17,7 +17,8 @@ from repro.model.utility import (
 from repro.model.server import ServerClass, Server
 from repro.model.cluster import Cluster
 from repro.model.client import Client
-from repro.model.datacenter import CloudSystem
+from repro.model.arrays import SystemArrays
+from repro.model.datacenter import ArrayBackedCloudSystem, CloudSystem
 from repro.model.allocation import Allocation, ServerAllocation
 from repro.model.profit import (
     ProfitBreakdown,
@@ -45,6 +46,8 @@ __all__ = [
     "Cluster",
     "Client",
     "CloudSystem",
+    "ArrayBackedCloudSystem",
+    "SystemArrays",
     "Allocation",
     "ServerAllocation",
     "ProfitBreakdown",

@@ -1,0 +1,326 @@
+"""Struct-of-arrays backing store for the system model.
+
+A :class:`SystemArrays` holds every per-client and per-server field of a
+:class:`~repro.model.datacenter.CloudSystem` as dense NumPy columns,
+plus the two small object tables those columns index into (utility
+classes and server classes — a handful of objects regardless of scale).
+At one million clients the columns cost ~tens of megabytes where the
+object graph (frozen dataclasses plus id-keyed dicts) costs gigabytes;
+they pickle as flat buffers, fingerprint as raw bytes, and slice into
+shard sub-systems with one fancy-index per field instead of per-object
+copies.
+
+:class:`~repro.model.client.Client` and :class:`~repro.model.server.Server`
+stay the per-item value types the solvers see — an array-backed system
+materializes them *on demand* as thin views over the columns (same field
+values bit-for-bit, since the columns store exactly the float64 the
+object builder would), so every existing kernel keeps reading the same
+IEEE-754 operands in the same order.
+
+Ordering invariants (enforced in :meth:`SystemArrays.validate`):
+
+* client columns are sorted by ``client_ids`` ascending;
+* server columns are cluster-contiguous — ``server_cluster`` is
+  non-decreasing — and sorted by ``server_ids`` within the whole table.
+
+Both hold for generated systems (ids are handed out sequentially) and
+are preserved by :meth:`slice_clients` / :meth:`slice_servers` on sorted
+index sets, which is what keeps shard sub-system construction O(fields)
+and id lookup a binary search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.client import Client
+from repro.model.cluster import Cluster
+from repro.model.server import Server, ServerClass
+from repro.model.utility import UtilityClass
+
+
+@dataclass
+class SystemArrays:
+    """Dense column store of one system's client and server populations.
+
+    Client columns (all length ``num_clients``, position-aligned):
+    ``client_ids`` (int64, sorted), ``client_uclass`` (int64 index into
+    ``utility_classes``), ``rate_agreed``, ``rate_predicted``,
+    ``t_proc``, ``t_comm``, ``storage_req`` (float64).
+
+    Server columns (all length ``num_servers``, cluster-contiguous):
+    ``server_ids`` (int64, sorted), ``server_cluster`` (int64),
+    ``server_class_idx`` (int64 index into ``server_classes``),
+    ``background_processing``, ``background_bandwidth``,
+    ``background_storage`` (float64).
+    """
+
+    utility_classes: Tuple[UtilityClass, ...]
+    server_classes: Tuple[ServerClass, ...]
+    client_ids: np.ndarray
+    client_uclass: np.ndarray
+    rate_agreed: np.ndarray
+    rate_predicted: np.ndarray
+    t_proc: np.ndarray
+    t_comm: np.ndarray
+    storage_req: np.ndarray
+    server_ids: np.ndarray
+    server_cluster: np.ndarray
+    server_class_idx: np.ndarray
+    background_processing: np.ndarray
+    background_bandwidth: np.ndarray
+    background_storage: np.ndarray
+
+    _CLIENT_COLUMNS = (
+        "client_ids",
+        "client_uclass",
+        "rate_agreed",
+        "rate_predicted",
+        "t_proc",
+        "t_comm",
+        "storage_req",
+    )
+    _SERVER_COLUMNS = (
+        "server_ids",
+        "server_cluster",
+        "server_class_idx",
+        "background_processing",
+        "background_bandwidth",
+        "background_storage",
+    )
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.client_ids.shape[0])
+
+    @property
+    def num_servers(self) -> int:
+        return int(self.server_ids.shape[0])
+
+    def validate(self) -> None:
+        """Check the ordering invariants and index ranges (build time)."""
+        for name in self._CLIENT_COLUMNS:
+            if getattr(self, name).shape[0] != self.num_clients:
+                raise ModelError(f"client column {name} has the wrong length")
+        for name in self._SERVER_COLUMNS:
+            if getattr(self, name).shape[0] != self.num_servers:
+                raise ModelError(f"server column {name} has the wrong length")
+        if self.num_clients and np.any(np.diff(self.client_ids) <= 0):
+            raise ModelError("client_ids must be strictly increasing")
+        if self.num_servers and np.any(np.diff(self.server_ids) <= 0):
+            raise ModelError("server_ids must be strictly increasing")
+        if self.num_servers and np.any(np.diff(self.server_cluster) < 0):
+            raise ModelError("server columns must be cluster-contiguous")
+        if self.num_clients and (
+            self.client_uclass.min() < 0
+            or self.client_uclass.max() >= len(self.utility_classes)
+        ):
+            raise ModelError("client_uclass index out of range")
+        if self.num_servers and (
+            self.server_class_idx.min() < 0
+            or self.server_class_idx.max() >= len(self.server_classes)
+        ):
+            raise ModelError("server_class_idx index out of range")
+
+    # -- id -> position -----------------------------------------------------
+
+    def client_position(self, client_id: int) -> int:
+        pos = int(np.searchsorted(self.client_ids, client_id))
+        if pos >= self.num_clients or int(self.client_ids[pos]) != client_id:
+            raise ModelError(f"unknown client_id {client_id}")
+        return pos
+
+    def server_position(self, server_id: int) -> int:
+        pos = int(np.searchsorted(self.server_ids, server_id))
+        if pos >= self.num_servers or int(self.server_ids[pos]) != server_id:
+            raise ModelError(f"unknown server_id {server_id}")
+        return pos
+
+    # -- on-demand views ----------------------------------------------------
+
+    def client_view(self, pos: int) -> Client:
+        """Materialize one client as the ordinary value type.
+
+        The view carries exactly the float64 the columns store, so any
+        computation over it is bit-identical to the object-backed path.
+        """
+        return Client(
+            client_id=int(self.client_ids[pos]),
+            utility_class=self.utility_classes[int(self.client_uclass[pos])],
+            rate_agreed=float(self.rate_agreed[pos]),
+            rate_predicted=float(self.rate_predicted[pos]),
+            t_proc=float(self.t_proc[pos]),
+            t_comm=float(self.t_comm[pos]),
+            storage_req=float(self.storage_req[pos]),
+        )
+
+    def server_view(self, pos: int) -> Server:
+        return Server(
+            server_id=int(self.server_ids[pos]),
+            cluster_id=int(self.server_cluster[pos]),
+            server_class=self.server_classes[int(self.server_class_idx[pos])],
+            background_processing=float(self.background_processing[pos]),
+            background_bandwidth=float(self.background_bandwidth[pos]),
+            background_storage=float(self.background_storage[pos]),
+        )
+
+    # -- slicing (shard sub-systems) ----------------------------------------
+
+    def slice_clients(self, positions: np.ndarray) -> "SystemArrays":
+        """New arrays keeping only these client positions (sorted order)."""
+        return self._replace_columns(self._CLIENT_COLUMNS, positions)
+
+    def slice_servers(self, positions: np.ndarray) -> "SystemArrays":
+        """New arrays keeping only these server positions (sorted order)."""
+        return self._replace_columns(self._SERVER_COLUMNS, positions)
+
+    def _replace_columns(
+        self, names: Sequence[str], positions: np.ndarray
+    ) -> "SystemArrays":
+        fields = {
+            name: getattr(self, name)
+            for name in self._CLIENT_COLUMNS + self._SERVER_COLUMNS
+        }
+        for name in names:
+            fields[name] = fields[name][positions]
+        return SystemArrays(
+            utility_classes=self.utility_classes,
+            server_classes=self.server_classes,
+            **fields,
+        )
+
+    # -- cluster layout -----------------------------------------------------
+
+    def cluster_spans(self) -> List[Tuple[int, int, int]]:
+        """``(cluster_id, start, stop)`` spans over the server columns.
+
+        The server columns are cluster-contiguous, so each cluster is one
+        half-open row range — the O(num_clusters) layout the lazy cluster
+        views are built from.
+        """
+        spans: List[Tuple[int, int, int]] = []
+        if not self.num_servers:
+            return spans
+        ids = self.server_cluster
+        boundaries = np.flatnonzero(np.diff(ids)) + 1
+        starts = np.concatenate(([0], boundaries))
+        stops = np.concatenate((boundaries, [ids.shape[0]]))
+        for start, stop in zip(starts.tolist(), stops.tolist()):
+            spans.append((int(ids[start]), start, stop))
+        return spans
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Total bytes held by the columns (memory accounting)."""
+        return int(
+            sum(
+                getattr(self, name).nbytes
+                for name in self._CLIENT_COLUMNS + self._SERVER_COLUMNS
+            )
+        )
+
+    def content_token(self) -> bytes:
+        """Raw bytes capturing the column contents (fast fingerprinting).
+
+        Concatenates every column's buffer plus a canonical rendering of
+        the two class tables.  Two array-backed systems with equal
+        columns and class tables produce equal tokens; the token is *not*
+        comparable with the object-path canonical dump (callers hash one
+        or the other consistently).
+        """
+        parts = [
+            repr(
+                [
+                    (u.index, u.name, repr(u.function))
+                    for u in self.utility_classes
+                ]
+            ).encode(),
+            repr(
+                [
+                    (
+                        s.index,
+                        s.cap_processing,
+                        s.cap_bandwidth,
+                        s.cap_storage,
+                        s.power_fixed,
+                        s.power_per_util,
+                        s.name,
+                    )
+                    for s in self.server_classes
+                ]
+            ).encode(),
+        ]
+        for name in self._CLIENT_COLUMNS + self._SERVER_COLUMNS:
+            column = np.ascontiguousarray(getattr(self, name))
+            parts.append(name.encode())
+            parts.append(column.tobytes())
+        return b"\x00".join(parts)
+
+    # -- construction from the object graph ---------------------------------
+
+    @classmethod
+    def from_objects(
+        cls, clusters: Sequence[Cluster], clients: Sequence[Client]
+    ) -> "SystemArrays":
+        """Column-ize an existing object graph (legacy construction path).
+
+        Requires the ordering invariants (sorted ids, cluster-contiguous
+        servers) to hold of the input; hand-built systems that violate
+        them simply stay object-backed.
+        """
+        uclasses: List[UtilityClass] = []
+        uclass_pos = {}
+        client_rows = sorted(clients, key=lambda c: c.client_id)
+        for client in client_rows:
+            key = id(client.utility_class)
+            if key not in uclass_pos:
+                uclass_pos[key] = len(uclasses)
+                uclasses.append(client.utility_class)
+        sclasses: List[ServerClass] = []
+        sclass_pos = {}
+        server_rows: List[Server] = []
+        for cluster in clusters:
+            for server in cluster:
+                server_rows.append(server)
+                key = id(server.server_class)
+                if key not in sclass_pos:
+                    sclass_pos[key] = len(sclasses)
+                    sclasses.append(server.server_class)
+        arrays = cls(
+            utility_classes=tuple(uclasses),
+            server_classes=tuple(sclasses),
+            client_ids=np.array([c.client_id for c in client_rows], dtype=np.int64),
+            client_uclass=np.array(
+                [uclass_pos[id(c.utility_class)] for c in client_rows],
+                dtype=np.int64,
+            ),
+            rate_agreed=np.array([c.rate_agreed for c in client_rows]),
+            rate_predicted=np.array([c.rate_predicted for c in client_rows]),
+            t_proc=np.array([c.t_proc for c in client_rows]),
+            t_comm=np.array([c.t_comm for c in client_rows]),
+            storage_req=np.array([c.storage_req for c in client_rows]),
+            server_ids=np.array([s.server_id for s in server_rows], dtype=np.int64),
+            server_cluster=np.array(
+                [s.cluster_id for s in server_rows], dtype=np.int64
+            ),
+            server_class_idx=np.array(
+                [sclass_pos[id(s.server_class)] for s in server_rows],
+                dtype=np.int64,
+            ),
+            background_processing=np.array(
+                [s.background_processing for s in server_rows]
+            ),
+            background_bandwidth=np.array(
+                [s.background_bandwidth for s in server_rows]
+            ),
+            background_storage=np.array(
+                [s.background_storage for s in server_rows]
+            ),
+        )
+        arrays.validate()
+        return arrays

@@ -8,9 +8,12 @@ the heuristic's inner loops depend on being O(1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import ModelError
+from repro.model.arrays import SystemArrays
 from repro.model.client import Client
 from repro.model.cluster import Cluster
 from repro.model.server import Server
@@ -171,3 +174,348 @@ class CloudSystem:
             )
             lines.append(f"  cluster {cluster.cluster_id}: {len(cluster)} servers ({mix})")
         return "\n".join(lines)
+
+    @staticmethod
+    def from_arrays(arrays: SystemArrays, name: str = "") -> "ArrayBackedCloudSystem":
+        """Wrap a column store as a system without materializing objects."""
+        return ArrayBackedCloudSystem(arrays, name=name)
+
+
+#: Largest server-column count whose materialized views are worth
+#: memoizing.  Shard subproblems (hundreds of rows, iterated every
+#: improvement round) sit far below it; a million-row parent system
+#: (iterated a handful of times, by final scoring and audits) stays
+#: lazy so view memoization can never recreate the per-object memory
+#: footprint the column store exists to avoid.
+_SERVER_VIEW_CACHE_LIMIT = 4096
+
+
+class _LazyServerSeq(Sequence):
+    """List-like view of one cluster's row span over the server columns.
+
+    Each ``[i]`` materializes a :class:`Server` carrying exactly the
+    column values.  Small spans memoize the frozen views in a cache
+    shared with the owning system (solver loops re-iterate cluster
+    servers every round); million-row spans store nothing, so they cost
+    nothing at rest.  Equality compares element-wise against any
+    sequence, which keeps ``Cluster.__eq__`` meaningful for lazy
+    clusters.
+    """
+
+    __slots__ = ("_arrays", "_start", "_stop", "_cache")
+
+    def __init__(
+        self,
+        arrays: SystemArrays,
+        start: int,
+        stop: int,
+        cache: Optional[list] = None,
+    ) -> None:
+        self._arrays = arrays
+        self._start = start
+        self._stop = stop
+        self._cache = cache
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def _view(self, pos: int) -> Server:
+        cache = self._cache
+        if cache is None:
+            return self._arrays.server_view(pos)
+        server = cache[pos]
+        if server is None:
+            server = self._arrays.server_view(pos)
+            cache[pos] = server
+        return server
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._view(self._start + index)
+
+    def __iter__(self) -> Iterator[Server]:
+        for pos in range(self._start, self._stop):
+            yield self._view(pos)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (list, tuple, _LazyServerSeq)):
+            return NotImplemented
+        return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+
+    def __repr__(self) -> str:
+        return f"<lazy servers [{self._start}:{self._stop}]>"
+
+
+class _LazyClientSeq(Sequence):
+    """List-like view of the whole client column table (see _LazyServerSeq)."""
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self, arrays: SystemArrays) -> None:
+        self._arrays = arrays
+
+    def __len__(self) -> int:
+        return self._arrays.num_clients
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._arrays.client_view(index)
+
+    def __iter__(self) -> Iterator[Client]:
+        for pos in range(self._arrays.num_clients):
+            yield self._arrays.client_view(pos)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (list, tuple, _LazyClientSeq)):
+            return NotImplemented
+        return len(self) == len(other) and all(a == b for a, b in zip(self, other))
+
+    def __repr__(self) -> str:
+        return f"<lazy clients [{len(self)}]>"
+
+
+def _lazy_cluster(
+    arrays: SystemArrays,
+    cluster_id: int,
+    start: int,
+    stop: int,
+    cache: Optional[list] = None,
+) -> Cluster:
+    """A real Cluster whose server list is a lazy column view.
+
+    Built with ``object.__new__`` so ``__post_init__``'s per-server
+    validation pass is skipped — :meth:`SystemArrays.validate` already
+    covered id uniqueness and cluster consistency at column level.
+    """
+    cluster = object.__new__(Cluster)
+    cluster.cluster_id = cluster_id
+    cluster.servers = _LazyServerSeq(arrays, start, stop, cache)
+    cluster.name = ""
+    return cluster
+
+
+class ArrayBackedCloudSystem(CloudSystem):
+    """A CloudSystem whose population lives in a :class:`SystemArrays`.
+
+    Reads are served straight off the columns: ``clients`` / ``clusters``
+    are lazy sequence views, id lookups are binary searches memoized per
+    touched id, and pickling ships the raw column buffers (a 1M-client
+    system is ~a hundred MB of arrays instead of millions of objects).
+    Every materialized :class:`Client`/:class:`Server` carries exactly
+    the float64 the columns store, so any computation over an
+    array-backed system is bit-identical to the object-backed path.
+
+    Client membership edits (the online service tier's surface) *thaw*
+    the system: the object graph is materialized once, the parent class's
+    dict indexes take over, and the instance behaves exactly like an
+    ordinary ``CloudSystem`` from then on.  Batch solvers never edit
+    membership, so frozen systems stay frozen for their whole life.
+    """
+
+    def __init__(self, arrays: SystemArrays, name: str = "") -> None:
+        self.arrays = arrays
+        self.name = name
+        self._membership_epoch = 0
+        self._array_mode = True
+        self._spans = arrays.cluster_spans()
+        # Position-indexed memo for materialized server views, shared with
+        # the lazy cluster sequences; None above the cache limit so huge
+        # systems never hold one object per row.
+        self._server_views: Optional[list] = (
+            [None] * arrays.num_servers
+            if arrays.num_servers <= _SERVER_VIEW_CACHE_LIMIT
+            else None
+        )
+        # Per-touched-id memos (frozen mode); become the full indexes on thaw.
+        self._clients_by_id = {}
+        self._servers_by_id = {}
+        self._clusters_by_id = {}
+        self._cluster_of_server = {}
+        self._clusters_list: List[Cluster] = []
+        self._clients_list = _LazyClientSeq(arrays)
+
+    # -- lazy field views -------------------------------------------------
+
+    @property
+    def clusters(self):
+        if not self._clusters_list:
+            self._clusters_list = [
+                _lazy_cluster(self.arrays, cid, start, stop, self._server_views)
+                for cid, start, stop in self._spans
+            ]
+        return self._clusters_list
+
+    @clusters.setter
+    def clusters(self, value) -> None:
+        self._clusters_list = value
+
+    @property
+    def clients(self):
+        return self._clients_list
+
+    @clients.setter
+    def clients(self, value) -> None:
+        self._clients_list = value
+
+    # -- lookups ----------------------------------------------------------
+
+    def cluster(self, cluster_id: int) -> Cluster:
+        if not self._array_mode:
+            return super().cluster(cluster_id)
+        cached = self._clusters_by_id.get(cluster_id)
+        if cached is None:
+            for position, (cid, _, _) in enumerate(self._spans):
+                if cid == cluster_id:
+                    cached = self.clusters[position]
+                    break
+            else:
+                raise ModelError(f"unknown cluster_id {cluster_id}")
+            self._clusters_by_id[cluster_id] = cached
+        return cached
+
+    def server(self, server_id: int) -> Server:
+        if not self._array_mode:
+            return super().server(server_id)
+        cached = self._servers_by_id.get(server_id)
+        if cached is None:
+            cached = self.arrays.server_view(self.arrays.server_position(server_id))
+            self._servers_by_id[server_id] = cached
+        return cached
+
+    def client(self, client_id: int) -> Client:
+        if not self._array_mode:
+            return super().client(client_id)
+        cached = self._clients_by_id.get(client_id)
+        if cached is None:
+            cached = self.arrays.client_view(self.arrays.client_position(client_id))
+            self._clients_by_id[client_id] = cached
+        return cached
+
+    def cluster_of_server(self, server_id: int) -> int:
+        if not self._array_mode:
+            return super().cluster_of_server(server_id)
+        return int(
+            self.arrays.server_cluster[self.arrays.server_position(server_id)]
+        )
+
+    def has_client(self, client_id: int) -> bool:
+        if not self._array_mode:
+            return super().has_client(client_id)
+        ids = self.arrays.client_ids
+        pos = int(np.searchsorted(ids, client_id))
+        return pos < ids.shape[0] and int(ids[pos]) == client_id
+
+    # -- iteration --------------------------------------------------------
+
+    def servers(self) -> Iterator[Server]:
+        if not self._array_mode:
+            yield from super().servers()
+            return
+        cache = self._server_views
+        if cache is None:
+            for pos in range(self.arrays.num_servers):
+                yield self.arrays.server_view(pos)
+            return
+        for pos in range(self.arrays.num_servers):
+            server = cache[pos]
+            if server is None:
+                server = self.arrays.server_view(pos)
+                cache[pos] = server
+            yield server
+
+    def cluster_ids(self) -> List[int]:
+        if not self._array_mode:
+            return super().cluster_ids()
+        return [cid for cid, _, _ in self._spans]
+
+    def client_ids(self) -> List[int]:
+        if not self._array_mode:
+            return super().client_ids()
+        return self.arrays.client_ids.tolist()
+
+    @property
+    def num_servers(self) -> int:
+        if not self._array_mode:
+            return super().num_servers
+        return self.arrays.num_servers
+
+    @property
+    def num_clients(self) -> int:
+        if not self._array_mode:
+            return super().num_clients
+        return self.arrays.num_clients
+
+    @property
+    def num_clusters(self) -> int:
+        if not self._array_mode:
+            return super().num_clusters
+        return len(self._spans)
+
+    # -- thaw + membership edits ------------------------------------------
+
+    @property
+    def is_array_backed(self) -> bool:
+        """True while reads are still served off the column store."""
+        return self._array_mode
+
+    def materialize(self) -> CloudSystem:
+        """A plain object-backed copy with identical field values."""
+        clusters = [
+            Cluster(
+                cluster_id=cid,
+                servers=[self.arrays.server_view(p) for p in range(start, stop)],
+            )
+            for cid, start, stop in self._spans
+        ]
+        clients = [
+            self.arrays.client_view(p) for p in range(self.arrays.num_clients)
+        ]
+        return CloudSystem(clusters=clusters, clients=clients, name=self.name)
+
+    def _thaw(self) -> None:
+        """Switch to object backing in place (first membership edit)."""
+        if not self._array_mode:
+            return
+        concrete = self.materialize()
+        self._clusters_list = concrete.clusters
+        self._clients_list = concrete.clients
+        self._clusters_by_id = concrete._clusters_by_id
+        self._servers_by_id = concrete._servers_by_id
+        self._cluster_of_server = concrete._cluster_of_server
+        self._clients_by_id = concrete._clients_by_id
+        self._server_views = None
+        self._array_mode = False
+
+    def add_client(self, client: Client) -> None:
+        self._thaw()
+        super().add_client(client)
+
+    def remove_client(self, client_id: int) -> Client:
+        self._thaw()
+        return super().remove_client(client_id)
+
+    def replace_client(self, client: Client) -> Client:
+        self._thaw()
+        return super().replace_client(client)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __reduce__(self):
+        if self._array_mode:
+            return (ArrayBackedCloudSystem, (self.arrays, self.name))
+        # Thawed instances round-trip through the ordinary constructor so
+        # the unpickled object is a plain, fully-indexed CloudSystem.
+        return (
+            CloudSystem,
+            (list(self._clusters_list), list(self._clients_list), self.name),
+        )

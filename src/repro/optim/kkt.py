@@ -43,7 +43,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.exceptions import SolverError
-from repro.optim.bisection import bisect_root, solve_monotone
+from repro.optim.bisection import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    solve_monotone,
+)
 
 _EPS = 1e-12
 
@@ -149,8 +153,39 @@ def waterfill_shares(
     if total_lower > budget + 1e-9:
         return None
 
+    # Flatten the items once so the usage curve evaluated inside the
+    # bisection loop touches only local floats — this is the innermost
+    # hot path of the whole solver, and attribute/method dispatch per
+    # item per bisection step dominates its cost.  The arithmetic is
+    # kept operation-for-operation identical to
+    # ``ShareProblemItem.share_at_price``.
+    flat = [
+        (
+            item.weight,
+            item.service_per_share,
+            item.arrival_rate,
+            item.lower,
+            item.upper,
+            item.weight * item.service_per_share,
+        )
+        for item in items
+    ]
+
     def total_at(price: float) -> float:
-        return sum(item.share_at_price(price) for item in items)
+        acc = 0.0
+        for w, s, a, lower, upper, ws in flat:
+            if w <= 0.0:
+                acc += lower
+            elif price <= 0.0:
+                acc += upper
+            else:
+                phi = (a + math.sqrt(ws / price)) / s
+                if phi < lower:
+                    phi = lower
+                elif phi > upper:
+                    phi = upper
+                acc += phi
+        return acc
 
     if price_floor > 0.0:
         if total_at(price_floor) <= budget:
@@ -272,21 +307,68 @@ def optimal_dispersion(
     if sum(caps) < total:
         return None
 
+    # The nested bisection below is the solver's hottest loop (tens of
+    # marginal evaluations per branch per outer step).  Flatten the
+    # branch rates and inline ``DispersionBranch.marginal`` plus the
+    # ``bisect_root`` recurrence over local floats; the operation
+    # sequence — including the zero/tolerance exit tests and the
+    # midpoint returned — is identical to the generic path, so the
+    # result is bitwise unchanged.
+    rates = [(b.rate_processing, b.rate_bandwidth) for b in branches]
+    tol = DEFAULT_TOLERANCE
+
     def alpha_at(nu: float, idx: int) -> float:
-        branch = branches[idx]
         cap = caps[idx]
         if cap <= 0:
             return 0.0
-        if branch.marginal(0.0, arrival_rate) >= nu:
+        rate_p, rate_b = rates[idx]
+        # marginal(0) == rate_p/rate_p^2 + rate_b/rate_b^2, written out
+        # exactly as DispersionBranch.marginal evaluates it at alpha=0.
+        head_p = rate_p - 0.0 * arrival_rate
+        head_b = rate_b - 0.0 * arrival_rate
+        if rate_p / (head_p * head_p) + rate_b / (head_b * head_b) >= nu:
             return 0.0
-        if branch.marginal(cap, arrival_rate) <= nu:
+        head_p = rate_p - cap * arrival_rate
+        head_b = rate_b - cap * arrival_rate
+        if head_p <= 0 or head_b <= 0:
+            margin_cap = math.inf
+        else:
+            margin_cap = (
+                rate_p / (head_p * head_p) + rate_b / (head_b * head_b)
+            )
+        if margin_cap <= nu:
             return cap
-        return bisect_root(
-            lambda a: branch.marginal(a, arrival_rate) - nu, 0.0, cap
-        )
+        # bisect_root(f, 0.0, cap) with f(a) = marginal(a) - nu: the
+        # pre-checks above guarantee f(0) < 0 < f(cap), so the bracket
+        # holds and neither endpoint is a root.
+        lo, hi = 0.0, cap
+        for _ in range(DEFAULT_MAX_ITERATIONS):
+            mid = 0.5 * (lo + hi)
+            head_p = rate_p - mid * arrival_rate
+            head_b = rate_b - mid * arrival_rate
+            if head_p <= 0 or head_b <= 0:
+                f_mid = math.inf
+            else:
+                f_mid = (
+                    rate_p / (head_p * head_p)
+                    + rate_b / (head_b * head_b)
+                    - nu
+                )
+            # mid >= 0 on [0, cap], so abs(mid) == mid and the generic
+            # tolerance scale max(1.0, abs(mid)) inlines to a compare.
+            if f_mid == 0.0 or (hi - lo) <= tol * (mid if mid > 1.0 else 1.0):
+                return mid
+            if f_mid <= 0:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
 
     def total_at(nu: float) -> float:
-        return sum(alpha_at(nu, idx) for idx in range(len(branches)))
+        acc = 0.0
+        for idx in range(len(branches)):
+            acc += alpha_at(nu, idx)
+        return acc
 
     usable = [idx for idx in range(len(branches)) if caps[idx] > 0]
     nu_lo = min(branches[idx].marginal(0.0, arrival_rate) for idx in usable)

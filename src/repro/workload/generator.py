@@ -30,14 +30,12 @@ import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.model import (
-    Client,
     ClippedLinearUtility,
     CloudSystem,
-    Cluster,
     LinearUtility,
-    Server,
     ServerClass,
     StepUtility,
+    SystemArrays,
     UtilityClass,
 )
 
@@ -184,15 +182,27 @@ def generate_system(
     seed: Optional[int] = None,
     config: Optional[WorkloadConfig] = None,
     name: str = "",
+    backing: str = "arrays",
 ) -> CloudSystem:
     """Draw one random problem instance from the paper's distribution.
 
     The same ``(num_clients, seed, config)`` triple always produces an
     identical :class:`~repro.model.CloudSystem`, which is what lets every
     solver in an experiment see the same scenarios.
+
+    ``backing`` selects the storage layout, not the values: ``"arrays"``
+    (default) returns an array-backed system whose clients/servers live
+    in a :class:`~repro.model.SystemArrays` column store and materialize
+    as views on demand; ``"objects"`` builds the classic object graph.
+    Both backings hold bit-identical field values — the random draws
+    happen in one per-item loop either way, in the exact published call
+    order, so the RNG stream (and hence every downstream solve) is
+    independent of the layout choice.
     """
     if num_clients < 1:
         raise WorkloadError(f"num_clients must be >= 1, got {num_clients}")
+    if backing not in ("arrays", "objects"):
+        raise WorkloadError(f"unknown backing {backing!r}")
     config = config or WorkloadConfig()
     rng = np.random.default_rng(seed)
 
@@ -203,48 +213,58 @@ def generate_system(
     if per_cluster is None:
         per_cluster = _default_servers_per_cluster(num_clients, config.num_clusters)
 
-    clusters: List[Cluster] = []
-    server_id = 0
-    for cluster_id in range(config.num_clusters):
-        servers: List[Server] = []
-        for _ in range(per_cluster):
-            sku = server_classes[int(rng.integers(0, len(server_classes)))]
-            background_p = background_b = background_m = 0.0
-            if (
-                config.background_load_fraction > 0.0
-                and rng.random() < config.background_load_fraction
-            ):
-                background_p = float(rng.uniform(0.0, 0.5))
-                background_b = float(rng.uniform(0.0, 0.5))
-                background_m = float(rng.uniform(0.0, 0.5)) * sku.cap_storage
-            servers.append(
-                Server(
-                    server_id=server_id,
-                    cluster_id=cluster_id,
-                    server_class=sku,
-                    background_processing=background_p,
-                    background_bandwidth=background_b,
-                    background_storage=background_m,
-                )
+    num_servers = config.num_clusters * per_cluster
+    server_class_idx = np.zeros(num_servers, dtype=np.int64)
+    background_p = np.zeros(num_servers)
+    background_b = np.zeros(num_servers)
+    background_m = np.zeros(num_servers)
+    for row in range(num_servers):
+        sku_idx = int(rng.integers(0, len(server_classes)))
+        server_class_idx[row] = sku_idx
+        if (
+            config.background_load_fraction > 0.0
+            and rng.random() < config.background_load_fraction
+        ):
+            background_p[row] = float(rng.uniform(0.0, 0.5))
+            background_b[row] = float(rng.uniform(0.0, 0.5))
+            background_m[row] = (
+                float(rng.uniform(0.0, 0.5)) * server_classes[sku_idx].cap_storage
             )
-            server_id += 1
-        clusters.append(Cluster(cluster_id=cluster_id, servers=servers))
 
-    clients: List[Client] = []
-    for client_id in range(num_clients):
-        utility_class = utility_classes[int(rng.integers(0, len(utility_classes)))]
-        rate_agreed = _uniform(rng, config.rate_range)
-        clients.append(
-            Client(
-                client_id=client_id,
-                utility_class=utility_class,
-                rate_agreed=rate_agreed,
-                rate_predicted=rate_agreed * config.predicted_rate_factor,
-                t_proc=_uniform(rng, config.exec_time_range),
-                t_comm=_uniform(rng, config.exec_time_range),
-                storage_req=_uniform(rng, config.storage_req_range),
-            )
-        )
+    client_uclass = np.zeros(num_clients, dtype=np.int64)
+    rate_agreed = np.zeros(num_clients)
+    t_proc = np.zeros(num_clients)
+    t_comm = np.zeros(num_clients)
+    storage_req = np.zeros(num_clients)
+    for row in range(num_clients):
+        client_uclass[row] = int(rng.integers(0, len(utility_classes)))
+        rate_agreed[row] = _uniform(rng, config.rate_range)
+        t_proc[row] = _uniform(rng, config.exec_time_range)
+        t_comm[row] = _uniform(rng, config.exec_time_range)
+        storage_req[row] = _uniform(rng, config.storage_req_range)
+
+    arrays = SystemArrays(
+        utility_classes=tuple(utility_classes),
+        server_classes=tuple(server_classes),
+        client_ids=np.arange(num_clients, dtype=np.int64),
+        client_uclass=client_uclass,
+        rate_agreed=rate_agreed,
+        rate_predicted=rate_agreed * config.predicted_rate_factor,
+        t_proc=t_proc,
+        t_comm=t_comm,
+        storage_req=storage_req,
+        server_ids=np.arange(num_servers, dtype=np.int64),
+        server_cluster=np.repeat(
+            np.arange(config.num_clusters, dtype=np.int64), per_cluster
+        ),
+        server_class_idx=server_class_idx,
+        background_processing=background_p,
+        background_bandwidth=background_b,
+        background_storage=background_m,
+    )
 
     label = name or f"paper-instance(n={num_clients}, seed={seed})"
-    return CloudSystem(clusters=clusters, clients=clients, name=label)
+    system = CloudSystem.from_arrays(arrays, name=label)
+    if backing == "objects":
+        return system.materialize()
+    return system

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.config import SolverConfig
 from repro.core import distributed
@@ -17,7 +18,7 @@ from repro.core.sharded import (
     plan_shards,
     shard_subsystem,
 )
-from repro.io import allocation_to_dict, dump_canonical
+from repro.io import allocation_to_dict, dump_canonical, system_to_dict
 from repro.model import Client
 from repro.model.allocation import Allocation, AllocationRows
 from repro.model.validation import find_violations
@@ -72,15 +73,38 @@ class TestPlanShards:
 
 class TestShardSubsystem:
     def test_shares_objects_and_preserves_ids(self, generated_20):
-        spec = plan_shards(generated_20, 4)[1]
-        sub = shard_subsystem(generated_20, spec)
+        # The object path never copies Server objects; exercise it on a
+        # materialized twin (the generated fixture is array-backed).
+        objects = generated_20.materialize()
+        spec = plan_shards(objects, 4)[1]
+        sub = shard_subsystem(objects, spec)
         assert {c.client_id for c in sub.clients} == set(spec.client_ids)
         assert {s.server_id for s in sub.servers()} == set(spec.server_ids)
         for server in sub.servers():
-            assert server is generated_20.server(server.server_id)
+            assert server is objects.server(server.server_id)
             assert sub.cluster_of_server(
                 server.server_id
-            ) == generated_20.cluster_of_server(server.server_id)
+            ) == objects.cluster_of_server(server.server_id)
+
+    def test_whole_cluster_reuses_cluster_object(self, generated_20):
+        objects = generated_20.materialize()
+        spec = ShardSpec(
+            shard_id=0,
+            client_ids=tuple(objects.client_ids()[:4]),
+            server_ids=tuple(objects.cluster(0).server_ids()),
+        )
+        sub = shard_subsystem(objects, spec)
+        assert sub.cluster(0) is objects.cluster(0)
+
+    def test_array_backed_slice_matches_object_path(self, generated_20):
+        # The SoA fancy-index slice and the object path must describe the
+        # same shard instance field for field.
+        for spec in plan_shards(generated_20, 3):
+            soa = shard_subsystem(generated_20, spec)
+            obj = shard_subsystem(generated_20.materialize(), spec)
+            assert dump_canonical(system_to_dict(soa)) == dump_canonical(
+                system_to_dict(obj)
+            )
 
     def test_omits_empty_clusters(self, two_cluster_system):
         spec = ShardSpec(shard_id=0, client_ids=(0,), server_ids=(0, 1))
@@ -340,3 +364,160 @@ class TestFingerprintMemo:
         del system
         gc.collect()
         assert key not in distributed._FINGERPRINT_MEMO
+
+
+class TestTwoTierMergeParity:
+    """The level-2 row merge must be bitwise-identical to the flat merge.
+
+    Shard row tables are produced once (a real solve per shard of a
+    fixed plan); Hypothesis then draws the super-shard grouping and a
+    mutate/restore interleaving — each touched shard's rows are pushed
+    through a :class:`WorkingState`, mutated, snapshot-restored and
+    re-exported before merging — and the grouped pairwise concatenation
+    must reproduce the flat concatenation column for column, bit for
+    bit.
+    """
+
+    _pieces = None
+
+    @classmethod
+    def _shard_pieces(cls):
+        if cls._pieces is None:
+            system = generate_system(num_clients=20, seed=5)
+            config = SolverConfig(
+                seed=0,
+                num_initial_solutions=1,
+                alpha_granularity=5,
+                max_improvement_rounds=2,
+            )
+            specs = plan_shards(system, 5)
+            pieces = []
+            for spec in specs:
+                sub = shard_subsystem(system, spec)
+                result = ResourceAllocator(config).solve(sub)
+                pieces.append((spec, sub, result.allocation.to_rows()))
+            cls._pieces = (system, pieces)
+        return cls._pieces
+
+    @staticmethod
+    def _assert_bitwise_equal(a: AllocationRows, b: AllocationRows) -> None:
+        for field in (
+            "assign_clients",
+            "assign_clusters",
+            "entry_clients",
+            "entry_servers",
+            "alpha",
+            "phi_p",
+            "phi_b",
+        ):
+            left = getattr(a, field)
+            right = getattr(b, field)
+            assert left.dtype == right.dtype
+            assert left.tobytes() == right.tobytes()
+
+    @settings(deadline=None, max_examples=30)
+    @given(data=st.data())
+    def test_grouped_merge_bitwise_matches_flat(self, data):
+        from repro.core.sharded import _super_shard_groups
+        from repro.core.state import WorkingState
+
+        _, pieces = self._shard_pieces()
+        count = len(pieces)
+        cuts = data.draw(
+            st.sets(st.integers(1, count - 1), max_size=count - 1),
+            label="group cuts",
+        )
+        bounds = [0, *sorted(cuts), count]
+        groups = [range(a, b) for a, b in zip(bounds[:-1], bounds[1:])]
+
+        rows_by_shard = []
+        for index, (spec, sub, rows) in enumerate(pieces):
+            interleave = data.draw(
+                st.booleans(), label=f"interleave shard {index}"
+            )
+            if interleave:
+                # Mutate-then-restore round trip: the exported table must
+                # be byte-identical to what went in, so the merge cannot
+                # depend on a shard's mutation history.
+                state = WorkingState(sub)
+                state.restore_rows(rows)
+                saved = state.snapshot()
+                victim = int(rows.entry_clients[0])
+                state.clear_client(victim)
+                state.restore(saved)
+                rows = state.export_rows()
+                self._assert_bitwise_equal(rows, pieces[index][2])
+            rows_by_shard.append(rows)
+
+        flat = AllocationRows.concatenate(rows_by_shard)
+        grouped = AllocationRows.concatenate(
+            [
+                AllocationRows.concatenate([rows_by_shard[i] for i in group])
+                for group in groups
+            ]
+        )
+        self._assert_bitwise_equal(grouped, flat)
+
+        # The production grouping (contiguous ~sqrt partition) is one of
+        # the drawn shapes; pin it explicitly too.
+        production = AllocationRows.concatenate(
+            [
+                AllocationRows.concatenate([rows_by_shard[i] for i in group])
+                for group in _super_shard_groups(count)
+            ]
+        )
+        self._assert_bitwise_equal(production, flat)
+
+
+class TestSolverTopologies:
+    def _config(self, **overrides):
+        base = dict(
+            seed=3,
+            num_shards=4,
+            num_workers=1,
+            num_initial_solutions=1,
+            max_improvement_rounds=2,
+            shard_coordination_rounds=1,
+            shard_final_rounds=1,
+        )
+        base.update(overrides)
+        return SolverConfig(**base)
+
+    def test_two_tier_solve_matches_flat(self, generated_20):
+        with ShardedAllocator(self._config()) as allocator:
+            flat = allocator.solve(generated_20)
+        with ShardedAllocator(
+            self._config(shard_levels=2)
+        ) as allocator:
+            tiered = allocator.solve(generated_20)
+        assert tiered.profit == flat.profit
+        assert tiered.profit_history == flat.profit_history
+        assert allocation_to_dict(tiered.allocation) == allocation_to_dict(
+            flat.allocation
+        )
+
+    def test_inline_executor_matches_pool(self, generated_20):
+        with ShardedAllocator(self._config(num_workers=1)) as allocator:
+            inline = allocator.solve(generated_20)
+        with ShardedAllocator(self._config(num_workers=2)) as allocator:
+            pooled = allocator.solve(generated_20)
+        assert inline.profit == pooled.profit
+        assert allocation_to_dict(inline.allocation) == allocation_to_dict(
+            pooled.allocation
+        )
+
+    def test_parallel_polish_is_audit_clean(self, generated_20):
+        with ShardedAllocator(
+            self._config(parallel_polish=True, shard_final_rounds=2)
+        ) as allocator:
+            result = allocator.solve(generated_20)
+        assert (
+            find_violations(generated_20, result.allocation) == []
+        )
+
+    def test_telemetry_recorded(self, generated_20):
+        allocator = ShardedAllocator(self._config())
+        with allocator:
+            allocator.solve(generated_20)
+        assert allocator.last_telemetry["shard_count"] == 4
+        assert allocator.last_telemetry["shard_solve_seconds_total"] > 0.0

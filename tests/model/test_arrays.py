@@ -1,0 +1,160 @@
+"""Tests for the struct-of-arrays model core (``repro.model.arrays``)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.allocator import ResourceAllocator
+from repro.exceptions import ModelError, WorkloadError
+from repro.io import dump_canonical, system_to_dict
+from repro.model import ArrayBackedCloudSystem, SystemArrays
+from repro.model.datacenter import CloudSystem
+from repro.workload import generate_system
+
+
+def _dump(system: CloudSystem) -> str:
+    return dump_canonical(system_to_dict(system))
+
+
+@pytest.fixture
+def arrayed() -> ArrayBackedCloudSystem:
+    system = generate_system(num_clients=24, seed=5)
+    assert isinstance(system, ArrayBackedCloudSystem)
+    return system
+
+
+class TestGeneratorParity:
+    def test_backings_are_content_identical(self):
+        soa = generate_system(num_clients=30, seed=9)
+        objects = generate_system(num_clients=30, seed=9, backing="objects")
+        assert isinstance(soa, ArrayBackedCloudSystem)
+        assert not isinstance(objects, ArrayBackedCloudSystem)
+        assert _dump(soa) == _dump(objects)
+
+    def test_materialize_is_content_identical(self, arrayed):
+        assert _dump(arrayed.materialize()) == _dump(arrayed)
+
+    def test_rejects_unknown_backing(self):
+        with pytest.raises(WorkloadError):
+            generate_system(num_clients=4, seed=0, backing="parquet")
+
+
+class TestLookups:
+    def test_views_match_materialized_objects(self, arrayed):
+        concrete = arrayed.materialize()
+        for cid in arrayed.client_ids():
+            assert arrayed.client(cid) == concrete.client(cid)
+        for server in concrete.servers():
+            assert arrayed.server(server.server_id) == server
+            assert arrayed.cluster_of_server(
+                server.server_id
+            ) == server.cluster_id
+        for kid in arrayed.cluster_ids():
+            assert arrayed.cluster(kid) == concrete.cluster(kid)
+
+    def test_counts(self, arrayed):
+        concrete = arrayed.materialize()
+        assert arrayed.num_clients == concrete.num_clients
+        assert arrayed.num_servers == concrete.num_servers
+        assert arrayed.num_clusters == concrete.num_clusters
+
+
+class TestPickle:
+    def test_round_trip_preserves_backing_and_content(self, arrayed):
+        clone = pickle.loads(pickle.dumps(arrayed))
+        assert isinstance(clone, ArrayBackedCloudSystem)
+        assert clone.is_array_backed
+        assert _dump(clone) == _dump(arrayed)
+
+    def test_thawed_round_trip_pickles_as_plain_system(self, arrayed):
+        victim = arrayed.client_ids()[0]
+        client = arrayed.client(victim)
+        arrayed.remove_client(victim)
+        assert not arrayed.is_array_backed
+        arrayed.add_client(client)
+        clone = pickle.loads(pickle.dumps(arrayed))
+        assert _dump(clone) == _dump(arrayed)
+
+
+class TestThaw:
+    def test_membership_edit_thaws_and_preserves_content(self, arrayed):
+        reference = _dump(arrayed)
+        victim = arrayed.client_ids()[-1]
+        client = arrayed.client(victim)
+        arrayed.remove_client(victim)
+        assert not arrayed.is_array_backed
+        assert victim not in arrayed.client_ids()
+        arrayed.add_client(client)
+        assert _dump(arrayed) == reference
+
+
+class TestSlicing:
+    def test_strided_slice_preserves_invariants(self, arrayed):
+        arrays = arrayed.arrays
+        sub = arrays.slice_clients(np.arange(0, arrays.num_clients, 3))
+        sub = sub.slice_servers(np.arange(0, arrays.num_servers, 2))
+        sub.validate()
+
+    def test_slice_views_match_parent(self, arrayed):
+        arrays = arrayed.arrays
+        keep = np.arange(1, arrays.num_clients, 2)
+        sub = arrays.slice_clients(keep)
+        for sub_pos, parent_pos in enumerate(keep):
+            assert sub.client_view(sub_pos) == arrays.client_view(
+                int(parent_pos)
+            )
+
+    def test_cluster_spans_cover_servers(self, arrayed):
+        arrays = arrayed.arrays
+        spans = arrays.cluster_spans()
+        assert spans[0][1] == 0
+        assert spans[-1][2] == arrays.num_servers
+        for kid, start, stop in spans:
+            assert (arrays.server_cluster[start:stop] == kid).all()
+
+    def test_validate_rejects_unsorted_ids(self, arrayed):
+        arrays = arrayed.arrays
+        bad = arrays.slice_clients(
+            np.array([1, 0], dtype=np.int64)
+        )
+        with pytest.raises(ModelError):
+            bad.validate()
+
+
+class TestContentToken:
+    def test_equal_systems_equal_tokens(self):
+        a = generate_system(num_clients=12, seed=3)
+        b = generate_system(num_clients=12, seed=3)
+        assert a.arrays.content_token() == b.arrays.content_token()
+
+    def test_field_change_changes_token(self, arrayed):
+        arrays = arrayed.arrays
+        before = arrays.content_token()
+        original = arrays.rate_agreed[0]
+        arrays.rate_agreed[0] = original + 1.0
+        assert arrays.content_token() != before
+        arrays.rate_agreed[0] = original
+        assert arrays.content_token() == before
+
+
+class TestFromObjects:
+    def test_round_trip_through_objects(self, arrayed):
+        concrete = arrayed.materialize()
+        rebuilt = SystemArrays.from_objects(
+            concrete.clusters, concrete.clients
+        )
+        back = CloudSystem.from_arrays(rebuilt, name=arrayed.name)
+        assert _dump(back) == _dump(arrayed)
+
+
+class TestSolverParity:
+    def test_heuristic_profit_identical_across_backings(self, fast_config):
+        soa = generate_system(num_clients=20, seed=5)
+        objects = generate_system(num_clients=20, seed=5, backing="objects")
+        a = ResourceAllocator(fast_config).solve(soa)
+        b = ResourceAllocator(fast_config).solve(objects)
+        assert a.profit == b.profit
+        assert a.profit_history == b.profit_history

@@ -368,9 +368,13 @@ def test_opportunity_cost_never_admits_negative_margin_clients(
     junk_ids = {100 + i for i in range(len(junk))}
     admitted = {c.client_id for c in svc.system.clients}
     assert not admitted & junk_ids
-    # Refusal, not queueing: every feasible junk admit was rejected.
+    # Refusal, not queueing: every feasible junk admit was rejected.  The
+    # counter is a lower bound, not an equality — once enough good
+    # clients saturate the fleet, the gate can legitimately refuse a
+    # *good* client too (its live marginal estimate goes negative at
+    # high load), and the counters don't attribute refusals per client.
     pending_ids = {c.client_id for c in svc.pending}
-    assert svc.metrics.counters.get("admits_rejected", 0) == len(
+    assert svc.metrics.counters.get("admits_rejected", 0) >= len(
         junk_ids - pending_ids
     )
 

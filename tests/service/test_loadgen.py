@@ -10,6 +10,7 @@ from repro.service.events import (
     RateUpdate,
     event_to_dict,
 )
+from repro.model.datacenter import CloudSystem
 from repro.service.loadgen import GENERATED_ID_BASE
 from repro.workload import generate_system
 
@@ -36,7 +37,7 @@ class TestConfigValidation:
 
     def test_rejects_clientless_template_system(self):
         system = generate_system(num_clients=6, seed=3)
-        empty = type(system)(clusters=system.clusters, clients=[])
+        empty = CloudSystem(clusters=list(system.clusters), clients=[])
         with pytest.raises(ConfigurationError):
             generate_load(empty, LoadGenConfig(seed=0))
 

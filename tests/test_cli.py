@@ -16,6 +16,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "profit" in out
 
+    def test_solve_sharded_two_tier(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--clients", "12",
+                    "--seed", "1",
+                    "--rounds", "2",
+                    "--shards", "4",
+                    "--workers", "1",
+                    "--shard-levels", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profit" in out
+
+    def test_solve_adaptive_shards_flag_accepted(self, capsys):
+        # Tiny instances skip the probe (below the probe floor) but the
+        # flag must parse and the solve must still succeed.
+        assert (
+            main(
+                [
+                    "solve",
+                    "--clients", "10",
+                    "--seed", "1",
+                    "--rounds", "1",
+                    "--shards", "2",
+                    "--workers", "1",
+                    "--adaptive-shards",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profit" in out
+
+    def test_solve_rejects_bad_shard_levels(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--clients", "6", "--shard-levels", "3"])
+
     def test_solve_fleet_view(self, capsys):
         assert (
             main(["solve", "--clients", "5", "--seed", "2", "--fleet"]) == 0

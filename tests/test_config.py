@@ -35,6 +35,8 @@ class TestSolverConfig:
             dict(min_share=1.0),
             dict(stability_margin=0.99),
             dict(num_workers=0),
+            dict(shard_levels=0),
+            dict(shard_levels=3),
         ],
     )
     def test_invalid_values_rejected(self, kwargs):
